@@ -1,0 +1,120 @@
+// E10 — engineering microbenchmarks (google-benchmark).
+//
+// Simulator and algorithm throughput: rounds/sec of the kernel, cost per
+// simulated consensus instance by n and algorithm, adversary planning cost,
+// and the lower-bound explorer's enumeration rate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "consensus/floodset.hpp"
+#include "core/af2.hpp"
+#include "lb/explorer.hpp"
+
+namespace indulgence {
+namespace {
+
+void BM_FailureFreeAt2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const SystemConfig cfg{.n = n, .t = (n - 1) / 2};
+  const AlgorithmFactory factory = bench::default_at2();
+  const std::vector<Value> proposals = distinct_proposals(n);
+  const RunSchedule schedule = failure_free_schedule(cfg);
+  for (auto _ : state) {
+    RunTrace trace = run_schedule(cfg, bench::es_options(), factory,
+                                  proposals, schedule);
+    benchmark::DoNotOptimize(trace.rounds_executed());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailureFreeAt2)->Arg(5)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_FailureFreeFloodSet(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const SystemConfig cfg{.n = n, .t = (n - 1) / 2};
+  const AlgorithmFactory factory = floodset_factory();
+  const std::vector<Value> proposals = distinct_proposals(n);
+  const RunSchedule schedule = failure_free_schedule(cfg);
+  for (auto _ : state) {
+    RunTrace trace = run_schedule(cfg, bench::scs_options(), factory,
+                                  proposals, schedule);
+    benchmark::DoNotOptimize(trace.rounds_executed());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailureFreeFloodSet)->Arg(5)->Arg(9)->Arg(17)->Arg(33);
+
+void BM_RandomAdversaryRun(benchmark::State& state) {
+  const SystemConfig cfg{.n = 9, .t = 4};
+  const AlgorithmFactory factory = bench::default_at2();
+  const std::vector<Value> proposals = distinct_proposals(cfg.n);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    RandomEsOptions opt;
+    opt.gst = 5;
+    RandomEsAdversary adversary(cfg, opt, seed++);
+    Kernel kernel(cfg, bench::es_options(), factory, proposals, adversary);
+    RunTrace trace = kernel.run();
+    benchmark::DoNotOptimize(trace.rounds_executed());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomAdversaryRun);
+
+void BM_AdversaryPlanning(benchmark::State& state) {
+  const SystemConfig cfg{.n = 33, .t = 16};
+  RandomEsOptions opt;
+  opt.gst = 64;
+  RandomEsAdversary adversary(cfg, opt, 7);
+  Round k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adversary.plan_round(k++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AdversaryPlanning);
+
+void BM_TraceValidation(benchmark::State& state) {
+  const SystemConfig cfg{.n = 9, .t = 4};
+  RunTrace trace = run_schedule(cfg, bench::es_options(),
+                                bench::default_at2(),
+                                distinct_proposals(cfg.n),
+                                staggered_chain_schedule(cfg, cfg.t));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate_trace(trace).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceValidation);
+
+void BM_SyncExplorer(benchmark::State& state) {
+  const SystemConfig cfg{.n = 3, .t = 1};
+  for (auto _ : state) {
+    SyncRunExplorer explorer(cfg, bench::default_at2(),
+                             distinct_proposals(cfg.n));
+    const auto stats = explorer.explore(cfg.t + 2);
+    benchmark::DoNotOptimize(stats.runs);
+    state.SetItemsProcessed(state.items_processed() + stats.runs);
+  }
+}
+BENCHMARK(BM_SyncExplorer);
+
+void BM_Af2EventualDecision(benchmark::State& state) {
+  const Round k = static_cast<Round>(state.range(0));
+  const SystemConfig cfg{.n = 10, .t = 3};
+  const RunSchedule s =
+      async_prefix_schedule(cfg, k + 1, ProcessSet{0, 1}, 2);
+  const std::vector<Value> proposals = distinct_proposals(cfg.n);
+  for (auto _ : state) {
+    RunTrace trace = run_schedule(cfg, bench::es_options(), af2_factory(),
+                                  proposals, s);
+    benchmark::DoNotOptimize(trace.rounds_executed());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Af2EventualDecision)->Arg(0)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace indulgence
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E3 — Valency structure of serial partial runs (paper Lemmas 2-5).
+//
+// Exhaustive valency computation for small (n, t):
+//   * Lemma 3: bivalent initial configurations exist (counted over all 2^n
+//     binary proposal assignments);
+//   * Lemma 2's engine: for the t+1-fast FloodSet every t-round serial
+//     partial run is univalent;
+//   * for A_{t+2}, t-round serial prefixes are ALSO univalent — purely
+//     synchronous serial uncertainty dies at round t for every algorithm
+//     once the crash budget is unspendable.  The paper's Lemma 5 therefore
+//     needs NON-synchronous runs (false suspicions) to carry bivalency one
+//     round further; that asynchronous side is exercised by E2's attack
+//     search, which breaks every t+1-fast candidate but not A_{t+2}.
+
+#include "bench_util.hpp"
+#include "consensus/floodset.hpp"
+#include "lb/valency.hpp"
+
+int main() {
+  using namespace indulgence;
+  bench::print_header(
+      "E3 — valency of serial partial runs (Lemmas 2-5)",
+      "bivalent prefix counts by length, exhaustively enumerated");
+
+  bool ok = true;
+
+  Table lemma3({"algorithm", "n", "t", "binary initial configs",
+                "bivalent (Lemma 3: > 0)"});
+  Table profile_table({"algorithm", "n", "t", "prefix length",
+                       "prefixes", "bivalent"});
+
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{{3, 1}, {4, 1}}) {
+    const SystemConfig cfg{.n = n, .t = t};
+    const std::vector<std::pair<std::string, AlgorithmFactory>> algorithms = {
+        {"FloodSet", floodset_factory()},
+        {"A_{t+2}", bench::default_at2()},
+    };
+    // A proposal assignment whose minimum is held by exactly one process:
+    // the only shape that can be bivalent at t = 1.
+    std::vector<Value> proposals(n, 1);
+    proposals[1] = 0;
+
+    for (const auto& [name, factory] : algorithms) {
+      ValencyAnalyzer analyzer(cfg, factory, /*extension_rounds=*/t + 3);
+      const int bivalent_inits =
+          analyzer.count_bivalent_binary_initial_configs();
+      ok &= bivalent_inits > 0 && bivalent_inits < (1 << n);
+      lemma3.add(name, n, t, 1 << n, bivalent_inits);
+
+      const auto profile = analyzer.profile(proposals, t + 1);
+      for (Round len = 0; len <= t + 1; ++len) {
+        profile_table.add(name, n, t, len, profile.prefixes_checked[len],
+                          profile.bivalent_prefixes[len]);
+      }
+      // Lemma 2 engine: by the paper, uncertainty must be gone at the
+      // algorithm's decision round minus one.
+      ok &= profile.bivalent_prefixes[t] == 0;
+      ok &= profile.bivalent_prefixes[0] > 0;
+    }
+  }
+
+  lemma3.print(std::cout, "E3.A: Lemma 3 — bivalent initial configurations");
+  profile_table.print(
+      std::cout,
+      "E3.B: bivalent serial prefixes by length (proposals: single 0 at p1)");
+
+  std::cout
+      << "Reading: both algorithms start bivalent (length 0) and are\n"
+         "univalent by length t in purely synchronous serial runs. The\n"
+         "paper's extra round of uncertainty for ES algorithms lives in\n"
+         "the NON-synchronous runs — see E2, where false-suspicion\n"
+         "adversaries break every t+1-fast algorithm.\n\n";
+
+  std::cout << (ok ? "E3 REPRODUCED.\n" : "E3 MISMATCH.\n");
+  return ok ? 0 : 1;
+}

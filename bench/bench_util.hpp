@@ -1,0 +1,43 @@
+// Shared helpers for the experiment benches (E1..E9): each bench binary
+// regenerates one table of EXPERIMENTS.md and prints it to stdout in a
+// stable, diffable format.
+
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/at2.hpp"
+#include "sim/harness.hpp"
+
+namespace indulgence::bench {
+
+inline KernelOptions es_options(Round max_rounds = 256) {
+  KernelOptions o;
+  o.model = Model::ES;
+  o.max_rounds = max_rounds;
+  return o;
+}
+
+inline KernelOptions scs_options(Round max_rounds = 64) {
+  KernelOptions o;
+  o.model = Model::SCS;
+  o.max_rounds = max_rounds;
+  return o;
+}
+
+inline AlgorithmFactory default_at2() {
+  return at2_factory(hurfin_raynal_factory());
+}
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "==================================================\n"
+            << id << "\n" << claim << "\n"
+            << "==================================================\n\n";
+}
+
+inline std::string check_mark(bool ok) { return ok ? "yes" : "NO"; }
+
+}  // namespace indulgence::bench

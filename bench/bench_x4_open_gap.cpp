@@ -1,0 +1,145 @@
+// X4 — the paper's open problem, probed empirically (Sect. 6).
+//
+// "A simple modification of the proof of Proposition 1 implies that ...
+//  every consensus algorithm in ES has a run synchronous after round k,
+//  with at most f crashes after round k, where some process decides at
+//  round k + f + 2 or at a higher round.  Whether the above bound is tight
+//  is an open question ... Closing the gap for n/3 <= t < n/2 is an open
+//  problem."  (A_{f+2} closes it only for t < n/3.)
+//
+// We measure what the t < n/2 algorithms in this repository actually
+// achieve in that regime: with the camp-splitting blocking prefix of E8
+// adapted to majority-resilience (t = 2 hides per receiver) and f crashes
+// after GST, what is the worst observed global decision round?  The gap
+// between the k+f+2 lower bound and the best measured algorithm is the
+// open territory.
+
+#include "bench_util.hpp"
+#include "consensus/chandra_toueg.hpp"
+#include "lb/explorer.hpp"
+
+namespace indulgence {
+namespace {
+
+// n = 5, t = 2 (n/3 <= t < n/2): every receiver may miss at most 2 senders
+// per round.  Camps: A = {p0, p4} holds value 0, B = {p1, p2, p3} holds 1.
+// Camp-A receivers miss p1, p2; camp-B receivers miss p0, p4.  Every
+// receiver gets exactly n - t = 3 current-round messages.
+void add_blocking_prefix(ScheduleBuilder& b, const SystemConfig& cfg,
+                         Round k) {
+  const ProcessSet camp_a{0, 4};
+  for (Round r = 1; r <= k; ++r) {
+    for (ProcessId receiver = 0; receiver < cfg.n; ++receiver) {
+      const bool in_a = camp_a.contains(receiver);
+      const ProcessId h1 = in_a ? 1 : 0;
+      const ProcessId h2 = in_a ? 2 : 4;
+      if (receiver != h1) b.delay(h1, receiver, r, k + 1);
+      if (receiver != h2) b.delay(h2, receiver, r, k + 1);
+    }
+  }
+}
+
+Round worst_decision(const SystemConfig& cfg,
+                     const AlgorithmFactory& factory, Round k, int f,
+                     bool& blocked_until_gst, bool& all_ok) {
+  Round worst = 0;
+  const int bits = cfg.n - 1;
+  const std::uint64_t patterns = f > 0 ? (1ULL << (bits * f)) : 1;
+  for (std::uint64_t packed = 0; packed < patterns; ++packed) {
+    ScheduleBuilder b(cfg);
+    b.gst(k + 1);
+    add_blocking_prefix(b, cfg, k);
+    std::uint64_t cursor = packed;
+    for (int a = 0; a < f; ++a) {
+      const ProcessId victim = a;  // p0 then p1: the camp leaders
+      ProcessSet delivered;
+      int bit = 0;
+      for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+        if (pid == victim) continue;
+        if ((cursor >> bit) & 1u) delivered.insert(pid);
+        ++bit;
+      }
+      cursor >>= bits;
+      const Round crash_round = k + 2 * a + 1;
+      if (delivered.empty()) {
+        b.crash(victim, crash_round, true);
+      } else {
+        b.crash(victim, crash_round);
+        ProcessSet lost = ProcessSet::all(cfg.n) - delivered;
+        lost.erase(victim);
+        b.losing_to(victim, crash_round, lost);
+      }
+    }
+    RunResult r = run_and_check(cfg, bench::es_options(512), factory,
+                                distinct_proposals(cfg.n), b.build());
+    if (!r.ok()) {
+      all_ok = false;
+      continue;
+    }
+    worst = std::max(worst, *r.global_decision_round);
+    if (*r.global_decision_round <= k && k > 2) blocked_until_gst = false;
+  }
+  return worst;
+}
+
+}  // namespace
+}  // namespace indulgence
+
+int main() {
+  using namespace indulgence;
+  bench::print_header(
+      "X4 — the open gap: eventual fast decision for n/3 <= t < n/2",
+      "lower bound k+f+2 (Sect. 6); A_{f+2} needs t < n/3; what do the\n"
+      "majority-resilient algorithms achieve?");
+
+  const SystemConfig cfg{.n = 5, .t = 2};  // n/3 <= t < n/2
+  bool ok = true;
+
+  struct Row {
+    std::string name;
+    AlgorithmFactory factory;
+  };
+  const std::vector<Row> rows = {
+      {"A_{t+2}", bench::default_at2()},
+      {"HurfinRaynal", hurfin_raynal_factory()},
+      {"ChandraToueg", chandra_toueg_factory()},
+  };
+
+  Table table({"algorithm", "k", "f", "worst measured", "lower bound k+f+2",
+               "excess", "note"});
+  for (const Row& row : rows) {
+    for (Round k : {0, 3, 6}) {
+      for (int f = 0; f <= cfg.t; ++f) {
+        bool blocked = true, all_ok = true;
+        const Round worst =
+            worst_decision(cfg, row.factory, k, f, blocked, all_ok);
+        ok &= all_ok;
+        const Round bound = k + f + 2;
+        const bool early = worst < k + 2;
+        table.add(row.name, k, f, worst, bound,
+                  worst > bound ? "+" + std::to_string(worst - bound) : "0",
+                  early ? "decided inside the async prefix" : "");
+      }
+    }
+  }
+  table.print(std::cout,
+              "X4: n = 5, t = 2 (majority resilience), camp-splitting "
+              "prefix + exhaustive\ncrash delivery patterns");
+  std::cout
+      << "Reading (two-sided honesty):\n"
+         "  * where 'excess' > 0 the adversary pushed the algorithm past\n"
+         "    the k+f+2 lower bound — at n/3 <= t < n/2 none of these\n"
+         "    algorithms tracks the bound under hostile crash placement\n"
+         "    (k = 0 rows: HR pays 2f+2, CT pays 4f+4).\n"
+         "  * rows noted 'decided inside the async prefix' mean THIS\n"
+         "    blocking prefix fails to delay that algorithm: A_{t+2}'s\n"
+         "    Halt exchange turns the stable camp pattern into BOTTOM\n"
+         "    estimates and its underlying module settles matters during\n"
+         "    the asynchronous period.  The >= k+f+2 run the lower bound\n"
+         "    promises lives elsewhere in run space; exhibiting an\n"
+         "    ALGORITHM that never exceeds k+f+2 here is exactly the\n"
+         "    paper's open problem.\n\n";
+  std::cout << (ok ? "X4 OK (probe completed; gap reported above).\n"
+                   : "X4 FAILED (a run broke consensus).\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Why indulgence matters: a replicated configuration store commits a value
+// through consensus while the network goes through a partition-like
+// asynchronous spell (messages from two replicas are delayed for several
+// rounds, so crash detection misfires).
+//
+//   * A_{t+2} rides the partition out: safety is never at risk, and the
+//     decision lands shortly after the network heals (GST).
+//   * FloodSet — built for a synchronous system and oblivious to false
+//     suspicions — decides DIFFERENT values on the two sides of the
+//     partition: a split-brain configuration store.
+//
+//   $ ./partition_tolerance
+
+#include <iostream>
+
+#include "consensus/floodset.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/at2.hpp"
+#include "sim/harness.hpp"
+
+namespace {
+
+using namespace indulgence;
+
+/// Rounds 1..heal-1: the "partitioned" replicas' messages to the rest are
+/// delayed until the network heals; everyone still receives n - t
+/// current-round messages, so this is a legal ES run.
+RunSchedule partition(const SystemConfig& config, const ProcessSet& slow,
+                      Round heal) {
+  ScheduleBuilder b(config);
+  for (Round k = 1; k < heal; ++k) {
+    for (ProcessId lag : slow) {
+      for (ProcessId r = 0; r < config.n; ++r) {
+        if (r != lag) b.delay(lag, r, k, heal);
+      }
+    }
+  }
+  b.gst(heal);
+  return b.build();
+}
+
+void report(const std::string& name, const RunResult& r) {
+  std::cout << name << ":\n";
+  std::cout << "  model-valid run: " << (r.validation.ok() ? "yes" : "NO")
+            << "\n";
+  std::cout << "  decisions:      ";
+  for (const DecisionRecord& d : r.trace.decisions()) {
+    std::cout << " p" << d.pid << "=" << d.value << "@r" << d.round;
+  }
+  std::cout << "\n  agreement:       "
+            << (r.agreement ? "held" : "VIOLATED (split brain!)") << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const SystemConfig config{.n = 7, .t = 3};
+  // Replicas p0 and p1 are on the wrong side of the partition; p0 holds the
+  // smallest proposed configuration epoch, which is what min-flooding
+  // algorithms will pick if they ever hear it.
+  const ProcessSet slow{0, 1};
+  const Round heal = 6;
+  const RunSchedule schedule = partition(config, slow, heal);
+  const std::vector<Value> proposals = distinct_proposals(config.n);
+
+  KernelOptions options;
+  options.model = Model::ES;
+  options.max_rounds = 64;
+
+  std::cout << "7 replicas agree on a configuration epoch while p0, p1 are\n"
+               "partitioned off until round " << heal << ".\n\n";
+
+  const RunResult indulgent =
+      run_and_check(config, options, at2_factory(hurfin_raynal_factory()),
+                    proposals, schedule);
+  report("A_{t+2} (indulgent)", indulgent);
+
+  const RunResult naive = run_and_check(config, options, floodset_factory(),
+                                        proposals, schedule);
+  report("FloodSet transplanted to ES (not indulgent)", naive);
+
+  if (!indulgent.ok()) {
+    std::cout << "unexpected: the indulgent run failed\n";
+    return 1;
+  }
+  if (naive.agreement) {
+    std::cout << "note: FloodSet survived this particular partition shape; "
+                 "see the E2 bench\nfor a systematic counterexample search.\n";
+  }
+  std::cout << "A_{t+2} decided at round "
+            << *indulgent.global_decision_round
+            << " — shortly after the partition healed at round " << heal
+            << ",\nwithout ever risking disagreement. That is indulgence.\n";
+  return 0;
+}

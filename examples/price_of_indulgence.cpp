@@ -1,0 +1,73 @@
+// The paper's headline, side by side: run the synchronous-model FloodSet,
+// the indulgent A_{t+2}, and the older indulgent Hurfin-Raynal on the SAME
+// worst-case synchronous crash pattern and compare decision rounds.
+//
+//   FloodSet (needs a synchronous system):    t + 1 rounds
+//   A_{t+2}  (survives asynchrony):           t + 2 rounds   <- 1-round price
+//   Hurfin-Raynal (survives asynchrony):      up to 2t + 2
+//
+//   $ ./price_of_indulgence [t]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "consensus/floodset.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/at2.hpp"
+#include "sim/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace indulgence;
+
+  const int t = argc > 1 ? std::atoi(argv[1]) : 3;
+  if (t < 1 || t > 10) {
+    std::cerr << "usage: " << argv[0] << " [t in 1..10]\n";
+    return 2;
+  }
+  const SystemConfig config{.n = 2 * t + 1, .t = t};
+  std::cout << "n = " << config.n << " processes, t = " << t
+            << " tolerated crashes\n\n";
+
+  struct Contender {
+    std::string name;
+    std::string needs;
+    AlgorithmFactory factory;
+    Model model;
+    RunSchedule worst;
+  };
+  const std::vector<Contender> contenders = {
+      {"FloodSet", "synchrony (SCS)", floodset_factory(), Model::SCS,
+       staggered_chain_schedule(config, t)},
+      {"A_{t+2}", "eventual synchrony", at2_factory(hurfin_raynal_factory()),
+       Model::ES, staggered_chain_schedule(config, t)},
+      {"Hurfin-Raynal", "eventual synchrony", hurfin_raynal_factory(),
+       Model::ES, coordinator_assassin_schedule(config, t)},
+  };
+
+  Table table({"algorithm", "survives asynchrony?", "worst-case schedule",
+               "decision round"});
+  for (const Contender& c : contenders) {
+    KernelOptions options;
+    options.model = c.model;
+    options.max_rounds = 128;
+    const RunResult r = run_and_check(config, options, c.factory,
+                                      distinct_proposals(config.n), c.worst);
+    if (!r.ok()) {
+      std::cerr << c.name << " failed: " << r.summary() << "\n";
+      return 1;
+    }
+    table.add(c.name, c.model == Model::ES ? "yes" : "no",
+              c.model == Model::SCS ? "staggered chain"
+              : c.name == "A_{t+2}" ? "staggered chain"
+                                    : "coordinator assassination",
+              *r.global_decision_round);
+  }
+  table.print(std::cout, "worst-case synchronous runs");
+
+  std::cout << "The price of indulgence — surviving periods when crash\n"
+               "detection is unreliable — is exactly ONE round over the\n"
+               "synchronous-model optimum (t+1 -> t+2), not the t extra\n"
+               "rounds (2t+2) indulgent algorithms paid before this paper.\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// A command-line driver for the simulator: pick an algorithm, a system
+// size, and an adversary; get the trace, the consensus verdict, and the
+// message statistics.  Handy for poking at the library interactively.
+//
+//   $ ./simulate --algo at2 --n 7 --t 3 --schedule chain
+//   $ ./simulate --algo hr --n 5 --t 2 --schedule assassin --trace
+//   $ ./simulate --algo af2 --n 10 --t 3 --schedule random --seed 7 --gst 5
+//
+// Algorithms: at2, at2ff, ads, af2, hr, ct, amr, floodset, floodset-early
+// Schedules:  ff, chain, burst, assassin, random
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "consensus/amr_leader.hpp"
+#include "consensus/chandra_toueg.hpp"
+#include "consensus/floodset.hpp"
+#include "consensus/floodset_early.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/af2.hpp"
+#include "core/at2_ds.hpp"
+#include "sim/harness.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace indulgence;
+
+struct Args {
+  std::string algo = "at2";
+  int n = 7;
+  int t = 3;
+  std::string schedule = "ff";
+  std::uint64_t seed = 1;
+  Round gst = 4;
+  bool dump_trace = false;
+};
+
+int usage(const char* prog) {
+  std::cerr
+      << "usage: " << prog
+      << " [--algo at2|at2ff|ads|af2|hr|ct|amr|floodset|floodset-early]\n"
+         "       [--n N] [--t T] [--schedule ff|chain|burst|assassin|random]\n"
+         "       [--seed S] [--gst K] [--trace]\n";
+  return 2;
+}
+
+AlgorithmFactory pick_algorithm(const Args& args, bool& scs) {
+  scs = false;
+  if (args.algo == "at2") return at2_factory(hurfin_raynal_factory());
+  if (args.algo == "at2ff") {
+    At2Options opt;
+    opt.failure_free_opt = true;
+    return at2_factory(hurfin_raynal_factory(), opt);
+  }
+  if (args.algo == "ads") {
+    return at2_ds_factory(hurfin_raynal_factory(),
+                          receipt_detector_factory());
+  }
+  if (args.algo == "af2") return af2_factory();
+  if (args.algo == "hr") return hurfin_raynal_factory();
+  if (args.algo == "ct") return chandra_toueg_factory();
+  if (args.algo == "amr") return amr_leader_factory();
+  if (args.algo == "floodset") {
+    scs = true;
+    return floodset_factory();
+  }
+  if (args.algo == "floodset-early") {
+    scs = true;
+    return floodset_early_factory();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--algo") {
+      if (const char* v = next()) args.algo = v;
+    } else if (flag == "--n") {
+      if (const char* v = next()) args.n = std::atoi(v);
+    } else if (flag == "--t") {
+      if (const char* v = next()) args.t = std::atoi(v);
+    } else if (flag == "--schedule") {
+      if (const char* v = next()) args.schedule = v;
+    } else if (flag == "--seed") {
+      if (const char* v = next()) args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--gst") {
+      if (const char* v = next()) args.gst = std::atoi(v);
+    } else if (flag == "--trace") {
+      args.dump_trace = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const SystemConfig config{.n = args.n, .t = args.t};
+  try {
+    config.validate();
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  bool scs = false;
+  const AlgorithmFactory factory = pick_algorithm(args, scs);
+  if (!factory) return usage(argv[0]);
+
+  KernelOptions options;
+  options.model = scs ? Model::SCS : Model::ES;
+  options.max_rounds = 256;
+
+  std::unique_ptr<Adversary> adversary;
+  if (args.schedule == "ff") {
+    adversary =
+        std::make_unique<ScheduleAdversary>(failure_free_schedule(config));
+  } else if (args.schedule == "chain") {
+    adversary = std::make_unique<ScheduleAdversary>(
+        staggered_chain_schedule(config, config.t));
+  } else if (args.schedule == "burst") {
+    adversary = std::make_unique<ScheduleAdversary>(
+        crash_burst_schedule(config, config.t, 1, false));
+  } else if (args.schedule == "assassin") {
+    adversary = std::make_unique<ScheduleAdversary>(
+        coordinator_assassin_schedule(config, config.t));
+  } else if (args.schedule == "random") {
+    if (scs) {
+      adversary = std::make_unique<RandomScsAdversary>(config,
+                                                       RandomScsOptions{},
+                                                       args.seed);
+    } else {
+      RandomEsOptions opt;
+      opt.gst = args.gst;
+      adversary =
+          std::make_unique<RandomEsAdversary>(config, opt, args.seed);
+    }
+  } else {
+    return usage(argv[0]);
+  }
+
+  const RunResult result =
+      run_and_check(config, options, factory, distinct_proposals(config.n),
+                    *adversary);
+
+  if (args.dump_trace) std::cout << result.trace.to_string() << "\n";
+  std::cout << "algorithm: " << args.algo << "  model: "
+            << (scs ? "SCS" : "ES") << "  n=" << config.n
+            << " t=" << config.t << "  schedule: " << args.schedule << "\n";
+  std::cout << result.summary() << "\n";
+  std::cout << compute_stats(result.trace).to_string() << "\n";
+  if (!result.validation.ok()) std::cout << result.validation.to_string();
+  return result.ok() ? 0 : 1;
+}

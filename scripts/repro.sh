@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-command reproduction: build, run the full test suite, regenerate every
+# experiment table (E1..E10, X1..X4), and leave the outputs in
+# test_output.txt / bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -x "$b" ] && [ -f "$b" ]; then
+      echo "################ $(basename "$b") ################"
+      "$b"
+      echo "---- exit: $? ----"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Reproduction complete: see test_output.txt and bench_output.txt."

@@ -1,0 +1,34 @@
+#include "common/process_set.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace indulgence {
+
+ProcessId ProcessSet::min() const {
+  if (empty()) throw std::logic_error("ProcessSet::min on empty set");
+  return __builtin_ctzll(bits_);
+}
+
+void ProcessSet::check_range(ProcessId id) {
+  if (id < 0 || id >= kMaxProcesses) {
+    throw std::out_of_range("ProcessSet: process id " + std::to_string(id) +
+                            " out of range [0, " +
+                            std::to_string(kMaxProcesses) + ")");
+  }
+}
+
+std::string ProcessSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (ProcessId id : *this) {
+    if (!first) os << ", ";
+    os << 'p' << id;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace indulgence

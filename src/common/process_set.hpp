@@ -1,0 +1,126 @@
+// A small, value-semantic set of process ids backed by a 64-bit mask.
+//
+// The paper's algorithms manipulate sets of processes constantly (the Halt
+// sets of A_{t+2}, suspect sets of failure detectors, crashed sets of the
+// simulator).  n is small (the paper needs n >= 3; our experiments use
+// n <= 32), so a fixed-width bitset gives O(1) set algebra and cheap copies,
+// which the lower-bound explorer relies on when enumerating millions of runs.
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace indulgence {
+
+/// Maximum number of processes representable in a ProcessSet.
+inline constexpr int kMaxProcesses = 64;
+
+class ProcessSet {
+ public:
+  constexpr ProcessSet() = default;
+
+  ProcessSet(std::initializer_list<ProcessId> ids) {
+    for (ProcessId id : ids) insert(id);
+  }
+
+  /// The full set {0, ..., n-1}.
+  static ProcessSet all(int n) {
+    check_range(n - 1);
+    ProcessSet s;
+    s.bits_ = (n == kMaxProcesses) ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  static ProcessSet single(ProcessId id) {
+    ProcessSet s;
+    s.insert(id);
+    return s;
+  }
+
+  bool contains(ProcessId id) const {
+    check_range(id);
+    return (bits_ >> id) & 1u;
+  }
+
+  void insert(ProcessId id) {
+    check_range(id);
+    bits_ |= std::uint64_t{1} << id;
+  }
+
+  void erase(ProcessId id) {
+    check_range(id);
+    bits_ &= ~(std::uint64_t{1} << id);
+  }
+
+  void clear() { bits_ = 0; }
+
+  int size() const { return static_cast<int>(__builtin_popcountll(bits_)); }
+  bool empty() const { return bits_ == 0; }
+
+  /// Smallest member; throws std::logic_error when empty.
+  ProcessId min() const;
+
+  ProcessSet& operator|=(const ProcessSet& o) { bits_ |= o.bits_; return *this; }
+  ProcessSet& operator&=(const ProcessSet& o) { bits_ &= o.bits_; return *this; }
+  ProcessSet& operator-=(const ProcessSet& o) { bits_ &= ~o.bits_; return *this; }
+
+  friend ProcessSet operator|(ProcessSet a, const ProcessSet& b) { return a |= b; }
+  friend ProcessSet operator&(ProcessSet a, const ProcessSet& b) { return a &= b; }
+  friend ProcessSet operator-(ProcessSet a, const ProcessSet& b) { return a -= b; }
+
+  friend bool operator==(const ProcessSet& a, const ProcessSet& b) = default;
+
+  /// True iff every member of this set is a member of o.
+  bool subset_of(const ProcessSet& o) const { return (bits_ & ~o.bits_) == 0; }
+
+  bool intersects(const ProcessSet& o) const { return (bits_ & o.bits_) != 0; }
+
+  std::uint64_t mask() const { return bits_; }
+
+  /// Rebuild from a raw mask (used by enumeration code).
+  static ProcessSet from_mask(std::uint64_t mask) {
+    ProcessSet s;
+    s.bits_ = mask;
+    return s;
+  }
+
+  /// Forward iterator over members in increasing id order.
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = ProcessId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const ProcessId*;
+    using reference = ProcessId;
+
+    iterator() = default;
+    explicit iterator(std::uint64_t bits) : bits_(bits) {}
+
+    ProcessId operator*() const { return __builtin_ctzll(bits_); }
+    iterator& operator++() { bits_ &= bits_ - 1; return *this; }
+    iterator operator++(int) { iterator tmp = *this; ++*this; return tmp; }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    std::uint64_t bits_ = 0;
+  };
+
+  iterator begin() const { return iterator{bits_}; }
+  iterator end() const { return iterator{0}; }
+
+  /// "{p0, p3, p5}"-style rendering for traces and test failure messages.
+  std::string to_string() const;
+
+ private:
+  static void check_range(ProcessId id);
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace indulgence

@@ -1,0 +1,61 @@
+#include "common/rng.hpp"
+
+#include <stdexcept>
+
+namespace indulgence {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+  // Rejection sampling: discard the biased tail of the 2^64 range.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::next_int(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::next_int: lo > hi");
+  return lo + static_cast<int>(next_below(
+                  static_cast<std::uint64_t>(hi) - lo + 1));
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) {
+  if (den == 0 || num > den) {
+    throw std::invalid_argument("Rng::chance: need 0 <= num <= den, den > 0");
+  }
+  if (num == den) return true;
+  return next_below(den) < num;
+}
+
+double Rng::next_double() {
+  // 53 high-quality bits into the mantissa.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace indulgence

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation for reproducible adversaries.
+//
+// Every randomized experiment in this repository is seeded; a (seed, stream)
+// pair fully determines an adversary's choices, so any failing property test
+// or benchmark row can be replayed bit-for-bit.  We use xoshiro256** seeded
+// via SplitMix64, the recommended initialization for the xoshiro family.
+
+#pragma once
+
+#include <cstdint>
+
+namespace indulgence {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer used to seed Xoshiro256.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, well-distributed 64-bit generator.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` through SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x1dea11ce0fbeef5ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound); bound must be > 0.  Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  /// Bernoulli trial with probability num/den; requires 0 <= num <= den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// A decorrelated child generator (for per-process / per-round streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace indulgence

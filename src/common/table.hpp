@@ -1,0 +1,47 @@
+// Minimal ASCII table renderer used by the benchmark harness to print the
+// paper-reproduction tables (EXPERIMENTS.md rows) in a stable, diffable
+// format.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace indulgence {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded / truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with std::to_string where needed.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({cell_to_string(cells)...});
+  }
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+
+  /// Renders with column alignment, a header rule, and an optional title.
+  std::string to_string(const std::string& title = "") const;
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  static std::string cell_to_string(const std::string& s) { return s; }
+  static std::string cell_to_string(const char* s) { return s; }
+  static std::string cell_to_string(bool b) { return b ? "yes" : "no"; }
+  template <typename T>
+  static std::string cell_to_string(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace indulgence

@@ -1,0 +1,96 @@
+#include "consensus/amr_leader.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace indulgence {
+
+AmrLeader::AmrLeader(ProcessId self, const SystemConfig& config)
+    : ConsensusBase(self, config) {
+  if (!config.third_correct()) {
+    throw std::invalid_argument("AMR[leader] requires t < n/3");
+  }
+}
+
+MessagePtr AmrLeader::message_for_round(Round k) {
+  if (announce_pending_) {
+    return std::make_shared<DecideMessage>(*decision());
+  }
+  if (is_adopt_round(k)) return std::make_shared<AmrEstimateMessage>(est_);
+  return std::make_shared<AmrVoteMessage>(est_);
+}
+
+void AmrLeader::on_round(Round k, const Delivery& delivered) {
+  if (announce_pending_) {
+    announce_pending_ = false;
+    halt();
+    return;
+  }
+  if (!has_decided()) {
+    if (auto d = find_decide_notice(delivered)) {
+      decide(*d);
+      announce_pending_ = true;
+      return;
+    }
+  }
+
+  // Footnote 10: the leader is the minimum-id sender heard this round.
+  ProcessSet heard;
+  for (const Envelope& env : delivered) {
+    if (env.send_round == k) heard.insert(env.sender);
+  }
+  leader_.observe_round(heard);
+
+  if (is_adopt_round(k)) {
+    // Adopt the current leader's estimate if we heard it.
+    const ProcessId lead = leader_.leader();
+    for (const Envelope& env : delivered) {
+      if (env.send_round != k || env.sender != lead) continue;
+      if (const auto* m = env.as<AmrEstimateMessage>()) est_ = m->est();
+    }
+    return;
+  }
+
+  // VOTE round: the A_{f+2}-style counting rule over the n - t votes with
+  // the lowest sender ids.
+  std::vector<std::pair<ProcessId, Value>> votes;
+  for (const Envelope& env : delivered) {
+    if (env.send_round != k) continue;
+    if (const auto* m = env.as<AmrVoteMessage>()) {
+      votes.emplace_back(env.sender, m->est());
+    }
+  }
+  std::sort(votes.begin(), votes.end());
+  const int quorum = n() - t();
+  if (static_cast<int>(votes.size()) > quorum) votes.resize(quorum);
+  if (votes.empty()) return;
+
+  std::map<Value, int> histogram;
+  for (const auto& [sender, v] : votes) ++histogram[v];
+
+  if (static_cast<int>(histogram.size()) == 1 &&
+      static_cast<int>(votes.size()) >= quorum) {
+    decide(votes.front().second);
+    announce_pending_ = true;
+    return;
+  }
+  const int threshold = n() - 2 * t();
+  for (const auto& [v, count] : histogram) {
+    if (count >= threshold) {  // at most one value can reach n - 2t
+      est_ = v;
+      return;
+    }
+  }
+  // No value reached n - 2t: keep our own estimate.  (Deterministically
+  // adopting the minimum here is exactly A_{f+2}'s improvement — AMR leaves
+  // convergence to the next leader attempt, which is why each leader crash
+  // costs it a full two-round attempt.)
+}
+
+AlgorithmFactory amr_leader_factory() {
+  return make_algorithm_factory<AmrLeader>();
+}
+
+}  // namespace indulgence

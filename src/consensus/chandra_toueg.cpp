@@ -1,0 +1,102 @@
+#include "consensus/chandra_toueg.hpp"
+
+#include <stdexcept>
+
+namespace indulgence {
+
+ChandraToueg::ChandraToueg(ProcessId self, const SystemConfig& config)
+    : ConsensusBase(self, config) {
+  if (!config.majority_correct()) {
+    throw std::invalid_argument("ChandraToueg requires t < n/2");
+  }
+}
+
+MessagePtr ChandraToueg::message_for_round(Round k) {
+  if (announce_pending_) {
+    return std::make_shared<DecideMessage>(*decision());
+  }
+  const bool coordinating = coordinator_for_round(k) == self();
+  switch (step_of_round(k)) {
+    case 0:  // R1: everyone reports (est, ts)
+      return std::make_shared<CtEstimateMessage>(est_, ts_);
+    case 1:  // R2: the coordinator proposes
+      if (coordinating && proposal_) {
+        return std::make_shared<CtProposeMessage>(*proposal_);
+      }
+      return std::make_shared<FillerMessage>();
+    case 2:  // R3: ack iff we adopted the proposal this attempt
+      return std::make_shared<CtAckMessage>(adopted_this_attempt_);
+    default:  // R4: the coordinator decides on a majority of acks
+      if (coordinating && proposal_ && acks_ >= n() - t()) {
+        return std::make_shared<DecideMessage>(*proposal_);
+      }
+      return std::make_shared<FillerMessage>();
+  }
+}
+
+void ChandraToueg::on_round(Round k, const Delivery& delivered) {
+  if (announce_pending_) {
+    announce_pending_ = false;
+    halt();
+    return;
+  }
+  if (!has_decided()) {
+    // R4's DECIDE broadcast and halted processes' dummies both count.
+    if (auto d = find_decide_notice(delivered)) {
+      decide(*d);
+      announce_pending_ = true;
+      return;
+    }
+  }
+
+  const ProcessId coord = coordinator_for_round(k);
+  const bool coordinating = coord == self();
+  switch (step_of_round(k)) {
+    case 0: {  // coordinator collects estimates, picks the freshest
+      proposal_.reset();
+      acks_ = 0;
+      adopted_this_attempt_ = false;
+      if (!coordinating) break;
+      int best_ts = -1;
+      for (const Envelope& env : delivered) {
+        if (env.send_round != k) continue;
+        if (const auto* m = env.as<CtEstimateMessage>()) {
+          if (m->ts() > best_ts) {
+            best_ts = m->ts();
+            proposal_ = m->est();
+          }
+        }
+      }
+      break;
+    }
+    case 1: {  // adopt the coordinator's proposal if we heard it
+      for (const Envelope& env : delivered) {
+        if (env.send_round != k || env.sender != coord) continue;
+        if (const auto* m = env.as<CtProposeMessage>()) {
+          est_ = m->value();
+          ts_ = attempt_of_round(k) + 1;
+          adopted_this_attempt_ = true;
+        }
+      }
+      break;
+    }
+    case 2: {  // coordinator counts acks
+      if (!coordinating) break;
+      for (const Envelope& env : delivered) {
+        if (env.send_round != k) continue;
+        if (const auto* m = env.as<CtAckMessage>()) {
+          if (m->positive()) ++acks_;
+        }
+      }
+      break;
+    }
+    default:
+      break;  // R4 decisions were handled by the notice scan above
+  }
+}
+
+AlgorithmFactory chandra_toueg_factory() {
+  return make_algorithm_factory<ChandraToueg>();
+}
+
+}  // namespace indulgence

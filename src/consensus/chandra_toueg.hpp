@@ -1,0 +1,108 @@
+// Chandra-Toueg-style rotating-coordinator <>S consensus [2], transposed to
+// the round-based ES model.  The paper cites it as a candidate underlying
+// module C for A_{t+2} ("the one based on <>S in [2]", footnote 7).
+//
+// RECONSTRUCTION NOTE: we keep the four communication steps of the original
+// asynchronous protocol as four simulator rounds per attempt:
+//
+//   attempt a (rounds 4a+1 .. 4a+4), coordinator c = p_{a mod n}:
+//     R1 ESTIMATE:  everyone sends (est, ts) to all (the coordinator reads).
+//     R2 PROPOSE:   c picks the estimate with the highest timestamp among
+//                   those received and broadcasts it.
+//     R3 ACK:       a process that received c's proposal adopts it
+//                   (est := v, ts := a+1) and acks; otherwise it nacks
+//                   (receipt-simulated suspicion of c).
+//     R4 DECIDE:    if c collected >= n - t acks (a majority), it
+//                   broadcasts DECIDE(v); receivers decide.
+//
+//   Safety is the classical majority-locking argument (t < n/2): a decided
+//   value was adopted with a fresh timestamp by >= n - t processes, and any
+//   later coordinator's (n - t)-sample intersects that majority, so the
+//   highest-timestamp estimate it can pick is the decided value.
+//
+// Worst-case synchronous runs cost FOUR rounds per assassinated coordinator
+// (4t + 4 total) — a second, even slower indulgent baseline for the E1
+// "price of indulgence" table.
+
+#pragma once
+
+#include "consensus/consensus.hpp"
+
+namespace indulgence {
+
+class CtEstimateMessage final : public Message {
+ public:
+  CtEstimateMessage(Value est, int ts) : est_(est), ts_(ts) {}
+  Value est() const { return est_; }
+  int ts() const { return ts_; }
+  std::string describe() const override {
+    return "CT-EST(" + std::to_string(est_) + ", ts=" + std::to_string(ts_) +
+           ")";
+  }
+
+ private:
+  Value est_;
+  int ts_;
+};
+
+class CtProposeMessage final : public Message {
+ public:
+  explicit CtProposeMessage(Value v) : v_(v) {}
+  Value value() const { return v_; }
+  std::string describe() const override {
+    return "CT-PROPOSE(" + std::to_string(v_) + ")";
+  }
+
+ private:
+  Value v_;
+};
+
+class CtAckMessage final : public Message {
+ public:
+  explicit CtAckMessage(bool positive) : positive_(positive) {}
+  bool positive() const { return positive_; }
+  std::string describe() const override {
+    return positive_ ? "CT-ACK" : "CT-NACK";
+  }
+
+ private:
+  bool positive_;
+};
+
+class ChandraToueg : public ConsensusBase {
+ public:
+  ChandraToueg(ProcessId self, const SystemConfig& config);
+
+  MessagePtr message_for_round(Round k) override;
+  void on_round(Round k, const Delivery& delivered) override;
+
+  std::string name() const override { return "ChandraToueg[<>S]"; }
+
+  Value estimate() const { return est_; }
+  int timestamp() const { return ts_; }
+
+  static int attempt_of_round(Round k) { return (k - 1) / 4; }
+  static int step_of_round(Round k) { return (k - 1) % 4; }  // 0..3
+
+  ProcessId coordinator_for_round(Round k) const {
+    return static_cast<ProcessId>(attempt_of_round(k) % n());
+  }
+
+ protected:
+  void on_propose(Value v) override { est_ = v; }
+
+ private:
+  Value est_ = 0;
+  int ts_ = 0;
+
+  // Per-attempt state.
+  std::optional<Value> proposal_;  ///< value picked in R1 (coordinator only)
+  int acks_ = 0;                   ///< positive acks seen in R3 (coordinator)
+  bool adopted_this_attempt_ = false;
+
+  bool announce_pending_ = false;
+};
+
+AlgorithmFactory chandra_toueg_factory();
+
+}  // namespace indulgence

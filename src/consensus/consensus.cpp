@@ -1,0 +1,13 @@
+#include "consensus/consensus.hpp"
+
+namespace indulgence {
+
+std::optional<Value> find_decide_notice(const Delivery& delivery) {
+  for (const Envelope& env : delivery) {
+    if (const auto* d = env.as<DecideMessage>()) return d->value();
+    if (const auto* h = env.as<HaltedMessage>()) return h->decision();
+  }
+  return std::nullopt;
+}
+
+}  // namespace indulgence

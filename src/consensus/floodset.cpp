@@ -1,0 +1,33 @@
+#include "consensus/floodset.hpp"
+
+#include <algorithm>
+
+namespace indulgence {
+
+MessagePtr FloodSet::message_for_round(Round) {
+  return std::make_shared<FloodEstimateMessage>(est_);
+}
+
+void FloodSet::on_round(Round k, const Delivery& delivered) {
+  if (has_decided()) return;
+  for (const Envelope& env : delivered) {
+    // FloodSet only looks at current-round estimates; in SCS there is
+    // nothing else.  (When abused in ES, delayed estimates are stale
+    // information FloodSet was never designed to use — we keep its
+    // behaviour faithful and ignore them.)
+    if (env.send_round != k) continue;
+    if (const auto* m = env.as<FloodEstimateMessage>()) {
+      est_ = std::min(est_, m->est());
+    }
+  }
+  if (k >= decision_round_) {
+    decide(est_);
+    halt();
+  }
+}
+
+AlgorithmFactory floodset_factory() {
+  return make_algorithm_factory<FloodSet>();
+}
+
+}  // namespace indulgence

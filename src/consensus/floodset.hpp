@@ -1,0 +1,61 @@
+// FloodSet — the classical synchronous-model consensus algorithm
+// (Lynch [13], Sect. 6.2), the paper's reference point R4: in SCS it
+// globally decides at round t + 1 in EVERY run, and t + 1 rounds are
+// optimal in SCS.
+//
+// Each process floods the minimum proposal value it has seen for t + 1
+// rounds and decides on it.  Correctness rests on the existence of a clean
+// (crash-free) round among rounds 1..t+1, after which all live processes
+// hold the same minimum.
+//
+// The class is also used, deliberately, OUTSIDE its model: running FloodSet
+// in ES ("FloodSetES", decision still hard-wired to round t + 1) is one of
+// the "too fast" candidates the lower-bound experiments feed to the Sect. 2
+// adversary, which then exhibits an agreement violation — empirical
+// Proposition 1.
+
+#pragma once
+
+#include "consensus/consensus.hpp"
+
+namespace indulgence {
+
+/// FloodSet's round message: the sender's current estimate.
+class FloodEstimateMessage final : public Message {
+ public:
+  explicit FloodEstimateMessage(Value est) : est_(est) {}
+  Value est() const { return est_; }
+  std::string describe() const override {
+    return "FLOOD-EST(" + std::to_string(est_) + ")";
+  }
+
+ private:
+  Value est_;
+};
+
+class FloodSet : public ConsensusBase {
+ public:
+  /// `decision_round` defaults to t + 1; tests may stretch it.
+  FloodSet(ProcessId self, const SystemConfig& config, Round decision_round = 0)
+      : ConsensusBase(self, config),
+        decision_round_(decision_round > 0 ? decision_round : config.t + 1) {}
+
+  MessagePtr message_for_round(Round) override;
+  void on_round(Round k, const Delivery& delivered) override;
+
+  std::string name() const override { return "FloodSet"; }
+
+  Value estimate() const { return est_; }
+
+ protected:
+  void on_propose(Value v) override { est_ = v; }
+
+ private:
+  Round decision_round_;
+  Value est_ = 0;
+};
+
+/// Factory for FloodSet with the canonical t + 1 decision round.
+AlgorithmFactory floodset_factory();
+
+}  // namespace indulgence

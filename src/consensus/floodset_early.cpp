@@ -1,0 +1,53 @@
+#include "consensus/floodset_early.hpp"
+
+#include "consensus/floodset.hpp"
+
+#include <algorithm>
+
+namespace indulgence {
+
+MessagePtr FloodSetEarly::message_for_round(Round) {
+  if (announce_pending_) {
+    return std::make_shared<DecideMessage>(*decision());
+  }
+  return std::make_shared<FloodEstimateMessage>(est_);
+}
+
+void FloodSetEarly::on_round(Round k, const Delivery& delivered) {
+  if (announce_pending_) {
+    announce_pending_ = false;
+    halt();
+    return;
+  }
+  if (!has_decided()) {
+    if (auto d = find_decide_notice(delivered)) {
+      decide(*d);
+      announce_pending_ = true;
+      return;
+    }
+  }
+
+  ProcessSet heard;
+  for (const Envelope& env : delivered) {
+    if (env.send_round != k) continue;
+    if (const auto* m = env.as<FloodEstimateMessage>()) {
+      est_ = std::min(est_, m->est());
+      heard.insert(env.sender);
+    }
+  }
+
+  const bool stable_view = have_prev_ && heard == heard_prev_;
+  heard_prev_ = heard;
+  have_prev_ = true;
+
+  if (stable_view || k >= t() + 1) {
+    decide(est_);
+    announce_pending_ = true;
+  }
+}
+
+AlgorithmFactory floodset_early_factory() {
+  return make_algorithm_factory<FloodSetEarly>();
+}
+
+}  // namespace indulgence

@@ -1,0 +1,51 @@
+// Early-deciding uniform consensus in the synchronous model — the paper's
+// Sect. 6 reference point: "For f <= t-2, this lower bound also immediately
+// follows from the f+2 round lower bound on consensus in SCS [4, 11]."
+// The classical matching algorithm (in the style of Charron-Bost &
+// Schiper [4]) decides at round f + 2 in runs with f actual crashes:
+//
+//   * flood the minimum estimate as in FloodSet;
+//   * track heard(r), the set of processes whose round-r message arrived;
+//   * decide at the end of round r >= 2 iff heard(r) == heard(r-1) (no NEW
+//     failure was perceived: in SCS two consecutive identical views mean
+//     every value known to any process I can still hear had already
+//     reached me, so my minimum is final) — or at round t+1 regardless;
+//   * a decided process broadcasts DECIDE in the next round and returns;
+//     DECIDE notices are adopted on receipt.
+//
+// With f crashes at most f rounds can perceive a new failure, so some round
+// r <= f+1 has a stable view and decision happens by f + 2.  Uniform
+// agreement is machine-checked in the tests by exhaustive serial-run
+// enumeration (SyncRunExplorer) at small (n, t).
+
+#pragma once
+
+#include "consensus/consensus.hpp"
+
+namespace indulgence {
+
+class FloodSetEarly : public ConsensusBase {
+ public:
+  FloodSetEarly(ProcessId self, const SystemConfig& config)
+      : ConsensusBase(self, config) {}
+
+  MessagePtr message_for_round(Round k) override;
+  void on_round(Round k, const Delivery& delivered) override;
+
+  std::string name() const override { return "FloodSetEarly"; }
+
+  Value estimate() const { return est_; }
+
+ protected:
+  void on_propose(Value v) override { est_ = v; }
+
+ private:
+  Value est_ = 0;
+  ProcessSet heard_prev_;
+  bool have_prev_ = false;
+  bool announce_pending_ = false;
+};
+
+AlgorithmFactory floodset_early_factory();
+
+}  // namespace indulgence

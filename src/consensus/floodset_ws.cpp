@@ -1,0 +1,60 @@
+#include "consensus/floodset_ws.hpp"
+
+#include <algorithm>
+
+namespace indulgence {
+
+MessagePtr FloodSetWS::message_for_round(Round) {
+  if (has_decided()) return std::make_shared<DecideMessage>(*decision());
+  return std::make_shared<WsEstimateMessage>(est_, halt_);
+}
+
+void FloodSetWS::on_round(Round k, const Delivery& delivered) {
+  if (has_decided()) {
+    halt();
+    return;
+  }
+  if (auto d = find_decide_notice(delivered)) {
+    decide(*d);
+    halt();
+    return;
+  }
+
+  // Suspicion bookkeeping, exactly as in A_{t+2}'s compute().
+  ProcessSet heard;
+  for (const Envelope& env : delivered) {
+    if (env.send_round == k && env.as<WsEstimateMessage>() != nullptr) {
+      heard.insert(env.sender);
+    }
+  }
+  ProcessSet suspected_now = ProcessSet::all(n()) - heard;
+  suspected_now.erase(self());
+  halt_ |= suspected_now;
+  for (const Envelope& env : delivered) {
+    if (env.send_round != k) continue;
+    if (const auto* m = env.as<WsEstimateMessage>()) {
+      if (m->halt().contains(self())) halt_.insert(env.sender);
+    }
+  }
+
+  Value min_est = est_;
+  for (const Envelope& env : delivered) {
+    if (env.send_round != k || halt_.contains(env.sender)) continue;
+    if (const auto* m = env.as<WsEstimateMessage>()) {
+      min_est = std::min(min_est, m->est());
+    }
+  }
+  est_ = min_est;
+
+  // With perfect failure detection, t + 1 rounds of flooding suffice.
+  if (k == t() + 1) {
+    decide(est_);
+    halt();
+  }
+}
+
+AlgorithmFactory floodset_ws_factory() {
+  return make_algorithm_factory<FloodSetWS>();
+}
+
+}  // namespace indulgence

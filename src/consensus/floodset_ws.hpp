@@ -1,0 +1,62 @@
+// FloodSetWS — flooding "with suspicions", the P-based algorithm of
+// Charron-Bost, Guerraoui & Schiper [3] the paper says inspired A_{t+2}:
+// with PERFECT failure detection it globally decides at round t + 1 in
+// every run (footnote 8).
+//
+// RECONSTRUCTION NOTE: [3]'s pseudocode is not reprinted in the paper; we
+// implement the natural flooding-with-suspicion-exchange reading: processes
+// flood (est, Halt) exactly like A_{t+2}'s Phase 1 and decide on est at the
+// end of round t + 1.  Under perfect failure detection (every synchronous
+// run, where suspicion == crash) this is correct and t + 1-round fast.
+//
+// It is ALSO the canonical "too fast for ES" victim: transplanted into ES
+// unchanged, it still decides at round t + 1 in synchronous runs, so by
+// Proposition 1 some ES run must violate agreement — the lower-bound
+// experiments construct one.
+
+#pragma once
+
+#include "consensus/consensus.hpp"
+
+namespace indulgence {
+
+/// Same wire format as A_{t+2}'s Phase 1: (ESTIMATE, k, est, Halt).
+class WsEstimateMessage final : public Message {
+ public:
+  WsEstimateMessage(Value est, ProcessSet halt) : est_(est), halt_(halt) {}
+  Value est() const { return est_; }
+  const ProcessSet& halt() const { return halt_; }
+  std::string describe() const override {
+    return "WS-EST(est=" + std::to_string(est_) + ", halt=" +
+           halt_.to_string() + ")";
+  }
+
+ private:
+  Value est_;
+  ProcessSet halt_;
+};
+
+class FloodSetWS : public ConsensusBase {
+ public:
+  FloodSetWS(ProcessId self, const SystemConfig& config)
+      : ConsensusBase(self, config) {}
+
+  MessagePtr message_for_round(Round k) override;
+  void on_round(Round k, const Delivery& delivered) override;
+
+  std::string name() const override { return "FloodSetWS[P]"; }
+
+  Value estimate() const { return est_; }
+  const ProcessSet& halt_set() const { return halt_; }
+
+ protected:
+  void on_propose(Value v) override { est_ = v; }
+
+ private:
+  Value est_ = 0;
+  ProcessSet halt_;
+};
+
+AlgorithmFactory floodset_ws_factory();
+
+}  // namespace indulgence

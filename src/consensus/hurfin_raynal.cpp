@@ -1,0 +1,78 @@
+#include "consensus/hurfin_raynal.hpp"
+
+#include <stdexcept>
+
+namespace indulgence {
+
+HurfinRaynal::HurfinRaynal(ProcessId self, const SystemConfig& config)
+    : ConsensusBase(self, config) {
+  if (!config.majority_correct()) {
+    throw std::invalid_argument("HurfinRaynal requires t < n/2");
+  }
+}
+
+MessagePtr HurfinRaynal::message_for_round(Round k) {
+  if (announce_pending_) {
+    return std::make_shared<DecideMessage>(*decision());
+  }
+  if (is_coord_round(k)) {
+    if (coordinator_for_round(k) == self()) {
+      return std::make_shared<HrCoordMessage>(est_);
+    }
+    return std::make_shared<FillerMessage>();
+  }
+  return std::make_shared<HrVoteMessage>(aux_);
+}
+
+void HurfinRaynal::on_round(Round k, const Delivery& delivered) {
+  if (announce_pending_) {
+    announce_pending_ = false;
+    halt();
+    return;
+  }
+  if (!has_decided()) {
+    if (auto d = find_decide_notice(delivered)) {
+      decide(*d);
+      announce_pending_ = true;
+      return;
+    }
+  }
+
+  if (is_coord_round(k)) {
+    // aux := the coordinator's estimate if we heard it this round, else
+    // BOTTOM (receipt-simulated suspicion of the coordinator).
+    aux_ = kBottom;
+    const ProcessId coord = coordinator_for_round(k);
+    for (const Envelope& env : delivered) {
+      if (env.send_round != k || env.sender != coord) continue;
+      if (const auto* m = env.as<HrCoordMessage>()) aux_ = m->est();
+    }
+    return;
+  }
+
+  // VOTE round: decide on a unanimous non-BOTTOM quorum, adopt otherwise.
+  int votes = 0;
+  int value_votes = 0;
+  std::optional<Value> v;
+  for (const Envelope& env : delivered) {
+    if (env.send_round != k) continue;
+    if (const auto* m = env.as<HrVoteMessage>()) {
+      ++votes;
+      if (!m->is_bottom()) {
+        v = m->aux();  // all non-BOTTOM votes of an attempt are equal
+        ++value_votes;
+      }
+    }
+  }
+  if (v) est_ = *v;
+  if (votes >= n() - t() && value_votes == votes && v) {
+    decide(*v);
+    announce_pending_ = true;
+  }
+}
+
+AlgorithmFactory hurfin_raynal_factory() {
+  return make_algorithm_factory<HurfinRaynal>();
+}
+
+}  // namespace indulgence

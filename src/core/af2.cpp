@@ -1,0 +1,76 @@
+#include "core/af2.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace indulgence {
+
+Af2::Af2(ProcessId self, const SystemConfig& config)
+    : ConsensusBase(self, config) {
+  if (!config.third_correct()) {
+    throw std::invalid_argument("A_{f+2} requires t < n/3");
+  }
+}
+
+MessagePtr Af2::message_for_round(Round) {
+  if (announce_pending_) {
+    return std::make_shared<DecideMessage>(*decision());
+  }
+  return std::make_shared<Af2EstimateMessage>(est_);
+}
+
+void Af2::on_round(Round k, const Delivery& delivered) {
+  if (announce_pending_) {
+    announce_pending_ = false;
+    halt();
+    return;
+  }
+  // "pi first checks whether it has received any DECIDE message from round
+  // k or from a lower round, and if so, decides on the decision value
+  // received."  Delayed DECIDEs count, hence no send_round filter.
+  if (!has_decided()) {
+    if (auto d = find_decide_notice(delivered)) {
+      decide(*d);
+      announce_pending_ = true;
+      return;
+    }
+  }
+
+  // msgSet: the n - t current-round estimates with the lowest sender ids.
+  std::vector<std::pair<ProcessId, Value>> ests;
+  for (const Envelope& env : delivered) {
+    if (env.send_round != k) continue;
+    if (const auto* m = env.as<Af2EstimateMessage>()) {
+      ests.emplace_back(env.sender, m->est());
+    }
+  }
+  std::sort(ests.begin(), ests.end());
+  const int quorum = n() - t();
+  if (static_cast<int>(ests.size()) > quorum) ests.resize(quorum);
+  if (ests.empty()) return;
+
+  std::map<Value, int> histogram;
+  for (const auto& [sender, v] : ests) ++histogram[v];
+
+  if (static_cast<int>(histogram.size()) == 1 &&
+      static_cast<int>(ests.size()) >= quorum) {
+    decide(ests.front().second);
+    announce_pending_ = true;
+    return;
+  }
+  const int threshold = n() - 2 * t();
+  for (const auto& [v, count] : histogram) {
+    if (count >= threshold) {
+      // t < n/3 makes a >= n - 2t value unique within n - t votes.
+      est_ = v;
+      return;
+    }
+  }
+  est_ = histogram.begin()->first;  // minimum est in msgSet
+}
+
+AlgorithmFactory af2_factory() { return make_algorithm_factory<Af2>(); }
+
+}  // namespace indulgence

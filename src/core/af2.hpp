@@ -1,0 +1,61 @@
+// A_{f+2} — the paper's eventual-fast-decision algorithm (Fig. 5, Sect. 6),
+// for t < n/3.
+//
+// Property (Lemma 15, "fast eventual decision"): in every run that is
+// synchronous after round k with f crashes after round k (0 <= f <= t), the
+// run globally decides by round k + f + 2.  In particular a synchronous run
+// with f crashes decides by round f + 2 — A_{f+2} is early-deciding, unlike
+// A_{t+2}.  Termination in ES follows (Lemma 16): every run decides by
+// K + t + 2.
+//
+// One round of A_{f+2}, at process p_i (Fig. 5):
+//   * received a DECIDE message (this round or delayed)?  decide it;
+//   * msgSet := the n - t ESTIMATE messages of this round with the LOWEST
+//     sender ids (deterministic selection is what beats the leader-based
+//     AMR's two-round attempts);
+//   * all ests in msgSet equal?        -> decide that value;
+//   * some est occurs >= n - 2t times? -> adopt it (unique when t < n/3);
+//   * otherwise                        -> adopt the minimum est in msgSet.
+//
+// Deciders broadcast DECIDE in the next round and return.
+
+#pragma once
+
+#include "consensus/consensus.hpp"
+
+namespace indulgence {
+
+class Af2EstimateMessage final : public Message {
+ public:
+  explicit Af2EstimateMessage(Value est) : est_(est) {}
+  Value est() const { return est_; }
+  std::string describe() const override {
+    return "AF2-EST(" + std::to_string(est_) + ")";
+  }
+
+ private:
+  Value est_;
+};
+
+class Af2 : public ConsensusBase {
+ public:
+  Af2(ProcessId self, const SystemConfig& config);
+
+  MessagePtr message_for_round(Round k) override;
+  void on_round(Round k, const Delivery& delivered) override;
+
+  std::string name() const override { return "A_{f+2}"; }
+
+  Value estimate() const { return est_; }
+
+ protected:
+  void on_propose(Value v) override { est_ = v; }
+
+ private:
+  Value est_ = 0;
+  bool announce_pending_ = false;
+};
+
+AlgorithmFactory af2_factory();
+
+}  // namespace indulgence

@@ -1,0 +1,17 @@
+#include "core/at2_ds.hpp"
+
+namespace indulgence {
+
+AlgorithmFactory at2_ds_factory(AlgorithmFactory underlying_factory,
+                                FailureDetectorFactory detector_factory,
+                                At2Options options) {
+  return [underlying_factory = std::move(underlying_factory),
+          detector_factory = std::move(detector_factory),
+          options](ProcessId self, const SystemConfig& config)
+             -> std::unique_ptr<RoundAlgorithm> {
+    return std::make_unique<At2DS>(self, config, underlying_factory,
+                                   detector_factory, options);
+  };
+}
+
+}  // namespace indulgence

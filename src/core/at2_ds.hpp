@@ -1,0 +1,57 @@
+// A_<>S — A_{t+2} transposed to an asynchronous round-based model enriched
+// with an eventually strong failure detector (paper Fig. 3 and Sect. 5.1).
+//
+// The paper obtains A_<>S from A_{t+2} by (1) substituting the underlying
+// module C with any <>S-based consensus algorithm and (2) modifying the
+// wait conditions of lines 6 and 15 to "received >= n - t round-k messages
+// AND a message from every process not suspected by the local detector".
+// In the lock-step simulator the wait conditions are implicit; what changes
+// observable behaviour is the SOURCE of suspicions, which here is the
+// failure-detector module instead of raw message receipt.
+//
+// With the receipt-simulated detector of Sect. 4 the two algorithms behave
+// identically (that is the content of Sect. 4's simulation argument, and a
+// test asserts it).  With a scripted detector, A_<>S additionally tolerates
+// false suspicions that are not explainable by message timing — the
+// fast-decision property survives in synchronous runs because there the
+// detector makes no mistakes (Sect. 5.1: "this property is relevant only in
+// synchronous runs where the synchrony guarantees are much stronger").
+
+#pragma once
+
+#include "core/at2.hpp"
+#include "fd/failure_detector.hpp"
+
+namespace indulgence {
+
+class At2DS final : public At2 {
+ public:
+  At2DS(ProcessId self, const SystemConfig& config,
+        AlgorithmFactory underlying_factory,
+        const FailureDetectorFactory& detector_factory,
+        At2Options options = {})
+      : At2(self, config, std::move(underlying_factory), options),
+        detector_(detector_factory(self, config)) {}
+
+  std::string name() const override {
+    return "A_<>S[" + detector_->name() + "]";
+  }
+
+  const FailureDetector& detector() const { return *detector_; }
+
+ protected:
+  ProcessSet suspects_for_round(Round k, const ProcessSet& heard) override {
+    detector_->observe_round(k, heard);
+    return detector_->suspects();
+  }
+
+ private:
+  std::unique_ptr<FailureDetector> detector_;
+};
+
+/// A_<>S with the given detector; default is the Sect. 4 receipt simulation.
+AlgorithmFactory at2_ds_factory(AlgorithmFactory underlying_factory,
+                                FailureDetectorFactory detector_factory,
+                                At2Options options = {});
+
+}  // namespace indulgence

@@ -1,0 +1,19 @@
+#include "fd/failure_detector.hpp"
+
+namespace indulgence {
+
+FailureDetectorFactory receipt_detector_factory() {
+  return [](ProcessId self, const SystemConfig& config) {
+    return std::make_unique<SimulatedReceiptDetector>(self, config);
+  };
+}
+
+FailureDetectorFactory scripted_detector_factory(
+    std::map<Round, ProcessSet> extra) {
+  return [extra = std::move(extra)](ProcessId self,
+                                    const SystemConfig& config) {
+    return std::make_unique<ScriptedFailureDetector>(self, config, extra);
+  };
+}
+
+}  // namespace indulgence

@@ -1,0 +1,102 @@
+// Failure detectors for the round-based models.
+//
+// Sect. 4 of the paper shows how to simulate the unreliable failure
+// detectors <>P / <>S from ES: at the receive phase of round k, the
+// simulated output becomes exactly the set of processes from which no
+// round-k message was received in round k.  SimulatedReceiptDetector
+// implements that construction.
+//
+// ScriptedFailureDetector layers *additional* false suspicions on top (per
+// round, per process), which lets tests exercise the <>S-based algorithm
+// A_<>S under detector mistakes that are not explainable by message
+// timing alone.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+
+namespace indulgence {
+
+/// Local failure-detector module of one process.
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  /// Fed by the algorithm at the receive phase of round k with the set of
+  /// processes whose round-k message arrived in round k.
+  virtual void observe_round(Round k, const ProcessSet& heard) = 0;
+
+  /// Current suspect set (valid after observe_round(k) for round k).
+  virtual ProcessSet suspects() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's Sect. 4 simulation of <>P / <>S from ES: suspect exactly the
+/// processes not heard from in the latest round.  In a synchronous run this
+/// detector makes no false suspicion (it is "perfect"); before GST it may
+/// suspect slow processes, which is precisely the indulgence scenario.
+class SimulatedReceiptDetector final : public FailureDetector {
+ public:
+  SimulatedReceiptDetector(ProcessId self, const SystemConfig& config)
+      : self_(self), n_(config.n) {}
+
+  void observe_round(Round, const ProcessSet& heard) override {
+    suspects_ = ProcessSet::all(n_) - heard;
+    suspects_.erase(self_);  // a process never suspects itself
+  }
+
+  ProcessSet suspects() const override { return suspects_; }
+
+  std::string name() const override { return "receipt-simulated <>P"; }
+
+ private:
+  ProcessId self_;
+  int n_;
+  ProcessSet suspects_;
+};
+
+/// Receipt simulation plus scripted extra (false) suspicions: in round k the
+/// detector additionally suspects `extra[k]` even if those processes were
+/// heard from.  Used to stress A_<>S beyond what message timing can induce.
+class ScriptedFailureDetector final : public FailureDetector {
+ public:
+  ScriptedFailureDetector(ProcessId self, const SystemConfig& config,
+                          std::map<Round, ProcessSet> extra)
+      : self_(self), n_(config.n), extra_(std::move(extra)) {}
+
+  void observe_round(Round k, const ProcessSet& heard) override {
+    suspects_ = ProcessSet::all(n_) - heard;
+    if (auto it = extra_.find(k); it != extra_.end()) suspects_ |= it->second;
+    suspects_.erase(self_);
+  }
+
+  ProcessSet suspects() const override { return suspects_; }
+
+  std::string name() const override { return "scripted <>S"; }
+
+ private:
+  ProcessId self_;
+  int n_;
+  std::map<Round, ProcessSet> extra_;
+  ProcessSet suspects_;
+};
+
+/// Creates the detector module for one process.
+using FailureDetectorFactory = std::function<std::unique_ptr<FailureDetector>(
+    ProcessId self, const SystemConfig& config)>;
+
+/// Default factory: the Sect. 4 receipt simulation.
+FailureDetectorFactory receipt_detector_factory();
+
+/// Factory injecting the same scripted false suspicions at every process.
+FailureDetectorFactory scripted_detector_factory(
+    std::map<Round, ProcessSet> extra);
+
+}  // namespace indulgence

@@ -1,0 +1,2 @@
+// leader.hpp is header-only; this translation unit anchors the target.
+#include "fd/leader.hpp"

@@ -1,0 +1,36 @@
+// The eventual leader primitive of footnote 10.
+//
+// "(1) every process sends messages to all processes in every round, (2) pi
+// initially sets its variable leader to p1, and (3) on receiving messages of
+// a round k in ES, pi sets its variable leader to the process with the
+// minimum process id, among the senders of messages received by pi in round
+// k."
+//
+// After GST every process hears from exactly the live processes, so all
+// leader variables converge to the smallest live id: an Omega-style
+// eventual leader, used by the AMR leader-based baseline.
+
+#pragma once
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+
+namespace indulgence {
+
+class EventualLeader {
+ public:
+  /// Initially the leader is p1 (our process 0).
+  EventualLeader() = default;
+
+  /// Fed at the receive phase with the senders heard from this round.
+  void observe_round(const ProcessSet& heard) {
+    if (!heard.empty()) leader_ = heard.min();
+  }
+
+  ProcessId leader() const { return leader_; }
+
+ private:
+  ProcessId leader_ = 0;
+};
+
+}  // namespace indulgence

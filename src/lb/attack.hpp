@@ -1,0 +1,104 @@
+// Proposition 1 made executable.
+//
+// Two tools:
+//
+// 1. search_agreement_violation — a bounded exhaustive (or seeded random)
+//    search over serial ES adversaries (explorer.hpp actions, Delay
+//    included) hunting for a SINGLE run in which a candidate algorithm
+//    violates uniform agreement or validity.  Fed a "too fast" algorithm —
+//    one that globally decides by round t + 1 in synchronous runs — the
+//    search realizes the adversary Proposition 1 proves must exist.  Fed
+//    A_{t+2}, it comes back empty-handed (within its bounds), which is the
+//    tightness half of the story.
+//
+// 2. fig1_construction — the five concrete runs of the Claim 5.1 proof
+//    (s1, s0, a2, a1, a0; paper Fig. 1) as explicit schedules for a given
+//    (n, t, p'_1, p'_{i+1}), used by benches/examples to print the
+//    indistinguishability structure round by round.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lb/explorer.hpp"
+#include "sim/harness.hpp"
+
+namespace indulgence {
+
+struct AttackOptions {
+  /// Rounds in which the adversary may act (>= t + 1 to cover Phase 1 plus
+  /// the decision round of a t+1-fast algorithm).
+  Round action_rounds = 0;  ///< 0 means t + 2
+
+  /// Lateness of delayed messages.
+  Round delay_gap = 2;
+
+  /// Cap on complete runs examined.
+  long max_runs = 5'000'000;
+
+  /// Cap on simulated rounds per run (lets the underlying C finish).
+  Round max_rounds = 64;
+
+  /// Also try every proposal assignment from this list (empty: distinct
+  /// proposals only).
+  std::vector<std::vector<Value>> proposal_vectors;
+};
+
+struct AttackResult {
+  bool violation_found = false;
+  long runs_tried = 0;
+  std::string description;                  ///< which property broke and how
+  std::optional<RunSchedule> schedule;      ///< the violating adversary
+  std::vector<AdversaryAction> actions;     ///< same, as actions
+  std::optional<std::vector<Value>> proposals;
+  std::string trace_dump;                   ///< violating run, human-readable
+};
+
+/// What counts as a violation: examines a finished (model-valid) run and
+/// returns a description iff the property of interest is broken.
+using ViolationPredicate = std::function<std::optional<std::string>(
+    const RunResult&, const AlgorithmInstances&)>;
+
+/// Uniform agreement or validity broken (the consensus-safety predicate).
+std::optional<std::string> agreement_or_validity_violation(
+    const RunResult& result, const AlgorithmInstances& instances);
+
+/// Lemma 6 broken: two distinct non-BOTTOM new estimates at round t+2
+/// (requires the algorithm instances to be A_{t+2} variants).
+std::optional<std::string> elimination_violation(
+    const RunResult& result, const AlgorithmInstances& instances);
+
+/// Exhaustive bounded search for an ES run on which `violated` reports a
+/// violation.  Every examined run is first checked against the model
+/// validator; invalid runs (impossible by construction) are skipped, so a
+/// reported violation is always a genuine ES counterexample.
+AttackResult search_violation(SystemConfig config,
+                              const AlgorithmFactory& factory,
+                              AttackOptions options,
+                              const ViolationPredicate& violated);
+
+/// search_violation with the consensus-safety predicate.
+AttackResult search_agreement_violation(SystemConfig config,
+                                        const AlgorithmFactory& factory,
+                                        AttackOptions options = {});
+
+/// The five runs of the paper's Claim 5.1 construction, parameterized on the
+/// two pivotal processes.  `serial_prefix_victims[i]` crashes in round i+1
+/// (the bivalent serial prefix r_{t-1}); round t is the pivotal round of
+/// p1_prime; rounds t+1.. play out per the construction of each run.
+struct Fig1Runs {
+  RunSchedule s1;  ///< serial: p'_1 crashes in round t, 1-valent side
+  RunSchedule s0;  ///< serial: p'_1 crashes in round t, 0-valent side
+  RunSchedule a2;  ///< async: p'_1 falsely suspected, p'_{i+1} dies at t+1
+  RunSchedule a1;  ///< async: p'_{i+1} falsely suspected at t+1, dies at t+2
+  RunSchedule a0;  ///< async twin of a1 grown from the s0 side
+};
+
+Fig1Runs fig1_construction(SystemConfig config,
+                           const std::vector<ProcessId>& serial_prefix_victims,
+                           ProcessId p1_prime, ProcessId pi1_prime,
+                           Round decision_horizon);
+
+}  // namespace indulgence

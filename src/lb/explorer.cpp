@@ -1,0 +1,249 @@
+#include "lb/explorer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace indulgence {
+
+std::string AdversaryAction::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::NoOp:
+      os << "noop";
+      break;
+    case Kind::Crash:
+      os << "crash(p" << victim << ", delivered="
+         << ProcessSet::from_mask(mask).to_string() << ")";
+      break;
+    case Kind::Delay:
+      os << "delay(p" << victim << ", late-to="
+         << ProcessSet::from_mask(mask).to_string() << ", +" << delay << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::vector<AdversaryAction> enumerate_actions(const SystemConfig& config,
+                                               const ProcessSet& alive,
+                                               int crashes_so_far,
+                                               bool allow_delays,
+                                               Round delay_gap) {
+  std::vector<AdversaryAction> actions;
+  actions.push_back({});  // NoOp
+
+  // A new failing sender this round is admissible only if receivers still
+  // see >= n - t current-round messages: crashed-so-far + 1 <= t.
+  if (crashes_so_far + 1 > config.t) return actions;
+
+  for (ProcessId v : alive) {
+    ProcessSet others = alive;
+    others.erase(v);
+    const std::uint64_t others_mask = others.mask();
+    // Crash: every subset of the other live processes may receive the final
+    // message (iterate subsets of others_mask).
+    std::uint64_t sub = others_mask;
+    for (;;) {
+      actions.push_back(
+          {AdversaryAction::Kind::Crash, v, sub, 0});
+      if (sub == 0) break;
+      sub = (sub - 1) & others_mask;
+    }
+    if (allow_delays) {
+      // Delay: a NONEMPTY subset of the others gets v's message late.  (The
+      // empty subset is NoOp; the receivers in the subset falsely suspect
+      // v this round.)
+      sub = others_mask;
+      while (sub != 0) {
+        actions.push_back({AdversaryAction::Kind::Delay, v, sub, delay_gap});
+        sub = (sub - 1) & others_mask;
+      }
+    }
+  }
+  return actions;
+}
+
+RunSchedule schedule_from_actions(
+    const SystemConfig& config, const std::vector<AdversaryAction>& actions) {
+  ScheduleBuilder b(config);
+  Round gst = 1;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const Round round = static_cast<Round>(i) + 1;
+    const AdversaryAction& a = actions[i];
+    switch (a.kind) {
+      case AdversaryAction::Kind::NoOp:
+        break;
+      case AdversaryAction::Kind::Crash: {
+        const ProcessSet delivered = ProcessSet::from_mask(a.mask);
+        if (delivered.empty()) {
+          b.crash(a.victim, round, /*before_send=*/true);
+        } else {
+          b.crash(a.victim, round);
+          ProcessSet lost = ProcessSet::all(config.n) - delivered;
+          lost.erase(a.victim);
+          b.losing_to(a.victim, round, lost);
+        }
+        break;
+      }
+      case AdversaryAction::Kind::Delay: {
+        b.delaying_to(a.victim, round, ProcessSet::from_mask(a.mask),
+                      round + a.delay);
+        gst = std::max(gst, round + a.delay);
+        break;
+      }
+    }
+  }
+  b.gst(gst);
+  return b.build();
+}
+
+long for_each_action_sequence(
+    const SystemConfig& config, Round rounds, bool allow_delays,
+    Round delay_gap,
+    const std::function<bool(const std::vector<AdversaryAction>&)>& visit) {
+  config.validate();
+  long visited = 0;
+  std::vector<AdversaryAction> actions;
+  bool keep_going = true;
+
+  // Depth-first over rounds; alive/crash state threaded through recursion.
+  std::function<void(Round, ProcessSet, int)> recurse =
+      [&](Round depth, ProcessSet alive, int crashes) {
+        if (!keep_going) return;
+        if (depth == rounds) {
+          ++visited;
+          if (!visit(actions)) keep_going = false;
+          return;
+        }
+        for (const AdversaryAction& a : enumerate_actions(
+                 config, alive, crashes, allow_delays, delay_gap)) {
+          actions.push_back(a);
+          if (a.kind == AdversaryAction::Kind::Crash) {
+            ProcessSet next_alive = alive;
+            next_alive.erase(a.victim);
+            recurse(depth + 1, next_alive, crashes + 1);
+          } else {
+            recurse(depth + 1, alive, crashes);
+          }
+          actions.pop_back();
+          if (!keep_going) return;
+        }
+      };
+  recurse(0, ProcessSet::all(config.n), 0);
+  return visited;
+}
+
+WorstCaseResult worst_case_over_deliveries(
+    SystemConfig config, const AlgorithmFactory& factory,
+    const std::vector<Value>& proposals, const std::vector<CrashSlot>& slots,
+    long exhaustive_limit, long samples, std::uint64_t seed,
+    Round max_rounds) {
+  config.validate();
+  if (static_cast<int>(slots.size()) > config.t) {
+    throw std::invalid_argument("worst_case_over_deliveries: > t crashes");
+  }
+
+  KernelOptions options;
+  options.model = Model::ES;
+  options.max_rounds = max_rounds;
+
+  // Delivery pattern per slot: a mask over the other n-1 processes.
+  const int bits_per_slot = config.n - 1;
+  const int total_bits = bits_per_slot * static_cast<int>(slots.size());
+  const bool exhaustive =
+      total_bits < 63 && (1LL << total_bits) <= exhaustive_limit;
+
+  WorstCaseResult result;
+
+  auto evaluate = [&](std::uint64_t packed) {
+    ScheduleBuilder b(config);
+    std::uint64_t cursor = packed;
+    for (const CrashSlot& slot : slots) {
+      ProcessSet delivered;
+      int bit = 0;
+      for (ProcessId pid = 0; pid < config.n; ++pid) {
+        if (pid == slot.victim) continue;
+        if ((cursor >> bit) & 1u) delivered.insert(pid);
+        ++bit;
+      }
+      cursor >>= bits_per_slot;
+      if (delivered.empty()) {
+        b.crash(slot.victim, slot.round, /*before_send=*/true);
+      } else {
+        b.crash(slot.victim, slot.round);
+        ProcessSet lost = ProcessSet::all(config.n) - delivered;
+        lost.erase(slot.victim);
+        b.losing_to(slot.victim, slot.round, lost);
+      }
+    }
+    const RunSchedule schedule = b.build();
+    RunResult r = run_and_check(config, options, factory, proposals, schedule);
+    ++result.runs;
+    if (!r.ok()) {
+      result.all_ok = false;
+      return;
+    }
+    if (*r.global_decision_round > result.worst_decision_round) {
+      result.worst_decision_round = *r.global_decision_round;
+      result.schedule = schedule;
+    }
+  };
+
+  if (exhaustive) {
+    const std::uint64_t limit = std::uint64_t{1} << total_bits;
+    for (std::uint64_t packed = 0; packed < limit; ++packed) evaluate(packed);
+  } else {
+    Rng rng(seed);
+    for (long i = 0; i < samples; ++i) {
+      std::uint64_t packed = rng.next_u64();
+      if (total_bits < 64) packed &= (std::uint64_t{1} << total_bits) - 1;
+      evaluate(packed);
+    }
+  }
+  return result;
+}
+
+SyncRunExplorer::SyncRunExplorer(SystemConfig config, AlgorithmFactory factory,
+                                 std::vector<Value> proposals)
+    : config_(config),
+      factory_(std::move(factory)),
+      proposals_(std::move(proposals)) {
+  config_.validate();
+}
+
+SyncRunExplorer::Stats SyncRunExplorer::explore(Round action_rounds,
+                                                Round max_rounds) {
+  Stats stats;
+  stats.min_decision_round = max_rounds + 1;
+  KernelOptions options;
+  options.model = Model::ES;
+  options.max_rounds = max_rounds;
+
+  for_each_action_sequence(
+      config_, action_rounds, /*allow_delays=*/false, /*delay_gap=*/0,
+      [&](const std::vector<AdversaryAction>& actions) {
+        const RunSchedule schedule = schedule_from_actions(config_, actions);
+        RunResult r =
+            run_and_check(config_, options, factory_, proposals_, schedule);
+        ++stats.runs;
+        stats.all_valid &= r.validation.ok();
+        stats.all_agreement &= r.agreement;
+        stats.all_validity &= r.validity;
+        stats.all_terminated &= r.termination;
+        if (r.global_decision_round) {
+          if (*r.global_decision_round > stats.max_decision_round) {
+            stats.max_decision_round = *r.global_decision_round;
+            stats.worst_schedule = schedule;
+          }
+          stats.min_decision_round =
+              std::min(stats.min_decision_round, *r.global_decision_round);
+        }
+        for (const DecisionRecord& d : r.trace.decisions()) {
+          stats.decision_values.insert(d.value);
+        }
+        return true;
+      });
+  return stats;
+}
+
+}  // namespace indulgence

@@ -1,0 +1,119 @@
+#include "lb/valency.hpp"
+
+#include <stdexcept>
+
+namespace indulgence {
+
+namespace {
+
+/// Crash count / liveness state implied by an action prefix.
+struct PrefixState {
+  ProcessSet alive;
+  int crashes = 0;
+};
+
+PrefixState state_after(const SystemConfig& config,
+                        const std::vector<AdversaryAction>& prefix) {
+  PrefixState s{ProcessSet::all(config.n), 0};
+  for (const AdversaryAction& a : prefix) {
+    if (a.kind == AdversaryAction::Kind::Crash) {
+      s.alive.erase(a.victim);
+      ++s.crashes;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+ValencyAnalyzer::ValencyAnalyzer(SystemConfig config, AlgorithmFactory factory,
+                                 Round extension_rounds, Round max_rounds)
+    : config_(config),
+      factory_(std::move(factory)),
+      extension_rounds_(extension_rounds),
+      max_rounds_(max_rounds) {
+  config_.validate();
+}
+
+std::set<Value> ValencyAnalyzer::valency(
+    const std::vector<Value>& proposals,
+    const std::vector<AdversaryAction>& prefix) {
+  std::set<Value> values;
+  last_all_terminated_ = true;
+
+  KernelOptions options;
+  options.model = Model::ES;
+  options.max_rounds = max_rounds_;
+
+  // Enumerate serial continuations for `extension_rounds_` further rounds;
+  // all later rounds are crash-free, so every decision pattern reachable by
+  // a serial extension within the horizon is covered.
+  std::vector<AdversaryAction> actions = prefix;
+  const PrefixState base = state_after(config_, prefix);
+
+  std::function<void(Round, ProcessSet, int)> recurse =
+      [&](Round depth, ProcessSet alive, int crashes) {
+        if (depth == extension_rounds_) {
+          const RunSchedule schedule =
+              schedule_from_actions(config_, actions);
+          RunResult r = run_and_check(config_, options, factory_, proposals,
+                                      schedule);
+          if (!r.termination) {
+            last_all_terminated_ = false;
+            return;
+          }
+          if (!r.trace.decisions().empty()) {
+            values.insert(r.trace.decisions().front().value);
+          }
+          return;
+        }
+        for (const AdversaryAction& a :
+             enumerate_actions(config_, alive, crashes,
+                               /*allow_delays=*/false, /*delay_gap=*/0)) {
+          actions.push_back(a);
+          if (a.kind == AdversaryAction::Kind::Crash) {
+            ProcessSet next_alive = alive;
+            next_alive.erase(a.victim);
+            recurse(depth + 1, next_alive, crashes + 1);
+          } else {
+            recurse(depth + 1, alive, crashes);
+          }
+          actions.pop_back();
+        }
+      };
+  recurse(0, base.alive, base.crashes);
+  return values;
+}
+
+ValencyAnalyzer::Profile ValencyAnalyzer::profile(
+    const std::vector<Value>& proposals, Round max_prefix_len) {
+  Profile p;
+  p.prefixes_checked.assign(max_prefix_len + 1, 0);
+  p.bivalent_prefixes.assign(max_prefix_len + 1, 0);
+
+  for (Round len = 0; len <= max_prefix_len; ++len) {
+    for_each_action_sequence(
+        config_, len, /*allow_delays=*/false, /*delay_gap=*/0,
+        [&](const std::vector<AdversaryAction>& prefix) {
+          ++p.prefixes_checked[len];
+          const std::set<Value> v = valency(proposals, prefix);
+          if (!last_all_terminated_) p.all_terminated = false;
+          if (v.size() >= 2) ++p.bivalent_prefixes[len];
+          return true;
+        });
+  }
+  return p;
+}
+
+int ValencyAnalyzer::count_bivalent_binary_initial_configs() {
+  int bivalent = 0;
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << config_.n);
+       ++bits) {
+    std::vector<Value> proposals(config_.n);
+    for (int i = 0; i < config_.n; ++i) proposals[i] = (bits >> i) & 1;
+    if (valency(proposals, {}).size() >= 2) ++bivalent;
+  }
+  return bivalent;
+}
+
+}  // namespace indulgence

@@ -1,0 +1,164 @@
+#include "rsm/rsm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace indulgence {
+
+std::string RsmBundleMessage::describe() const {
+  std::ostringstream os;
+  os << "RSM{";
+  bool first = true;
+  for (const auto& [slot, part] : parts_) {
+    if (!first) os << ", ";
+    os << "s" << slot << ":" << part->describe();
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+RsmReplica::RsmReplica(ProcessId self, const SystemConfig& config,
+                       AlgorithmFactory slot_factory,
+                       std::vector<Value> commands, RsmOptions options)
+    : slot_factory_(std::move(slot_factory)),
+      queue_(std::move(commands)),
+      options_(options),
+      self_(self),
+      config_(config) {
+  config_.validate();
+  if (options_.num_slots < 1) {
+    throw std::invalid_argument("RsmReplica: need at least one slot");
+  }
+  window_ = options_.slot_window > 0 ? options_.slot_window : config.t + 3;
+  slots_.resize(options_.num_slots);
+  proposed_.resize(options_.num_slots);
+  log_.resize(options_.num_slots);
+  commit_rounds_.assign(options_.num_slots, 0);
+  for (Value v : queue_) {
+    if (v == kBottom || v == kNoOpCommand) {
+      throw std::invalid_argument("RsmReplica: reserved command value");
+    }
+  }
+}
+
+void RsmReplica::propose(Value v) {
+  if (v == kNoOpCommand) return;  // reserved; kernel proposals may skip it
+  queue_.insert(queue_.begin(), v);
+}
+
+int RsmReplica::last_started_slot(Round k) const {
+  const int by_round = static_cast<int>((k - 1) / window_);
+  return std::min(by_round, options_.num_slots - 1);
+}
+
+Value RsmReplica::next_command() {
+  for (Value v : queue_) {
+    if (!committed_values_.count(v) && !inflight_.count(v)) return v;
+  }
+  return kNoOpCommand;
+}
+
+void RsmReplica::start_slot(int slot) {
+  if (slots_[slot]) return;
+  const Value cmd = next_command();
+  proposed_[slot] = cmd;
+  if (cmd != kNoOpCommand) inflight_.insert(cmd);
+  slots_[slot] = slot_factory_(self_, config_);
+  // Consensus proposals must be comparable and non-reserved; no-ops are
+  // encoded as a large sentinel that any proposal set tolerates.
+  slots_[slot]->propose(cmd == kNoOpCommand
+                            ? std::numeric_limits<Value>::max() - self_
+                            : cmd);
+}
+
+void RsmReplica::record_commit(int slot, Value v, Round round) {
+  if (log_[slot]) return;
+  log_[slot] = v;
+  commit_rounds_[slot] = round;
+  committed_values_.insert(v);
+  // If our proposal lost this slot, put the command back in the pool.
+  if (proposed_[slot] && *proposed_[slot] != kNoOpCommand &&
+      *proposed_[slot] != v) {
+    inflight_.erase(*proposed_[slot]);
+  }
+}
+
+MessagePtr RsmReplica::message_for_round(Round k) {
+  std::map<int, MessagePtr> parts;
+  const int last = last_started_slot(k);
+  for (int slot = 0; slot <= last; ++slot) {
+    if (log_[slot]) {
+      // Keep broadcasting the outcome so every replica catches up.
+      parts[slot] = std::make_shared<DecideMessage>(*log_[slot]);
+      continue;
+    }
+    start_slot(slot);
+    if (slots_[slot]->halted()) {
+      parts[slot] = std::make_shared<DecideMessage>(*slots_[slot]->decision());
+      continue;
+    }
+    parts[slot] = slots_[slot]->message_for_round(k - slot_start(slot) + 1);
+  }
+  return std::make_shared<RsmBundleMessage>(std::move(parts));
+}
+
+void RsmReplica::on_round(Round k, const Delivery& delivered) {
+  const int last = last_started_slot(k);
+  for (int slot = 0; slot <= last; ++slot) {
+    const Round inner_round = k - slot_start(slot) + 1;
+    if (inner_round < 1) continue;
+
+    // Project the bundle envelopes onto this slot.
+    Delivery inner;
+    for (const Envelope& env : delivered) {
+      const auto* bundle = env.as<RsmBundleMessage>();
+      if (!bundle) continue;
+      const MessagePtr* part = bundle->part(slot);
+      if (!part) continue;
+      const Round inner_send = env.send_round - slot_start(slot) + 1;
+      if (inner_send >= 1) {
+        inner.push_back(Envelope{env.sender, inner_send, *part});
+      }
+    }
+
+    if (log_[slot]) continue;  // already committed here
+
+    // A DECIDE notice settles the slot even if our instance lags.
+    if (auto d = find_decide_notice(inner)) {
+      record_commit(slot, *d, k);
+      continue;
+    }
+    start_slot(slot);
+    if (slots_[slot]->halted()) continue;
+    slots_[slot]->on_round(inner_round, inner);
+    if (auto d = slots_[slot]->decision()) record_commit(slot, *d, k);
+  }
+}
+
+int RsmReplica::committed_prefix() const {
+  int prefix = 0;
+  while (prefix < options_.num_slots && log_[prefix]) ++prefix;
+  return prefix;
+}
+
+bool RsmReplica::all_slots_committed() const {
+  return committed_prefix() == options_.num_slots;
+}
+
+AlgorithmFactory rsm_factory(
+    AlgorithmFactory slot_factory,
+    std::function<std::vector<Value>(ProcessId)> commands_for,
+    RsmOptions options) {
+  return [slot_factory = std::move(slot_factory),
+          commands_for = std::move(commands_for),
+          options](ProcessId self, const SystemConfig& config)
+             -> std::unique_ptr<RoundAlgorithm> {
+    return std::make_unique<RsmReplica>(self, config, slot_factory,
+                                        commands_for(self), options);
+  };
+}
+
+}  // namespace indulgence

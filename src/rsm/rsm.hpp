@@ -1,0 +1,131 @@
+// A replicated state machine on top of the consensus API — the downstream
+// system the paper's introduction motivates ("in many real systems, most
+// runs are actually synchronous"): replicas agree on a log of commands, one
+// consensus instance (slot) per log position.
+//
+// Design:
+//   * Slot s is an independent consensus instance whose round 1 is global
+//     round s * window + 1.  Because every replica derives slot rounds from
+//     the global round number, the per-slot lock-step alignment that
+//     round-based algorithms require is preserved, and slots PIPELINE: with
+//     window = 1 and the failure-free-optimized A_{t+2}, a synchronous
+//     failure-free run commits one command per round after a 2-round
+//     warm-up.
+//   * Each round a replica broadcasts a bundle holding one part per active
+//     slot: the slot algorithm's message, or a DECIDE notice once the
+//     replica knows the slot's outcome (so slow replicas always catch up).
+//   * Command selection: every replica keeps a client-command queue; for a
+//     new slot it proposes its first command that is neither committed nor
+//     in flight; a command that loses its slot returns to the pool and is
+//     re-proposed later.  When the queue is empty the replica proposes
+//     kNoOpCommand.
+//
+// The RSM never "decides" in the single-shot sense — drive the kernel with
+// stop_on_global_decision = false and query logs afterwards.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+
+namespace indulgence {
+
+/// Committed when a replica had nothing to propose.
+inline constexpr Value kNoOpCommand = -1;
+
+struct RsmOptions {
+  int num_slots = 8;     ///< how many log positions to run
+  Round slot_window = 0; ///< rounds between slot starts; 0 means t + 3
+                         ///< (A_{t+2}'s synchronous worst case, no overlap)
+};
+
+/// The per-round bundle: one part per active slot.
+class RsmBundleMessage final : public Message {
+ public:
+  explicit RsmBundleMessage(std::map<int, MessagePtr> parts)
+      : parts_(std::move(parts)) {}
+
+  const std::map<int, MessagePtr>& parts() const { return parts_; }
+
+  const MessagePtr* part(int slot) const {
+    auto it = parts_.find(slot);
+    return it == parts_.end() ? nullptr : &it->second;
+  }
+
+  std::string describe() const override;
+
+ private:
+  std::map<int, MessagePtr> parts_;
+};
+
+class RsmReplica : public RoundAlgorithm {
+ public:
+  /// `slot_factory` builds the consensus algorithm used per slot (e.g.
+  /// at2_factory(...)); `commands` is this replica's client queue.
+  RsmReplica(ProcessId self, const SystemConfig& config,
+             AlgorithmFactory slot_factory, std::vector<Value> commands,
+             RsmOptions options = {});
+
+  // --- RoundAlgorithm ------------------------------------------------------
+
+  /// The kernel-supplied proposal becomes the front of the command queue.
+  void propose(Value v) override;
+
+  MessagePtr message_for_round(Round k) override;
+  void on_round(Round k, const Delivery& delivered) override;
+
+  /// An RSM runs for as long as the kernel drives it.
+  std::optional<Value> decision() const override { return std::nullopt; }
+  bool halted() const override { return false; }
+  std::string name() const override { return "RSM"; }
+
+  // --- log access ----------------------------------------------------------
+
+  /// log()[s] holds slot s's committed command once known to this replica.
+  const std::vector<std::optional<Value>>& log() const { return log_; }
+
+  /// Number of leading slots committed at this replica.
+  int committed_prefix() const;
+
+  bool all_slots_committed() const;
+
+  /// Round at which this replica learned slot s (0 if not yet).
+  Round commit_round(int slot) const { return commit_rounds_[slot]; }
+
+ private:
+  Round slot_start(int slot) const {
+    return static_cast<Round>(slot) * window_ + 1;
+  }
+  int last_started_slot(Round k) const;
+  void start_slot(int slot);
+  Value next_command();
+  void record_commit(int slot, Value v, Round round);
+
+  AlgorithmFactory slot_factory_;
+  std::vector<Value> queue_;
+  RsmOptions options_;
+  Round window_ = 1;
+
+  std::vector<std::unique_ptr<RoundAlgorithm>> slots_;  ///< index = slot
+  std::vector<std::optional<Value>> proposed_;          ///< ours, per slot
+  std::vector<std::optional<Value>> log_;
+  std::vector<Round> commit_rounds_;
+  std::set<Value> committed_values_;
+  std::set<Value> inflight_;
+
+  ProcessId self_;
+  SystemConfig config_;
+};
+
+/// Factory: every replica gets the same slot algorithm and options but its
+/// own command queue (commands_for(replica)).
+AlgorithmFactory rsm_factory(AlgorithmFactory slot_factory,
+                             std::function<std::vector<Value>(ProcessId)>
+                                 commands_for,
+                             RsmOptions options = {});
+
+}  // namespace indulgence

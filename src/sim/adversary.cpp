@@ -1,0 +1,128 @@
+#include "sim/adversary.hpp"
+
+#include <vector>
+
+namespace indulgence {
+
+namespace {
+
+/// Picks a uniformly random member of a non-empty set.
+ProcessId random_member(Rng& rng, const ProcessSet& set) {
+  const int idx = static_cast<int>(rng.next_below(set.size()));
+  int i = 0;
+  for (ProcessId pid : set) {
+    if (i++ == idx) return pid;
+  }
+  return set.min();  // unreachable
+}
+
+}  // namespace
+
+RandomEsAdversary::RandomEsAdversary(SystemConfig config,
+                                     RandomEsOptions options,
+                                     std::uint64_t seed)
+    : config_(config), options_(options), rng_(seed) {
+  config_.validate();
+  crash_budget_ =
+      options_.max_crashes < 0 ? config_.t : options_.max_crashes;
+  if (crash_budget_ > config_.t) crash_budget_ = config_.t;
+  if (options_.gst < 1) options_.gst = 1;
+}
+
+RoundPlan RandomEsAdversary::plan_round(Round k) {
+  RoundPlan plan;
+  const ProcessSet all = ProcessSet::all(config_.n);
+
+  // 1. Possibly crash one process this round.
+  ProcessSet crashing_now;
+  if (crash_budget_ > 0 && rng_.next_double() < options_.crash_prob) {
+    const ProcessSet alive = all - crashed_;
+    if (!alive.empty()) {
+      const ProcessId victim = random_member(rng_, alive);
+      const bool before_send = rng_.next_double() < options_.before_send_prob;
+      plan.add_crash({victim, before_send});
+      crashing_now.insert(victim);
+      crashed_.insert(victim);
+      --crash_budget_;
+    }
+  }
+
+  const bool synchronous = k >= options_.gst;
+
+  // 2. Pre-GST: choose a laggard set among live processes.  The union of
+  //    (already crashed + crashing now + laggards) must stay within t so that
+  //    every receiver still gets >= n - t current-round messages.
+  ProcessSet laggards;
+  if (!synchronous) {
+    int slots = config_.t - crashed_.size();
+    ProcessSet candidates = all - crashed_;
+    while (slots > 0 && !candidates.empty() &&
+           rng_.next_double() < options_.laggard_prob) {
+      const ProcessId lag = random_member(rng_, candidates);
+      laggards.insert(lag);
+      candidates.erase(lag);
+      --slots;
+    }
+  }
+
+  // 3. Fates.  Laggards' messages may be delayed per receiver; crash-round
+  //    messages may be lost or delayed; everything else is delivered.
+  for (ProcessId sender : laggards) {
+    for (ProcessId receiver : all) {
+      if (receiver == sender) continue;
+      if (rng_.next_double() < options_.delay_prob) {
+        const Round arrival = k + 1 + rng_.next_int(0, options_.max_delay - 1);
+        plan.set_fate(sender, receiver, Fate::delay_to(arrival));
+      }
+    }
+  }
+  for (ProcessId sender : crashing_now) {
+    if (plan.crashes_before_send(sender)) continue;  // nothing was sent
+    for (ProcessId receiver : all) {
+      if (receiver == sender) continue;
+      if (rng_.next_double() < options_.crash_loss_prob) {
+        plan.set_fate(sender, receiver, Fate::lose());
+      } else if (options_.allow_crash_delay && rng_.next_double() < 0.5) {
+        const Round arrival = k + 1 + rng_.next_int(0, options_.max_delay - 1);
+        plan.set_fate(sender, receiver, Fate::delay_to(arrival));
+      }
+    }
+  }
+  return plan;
+}
+
+RandomScsAdversary::RandomScsAdversary(SystemConfig config,
+                                       RandomScsOptions options,
+                                       std::uint64_t seed)
+    : config_(config), options_(options), rng_(seed) {
+  config_.validate();
+  crash_budget_ =
+      options_.max_crashes < 0 ? config_.t : options_.max_crashes;
+  if (crash_budget_ > config_.t) crash_budget_ = config_.t;
+}
+
+RoundPlan RandomScsAdversary::plan_round(Round) {
+  RoundPlan plan;
+  const ProcessSet all = ProcessSet::all(config_.n);
+  if (crash_budget_ > 0 && rng_.next_double() < options_.crash_prob) {
+    const ProcessSet alive = all - crashed_;
+    if (!alive.empty()) {
+      const ProcessId victim = random_member(rng_, alive);
+      const bool before_send = rng_.next_double() < options_.before_send_prob;
+      plan.add_crash({victim, before_send});
+      crashed_.insert(victim);
+      --crash_budget_;
+      if (!before_send) {
+        for (ProcessId receiver : all) {
+          if (receiver == victim) continue;
+          if (rng_.next_double() < options_.crash_loss_prob) {
+            plan.set_fate(victim, receiver, Fate::lose());
+          }
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace indulgence

@@ -1,0 +1,126 @@
+// Adversaries: the source of crashes, message losses, and delays in a run.
+//
+// The kernel pulls a RoundPlan from the adversary at the start of each round
+// and executes it mechanically.  Three families are provided:
+//
+//   * ScheduleAdversary  — replays an explicit RunSchedule (hand-crafted
+//     scenarios, lower-bound constructions, explorer-enumerated runs);
+//   * RandomEsAdversary  — seeded random ES adversary that respects the
+//     model's constraints *by construction*: before its GST round it may
+//     delay messages from a bounded "laggard" set and inject crashes, after
+//     GST it only exercises the synchronous crash semantics;
+//   * RandomScsAdversary — seeded random SCS adversary (crashes plus
+//     crash-round message loss, no delays).
+//
+// Every generated plan is also recordable as a RunSchedule so runs replay
+// bit-for-bit.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/schedule.hpp"
+
+namespace indulgence {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// The eventual-synchrony round K of the run being generated (K = 1 means
+  /// the run is synchronous).  Must be stable across the run.
+  virtual Round gst() const = 0;
+
+  /// The adversary's choices for round k.  Called exactly once per round,
+  /// in increasing round order.
+  virtual RoundPlan plan_round(Round k) = 0;
+};
+
+/// Replays an explicit schedule.
+class ScheduleAdversary final : public Adversary {
+ public:
+  explicit ScheduleAdversary(RunSchedule schedule)
+      : schedule_(std::move(schedule)) {}
+
+  Round gst() const override { return schedule_.gst(); }
+  RoundPlan plan_round(Round k) override { return schedule_.plan(k); }
+
+  const RunSchedule& schedule() const { return schedule_; }
+
+ private:
+  RunSchedule schedule_;
+};
+
+/// Tuning knobs for the random ES adversary.
+struct RandomEsOptions {
+  Round gst = 1;              ///< eventual synchrony from this round on
+  int max_crashes = -1;       ///< -1 means "use config.t"
+  double crash_prob = 0.15;   ///< per-round probability of injecting a crash
+  double before_send_prob = 0.5;  ///< a crash happens before the send phase
+  double laggard_prob = 0.5;  ///< pre-GST: probability a laggard slot is used
+  double delay_prob = 0.6;    ///< pre-GST: probability a laggard's message to
+                              ///< a given receiver is delayed
+  int max_delay = 4;          ///< delayed messages arrive within this many
+                              ///< rounds of being sent
+  double crash_loss_prob = 0.5;  ///< a crash-round message is lost
+  bool allow_crash_delay = true; ///< crash-round messages may be delayed
+                                 ///< (footnotes 2/5) instead of lost
+};
+
+/// Random ES adversary.  Invariants maintained by construction:
+///   * at most max_crashes processes ever crash;
+///   * in every round, the processes failing to deliver in-round to anyone
+///     (earlier crashes + this round's crashers + laggards) number <= t,
+///     so every receiver gets >= n - t current-round messages (t-resilience);
+///   * from round gst() on, no message from a non-crashing sender is delayed
+///     or lost (eventual synchrony);
+///   * no correct->correct message is ever lost (reliable channels) — only
+///     crash-round messages can be lost.
+class RandomEsAdversary final : public Adversary {
+ public:
+  RandomEsAdversary(SystemConfig config, RandomEsOptions options,
+                    std::uint64_t seed);
+
+  Round gst() const override { return options_.gst; }
+  RoundPlan plan_round(Round k) override;
+
+  /// Processes crashed so far (grows as rounds are planned).
+  const ProcessSet& crashed() const { return crashed_; }
+
+ private:
+  SystemConfig config_;
+  RandomEsOptions options_;
+  Rng rng_;
+  ProcessSet crashed_;  // all processes crashed in planned rounds
+  int crash_budget_;
+};
+
+/// Random SCS adversary: only crashes and crash-round loss.
+struct RandomScsOptions {
+  int max_crashes = -1;       ///< -1 means "use config.t"
+  double crash_prob = 0.2;
+  double before_send_prob = 0.3;
+  double crash_loss_prob = 0.5;
+};
+
+class RandomScsAdversary final : public Adversary {
+ public:
+  RandomScsAdversary(SystemConfig config, RandomScsOptions options,
+                     std::uint64_t seed);
+
+  Round gst() const override { return 1; }
+  RoundPlan plan_round(Round k) override;
+
+ private:
+  SystemConfig config_;
+  RandomScsOptions options_;
+  Rng rng_;
+  ProcessSet crashed_;
+  int crash_budget_;
+};
+
+}  // namespace indulgence

@@ -1,0 +1,38 @@
+// Per-message fates: what the adversary does to one (sender -> receiver)
+// message of one round.
+
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace indulgence {
+
+enum class FateKind {
+  Deliver,  ///< received in the round it was sent
+  Delay,    ///< received in a later round (ES only)
+  Lose,     ///< never received
+};
+
+struct Fate {
+  FateKind kind = FateKind::Deliver;
+  Round deliver_round = 0;  ///< meaningful only for Delay
+
+  static Fate deliver() { return {FateKind::Deliver, 0}; }
+  static Fate lose() { return {FateKind::Lose, 0}; }
+  static Fate delay_to(Round r) { return {FateKind::Delay, r}; }
+
+  friend bool operator==(const Fate&, const Fate&) = default;
+};
+
+inline std::string to_string(const Fate& f) {
+  switch (f.kind) {
+    case FateKind::Deliver: return "deliver";
+    case FateKind::Lose: return "lose";
+    case FateKind::Delay: return "delay->" + std::to_string(f.deliver_round);
+  }
+  return "?";
+}
+
+}  // namespace indulgence

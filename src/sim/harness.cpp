@@ -1,0 +1,208 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace indulgence {
+
+std::string RunResult::summary() const {
+  std::ostringstream os;
+  os << "decision_round="
+     << (global_decision_round ? std::to_string(*global_decision_round) : "-")
+     << " agreement=" << (agreement ? "ok" : "VIOLATED")
+     << " validity=" << (validity ? "ok" : "VIOLATED")
+     << " termination=" << (termination ? "ok" : "FAILED")
+     << " model=" << (validation.ok() ? "valid" : "INVALID");
+  return os.str();
+}
+
+RunResult run_and_check(SystemConfig config, KernelOptions options,
+                        const AlgorithmFactory& factory,
+                        const std::vector<Value>& proposals,
+                        Adversary& adversary,
+                        AlgorithmInstances* algorithms_out) {
+  Kernel kernel(config, options, factory, proposals, adversary);
+  RunResult result{kernel.run(), {}, std::nullopt, false, false, false};
+  if (algorithms_out) *algorithms_out = kernel.take_algorithms();
+  result.validation = validate_trace(result.trace);
+  result.global_decision_round = result.trace.global_decision_round();
+  result.agreement = result.trace.agreement_ok();
+  result.validity = result.trace.validity_ok();
+  result.termination = result.trace.terminated() &&
+                       result.trace.all_correct_decided();
+  return result;
+}
+
+RunResult run_and_check(SystemConfig config, KernelOptions options,
+                        const AlgorithmFactory& factory,
+                        const std::vector<Value>& proposals,
+                        const RunSchedule& schedule,
+                        AlgorithmInstances* algorithms_out) {
+  ScheduleAdversary adversary(schedule);
+  return run_and_check(config, options, factory, proposals, adversary,
+                       algorithms_out);
+}
+
+std::vector<Value> distinct_proposals(int n) {
+  std::vector<Value> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+std::vector<Value> uniform_proposals(int n, Value v) {
+  return std::vector<Value>(n, v);
+}
+
+RunSchedule failure_free_schedule(SystemConfig config) {
+  return ScheduleBuilder(config).build();
+}
+
+RunSchedule staggered_chain_schedule(SystemConfig config, int crashes) {
+  if (crashes > config.t) {
+    throw std::invalid_argument("staggered_chain_schedule: crashes > t");
+  }
+  ScheduleBuilder b(config);
+  for (int k = 1; k <= crashes; ++k) {
+    const ProcessId victim = k - 1;
+    b.crash(victim, k);
+    // Round-k message survives only to process k; lost to everyone else.
+    ProcessSet lost = ProcessSet::all(config.n);
+    lost.erase(victim);
+    lost.erase(k % config.n);
+    b.losing_to(victim, k, lost);
+  }
+  return b.build();
+}
+
+RunSchedule crash_burst_schedule(SystemConfig config, int f, Round round,
+                                 bool before_send) {
+  if (f > config.t) throw std::invalid_argument("crash_burst_schedule: f > t");
+  ScheduleBuilder b(config);
+  for (ProcessId pid = 0; pid < f; ++pid) {
+    b.crash(pid, round, before_send);
+    if (!before_send) {
+      // Half the recipients lose the message: exercises partial delivery.
+      ProcessSet lost;
+      for (ProcessId r = 0; r < config.n; r += 2) {
+        if (r != pid) lost.insert(r);
+      }
+      b.losing_to(pid, round, lost);
+    }
+  }
+  return b.build();
+}
+
+RunSchedule coordinator_assassin_schedule(SystemConfig config, int crashes) {
+  if (crashes > config.t) {
+    throw std::invalid_argument("coordinator_assassin_schedule: crashes > t");
+  }
+  ScheduleBuilder b(config);
+  for (int a = 0; a < crashes; ++a) {
+    // Attempt a occupies rounds 2a+1 and 2a+2 in the 2-round-attempt
+    // algorithms; killing its coordinator before it can broadcast wastes
+    // the whole attempt.
+    b.crash(/*pid=*/a % config.n, /*round=*/2 * a + 1, /*before_send=*/true);
+  }
+  return b.build();
+}
+
+RunSchedule async_prefix_schedule(SystemConfig config, Round gst,
+                                  const ProcessSet& laggards, int f) {
+  if (laggards.size() > config.t) {
+    throw std::invalid_argument("async_prefix_schedule: |laggards| > t");
+  }
+  if (f > config.t - 0) {
+    throw std::invalid_argument("async_prefix_schedule: f > t");
+  }
+  ScheduleBuilder b(config);
+  b.gst(gst);
+  for (Round k = 1; k < gst; ++k) {
+    for (ProcessId lag : laggards) {
+      for (ProcessId r = 0; r < config.n; ++r) {
+        if (r != lag) b.delay(lag, r, k, std::max(k + 1, gst));
+      }
+    }
+  }
+  // Staggered crashes after GST (avoid crashing the laggards themselves so
+  // the asynchronous prefix stays distinct from the crash pattern).
+  int injected = 0;
+  for (ProcessId pid = 0; pid < config.n && injected < f; ++pid) {
+    if (laggards.contains(pid)) continue;
+    b.crash(pid, gst + injected, /*before_send=*/true);
+    ++injected;
+  }
+  return b.build();
+}
+
+std::vector<RunSchedule> hostile_sync_schedules(SystemConfig config,
+                                                int crashes) {
+  std::vector<RunSchedule> out;
+  out.push_back(failure_free_schedule(config));
+  if (crashes == 0) return out;
+
+  out.push_back(staggered_chain_schedule(config, crashes));
+  out.push_back(crash_burst_schedule(config, crashes, 1, true));
+  out.push_back(crash_burst_schedule(config, crashes, 1, false));
+  out.push_back(crash_burst_schedule(config, crashes, 2, false));
+  out.push_back(coordinator_assassin_schedule(config, crashes));
+
+  // Reverse chain: crashes in rounds crashes..1 victim order reversed, each
+  // delivering to nobody (before-send crash at increasing rounds).
+  {
+    ScheduleBuilder b(config);
+    for (int k = 1; k <= crashes; ++k) {
+      b.crash(crashes - k, k, /*before_send=*/true);
+    }
+    out.push_back(b.build());
+  }
+
+  // Chain where each crasher's message reaches everyone EXCEPT one process:
+  // produces maximal asymmetric suspicion knowledge.
+  {
+    ScheduleBuilder b(config);
+    for (int k = 1; k <= crashes; ++k) {
+      const ProcessId victim = k - 1;
+      b.crash(victim, k);
+      b.lose(victim, (victim + 1) % config.n, k);
+    }
+    out.push_back(b.build());
+  }
+
+  // Late burst: all crashes in round `crashes` (as late as a serial run
+  // would allow them all).
+  {
+    ScheduleBuilder b(config);
+    for (ProcessId pid = 0; pid < crashes; ++pid) {
+      b.crash(pid, crashes, pid % 2 == 0);
+    }
+    out.push_back(b.build());
+  }
+  return out;
+}
+
+Round worst_case_sync_decision_round(
+    SystemConfig config, const AlgorithmFactory& factory,
+    const std::vector<std::vector<Value>>& proposal_vectors, int crashes,
+    Round max_rounds) {
+  Round worst = 0;
+  KernelOptions options;
+  options.model = Model::ES;
+  options.max_rounds = max_rounds;
+  for (const RunSchedule& schedule : hostile_sync_schedules(config, crashes)) {
+    for (const std::vector<Value>& proposals : proposal_vectors) {
+      RunResult result =
+          run_and_check(config, options, factory, proposals, schedule);
+      if (!result.ok()) {
+        throw std::runtime_error("worst_case_sync_decision_round: run failed: " +
+                                 result.summary() + "\n" +
+                                 result.validation.to_string() + "\n" +
+                                 result.trace.to_string());
+      }
+      worst = std::max(worst, *result.global_decision_round);
+    }
+  }
+  return worst;
+}
+
+}  // namespace indulgence

@@ -1,0 +1,112 @@
+// Run drivers and canonical adversarial schedules.
+//
+// The harness is the layer tests, examples, and benchmarks share: it runs a
+// consensus algorithm under an adversary, validates the produced trace
+// against the model, and summarizes the consensus properties; and it
+// provides the classical worst-case synchronous schedules (staggered crash
+// chains, crash bursts, coordinator assassination) used by the paper's
+// complexity claims.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/adversary.hpp"
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+#include "sim/validator.hpp"
+
+namespace indulgence {
+
+struct RunResult {
+  RunTrace trace;
+  ValidationReport validation;
+
+  std::optional<Round> global_decision_round;
+  bool agreement = false;
+  bool validity = false;
+  bool termination = false;  ///< every correct process decided within the cap
+
+  /// True when the trace is model-valid and all three consensus properties
+  /// hold.
+  bool ok() const {
+    return validation.ok() && agreement && validity && termination;
+  }
+
+  std::string summary() const;
+};
+
+/// The algorithm instances of a finished run, for state inspection (tests
+/// read final Halt sets / new estimates through them).
+using AlgorithmInstances = std::vector<std::unique_ptr<RoundAlgorithm>>;
+
+/// Runs one consensus instance and checks everything.  When
+/// `algorithms_out` is non-null it receives the per-process algorithm
+/// instances, which stay valid after the run.
+RunResult run_and_check(SystemConfig config, KernelOptions options,
+                        const AlgorithmFactory& factory,
+                        const std::vector<Value>& proposals,
+                        Adversary& adversary,
+                        AlgorithmInstances* algorithms_out = nullptr);
+
+/// Schedule-based convenience overload.
+RunResult run_and_check(SystemConfig config, KernelOptions options,
+                        const AlgorithmFactory& factory,
+                        const std::vector<Value>& proposals,
+                        const RunSchedule& schedule,
+                        AlgorithmInstances* algorithms_out = nullptr);
+
+/// Distinct proposals 0, 1, ..., n-1 (process i proposes i).
+std::vector<Value> distinct_proposals(int n);
+
+/// All processes propose v.
+std::vector<Value> uniform_proposals(int n, Value v);
+
+// --- canonical synchronous schedules -------------------------------------
+
+/// No crashes at all.
+RunSchedule failure_free_schedule(SystemConfig config);
+
+/// The classical staggered chain: for k = 1..crashes, process k-1 crashes in
+/// round k and its round-k message reaches ONLY process k (all other copies
+/// are lost).  With process 0 holding the minimum proposal this hides the
+/// decisive value for `crashes` rounds — the worst case that forces
+/// FloodSet to use all t + 1 rounds.
+RunSchedule staggered_chain_schedule(SystemConfig config, int crashes);
+
+/// `f` processes (ids 0..f-1) crash in round `round`, before their send
+/// phase when `before_send`.
+RunSchedule crash_burst_schedule(SystemConfig config, int f, Round round,
+                                 bool before_send);
+
+/// Kills the coordinator/leader of each 2-round attempt: process a crashes
+/// in round 2a + 1 (a = 0..crashes-1) before sending — the worst case for
+/// rotating-coordinator algorithms (Hurfin-Raynal needs 2t + 2 rounds).
+RunSchedule coordinator_assassin_schedule(SystemConfig config, int crashes);
+
+/// An asynchronous prefix: rounds 1..gst-1 delay all messages from the
+/// `laggards` set by one round (a moving partition), synchronous from gst
+/// on, with `f` staggered crashes after gst.  Used by the eventual-decision
+/// experiments (runs "synchronous after round k").
+RunSchedule async_prefix_schedule(SystemConfig config, Round gst,
+                                  const ProcessSet& laggards, int f);
+
+/// A library of hostile synchronous schedules with exactly `crashes`
+/// crashes (chains with different delivery targets, bursts early and late,
+/// before/after-send variants).  Used for worst-case sweeps where
+/// exhaustive search is too expensive.
+std::vector<RunSchedule> hostile_sync_schedules(SystemConfig config,
+                                                int crashes);
+
+/// Worst-case synchronous global decision round of `factory` over the
+/// hostile schedule library and the given proposal vectors; checks every
+/// run is valid, agreeing, and terminating.  Throws on any failure.
+Round worst_case_sync_decision_round(SystemConfig config,
+                                     const AlgorithmFactory& factory,
+                                     const std::vector<std::vector<Value>>&
+                                         proposal_vectors,
+                                     int crashes, Round max_rounds = 256);
+
+}  // namespace indulgence

@@ -1,0 +1,197 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace indulgence {
+
+Kernel::Kernel(SystemConfig config, KernelOptions options,
+               AlgorithmFactory factory, std::vector<Value> proposals,
+               Adversary& adversary)
+    : config_(config),
+      options_(options),
+      factory_(std::move(factory)),
+      proposals_(std::move(proposals)),
+      adversary_(adversary) {
+  config_.validate();
+  if (static_cast<int>(proposals_.size()) != config_.n) {
+    throw std::invalid_argument("Kernel: need exactly n proposals");
+  }
+  for (Value v : proposals_) {
+    if (v == kBottom) {
+      throw std::invalid_argument("Kernel: kBottom is not a legal proposal");
+    }
+  }
+}
+
+RunTrace Kernel::run() {
+  if (used_) throw std::logic_error("Kernel::run is single-shot");
+  used_ = true;
+
+  RunTrace trace(config_, options_.model, adversary_.gst());
+
+  std::vector<std::unique_ptr<RoundAlgorithm>> procs(config_.n);
+  std::vector<bool> alive(config_.n, true);
+  std::vector<bool> halted(config_.n, false);
+  std::vector<bool> decided(config_.n, false);
+  for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    procs[pid] = factory_(pid, config_);
+    procs[pid]->propose(proposals_[pid]);
+    trace.record_proposal(pid, proposals_[pid]);
+  }
+
+  std::vector<PendingMessage> pending;
+  Round executed = 0;
+  bool all_decided = false;
+
+  for (Round k = 1; k <= options_.max_rounds; ++k) {
+    const RoundPlan plan = adversary_.plan_round(k);
+
+    // --- crashes declared for this round ---------------------------------
+    ProcessSet crashing_now;
+    for (const CrashEvent& e : plan.crashes()) {
+      if (e.pid < 0 || e.pid >= config_.n || !alive[e.pid]) continue;
+      crashing_now.insert(e.pid);
+      trace.record_crash({k, e.pid, e.before_send});
+    }
+
+    // --- send phase -------------------------------------------------------
+    struct Outgoing {
+      ProcessId sender;
+      MessagePtr payload;
+    };
+    std::vector<Outgoing> outgoing;
+    outgoing.reserve(config_.n);
+    for (ProcessId pid = 0; pid < config_.n; ++pid) {
+      if (!alive[pid]) continue;
+      if (crashing_now.contains(pid) && plan.crashes_before_send(pid)) {
+        continue;  // crashed before the send phase; no round-k message
+      }
+      MessagePtr payload;
+      if (halted[pid]) {
+        payload = std::make_shared<HaltedMessage>(*procs[pid]->decision());
+      } else {
+        payload = procs[pid]->message_for_round(k);
+        if (!payload) {
+          throw std::logic_error(procs[pid]->name() +
+                                 ": message_for_round returned null");
+        }
+      }
+      trace.record_send({k, pid, halted[pid]});
+      outgoing.push_back({pid, std::move(payload)});
+    }
+
+    // --- fate resolution ----------------------------------------------------
+    // In-round deliveries of round-k messages, plus queueing of delays.
+    std::vector<std::vector<Envelope>> inbox(config_.n);
+    for (const Outgoing& out : outgoing) {
+      for (ProcessId receiver = 0; receiver < config_.n; ++receiver) {
+        Envelope env{out.sender, k, out.payload};
+        if (receiver == out.sender) {
+          inbox[receiver].push_back(std::move(env));  // self-delivery
+          continue;
+        }
+        const Fate fate = plan.fate(out.sender, receiver);
+        switch (fate.kind) {
+          case FateKind::Deliver:
+            inbox[receiver].push_back(std::move(env));
+            break;
+          case FateKind::Lose:
+            break;
+          case FateKind::Delay:
+            if (options_.model == Model::SCS) {
+              throw std::logic_error("Kernel: Delay fate in SCS model");
+            }
+            if (fate.deliver_round <= k) {
+              throw std::logic_error("Kernel: delay into the past");
+            }
+            pending.push_back({fate.deliver_round, receiver, std::move(env)});
+            break;
+        }
+      }
+    }
+
+    // Delayed messages falling due this round.
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (it->deliver_round == k) {
+        inbox[it->receiver].push_back(std::move(it->envelope));
+        it = pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // --- mark this round's crashers dead (they do not receive) -----------
+    for (ProcessId pid : crashing_now) alive[pid] = false;
+    // Drop pending messages addressed to dead receivers.
+    std::erase_if(pending, [&](const PendingMessage& p) {
+      return !alive[p.receiver];
+    });
+
+    // --- receive phase ----------------------------------------------------
+    for (ProcessId pid = 0; pid < config_.n; ++pid) {
+      if (!alive[pid]) continue;
+      Delivery& delivery = inbox[pid];
+      // Deterministic presentation order: by send round, then sender.
+      std::sort(delivery.begin(), delivery.end(),
+                [](const Envelope& a, const Envelope& b) {
+                  return a.send_round != b.send_round
+                             ? a.send_round < b.send_round
+                             : a.sender < b.sender;
+                });
+      for (const Envelope& env : delivery) {
+        trace.record_delivery({k, pid, env.sender, env.send_round, env.payload});
+      }
+      if (halted[pid]) continue;  // dummies only; the algorithm has returned
+
+      procs[pid]->on_round(k, delivery);
+
+      if (!decided[pid]) {
+        if (auto d = procs[pid]->decision()) {
+          decided[pid] = true;
+          trace.record_decision({k, pid, *d});
+        }
+      }
+      if (procs[pid]->halted()) {
+        if (!decided[pid]) {
+          throw std::logic_error(procs[pid]->name() +
+                                 ": halted without deciding");
+        }
+        halted[pid] = true;
+        trace.record_halt(pid, k);
+      }
+    }
+
+    executed = k;
+
+    // --- stop condition -----------------------------------------------------
+    all_decided = true;
+    for (ProcessId pid = 0; pid < config_.n; ++pid) {
+      if (alive[pid] && !decided[pid]) {
+        all_decided = false;
+        break;
+      }
+    }
+    if (all_decided && options_.stop_on_global_decision) break;
+  }
+
+  for (const PendingMessage& p : pending) {
+    trace.record_pending(
+        {p.envelope.sender, p.receiver, p.envelope.send_round, p.deliver_round});
+  }
+  trace.set_rounds_executed(executed);
+  trace.set_terminated(all_decided);
+  algorithms_ = std::move(procs);  // keep instances inspectable post-run
+  return trace;
+}
+
+RunTrace run_schedule(SystemConfig config, KernelOptions options,
+                      const AlgorithmFactory& factory,
+                      const std::vector<Value>& proposals,
+                      const RunSchedule& schedule) {
+  ScheduleAdversary adversary(schedule);
+  Kernel kernel(config, options, factory, proposals, adversary);
+  return kernel.run();
+}
+
+}  // namespace indulgence

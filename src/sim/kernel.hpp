@@ -1,0 +1,86 @@
+// The round-based simulation kernel.
+//
+// Executes one run of a round-based algorithm (paper Sect. 1.2) under an
+// adversary:
+//
+//   round k:  1. apply the adversary's crash decisions for round k;
+//             2. send phase — every live process (and, via kernel-made
+//                HaltedMessage dummies, every halted one) produces its
+//                round-k broadcast; the adversary assigns each copy a fate
+//                (deliver in-round / delay to a later round / lose);
+//             3. receive phase — every process that completes the round
+//                receives its in-round messages plus any delayed messages
+//                falling due, updates its state, and possibly decides or
+//                halts.
+//
+// Modelling decisions (DESIGN.md Sect. 4): self-delivery is unconditional
+// and in-round; a crashed process neither sends (if before_send) nor
+// receives in its crash round; pending messages to crashed receivers are
+// dropped.
+//
+// The kernel records everything in a RunTrace; the independent Validator
+// (validator.hpp) re-checks model conformance from the trace alone.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/adversary.hpp"
+#include "sim/process.hpp"
+#include "sim/trace.hpp"
+
+namespace indulgence {
+
+struct KernelOptions {
+  Model model = Model::ES;
+
+  /// Hard cap on executed rounds; hitting it marks the trace !terminated().
+  Round max_rounds = 256;
+
+  /// Stop as soon as every live process has decided (the usual mode).  When
+  /// false, the kernel runs exactly max_rounds rounds (used by the explorer
+  /// to examine fixed-length partial runs).
+  bool stop_on_global_decision = true;
+};
+
+class Kernel {
+ public:
+  /// `proposals[i]` is process i's proposal.  The adversary is borrowed and
+  /// must outlive run().
+  Kernel(SystemConfig config, KernelOptions options, AlgorithmFactory factory,
+         std::vector<Value> proposals, Adversary& adversary);
+
+  /// Executes the run and returns its trace.  Single-shot.
+  RunTrace run();
+
+  /// After run(): the algorithm instances, for state inspection (e.g. the
+  /// elimination-property checks read each process' final new estimate).
+  std::vector<std::unique_ptr<RoundAlgorithm>> take_algorithms() {
+    return std::move(algorithms_);
+  }
+
+ private:
+  struct PendingMessage {
+    Round deliver_round = 0;
+    ProcessId receiver = -1;
+    Envelope envelope;
+  };
+
+  SystemConfig config_;
+  KernelOptions options_;
+  AlgorithmFactory factory_;
+  std::vector<Value> proposals_;
+  Adversary& adversary_;
+  bool used_ = false;
+  std::vector<std::unique_ptr<RoundAlgorithm>> algorithms_;
+};
+
+/// Convenience wrapper: build a kernel and run a schedule in one call.
+RunTrace run_schedule(SystemConfig config, KernelOptions options,
+                      const AlgorithmFactory& factory,
+                      const std::vector<Value>& proposals,
+                      const RunSchedule& schedule);
+
+}  // namespace indulgence

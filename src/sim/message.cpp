@@ -1,0 +1,15 @@
+#include "sim/message.hpp"
+
+namespace indulgence {
+
+std::vector<ProcessId> current_round_senders(const Delivery& delivery,
+                                             Round round) {
+  std::vector<ProcessId> senders;
+  senders.reserve(delivery.size());
+  for (const Envelope& env : delivery) {
+    if (env.send_round == round) senders.push_back(env.sender);
+  }
+  return senders;
+}
+
+}  // namespace indulgence

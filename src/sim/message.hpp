@@ -1,0 +1,73 @@
+// Message payloads and envelopes for the round-based simulator.
+//
+// Algorithms define their own payload types derived from Message; the
+// kernel transports them opaquely as shared immutable values (a delivered
+// payload may be referenced by many receivers' envelopes, so payloads are
+// const after construction).
+//
+// Per footnote 1 of the paper, a process is supposed to send a message to
+// all processes in every round; when an algorithm instance has returned
+// (halted), the kernel substitutes a HaltedMessage carrying the process'
+// decision, which algorithms treat as a DECIDE message.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace indulgence {
+
+/// Base class for all algorithm message payloads.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Human-readable rendering for traces and test failure output.
+  virtual std::string describe() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Kernel-substituted dummy sent on behalf of a halted (returned) process.
+/// Carries the decision the process halted with, so it doubles as a DECIDE.
+class HaltedMessage final : public Message {
+ public:
+  explicit HaltedMessage(Value decision) : decision_(decision) {}
+
+  Value decision() const { return decision_; }
+
+  std::string describe() const override {
+    return "HALTED(decided=" + std::to_string(decision_) + ")";
+  }
+
+ private:
+  Value decision_;
+};
+
+/// A payload in flight or delivered: who sent it and in which round.
+struct Envelope {
+  ProcessId sender = -1;
+  Round send_round = 0;
+  MessagePtr payload;
+
+  /// Downcast helper: nullptr when the payload is not a T.
+  template <typename T>
+  const T* as() const {
+    return dynamic_cast<const T*>(payload.get());
+  }
+};
+
+/// The set of envelopes a process receives in one round's receive phase.
+using Delivery = std::vector<Envelope>;
+
+/// Returns the senders of the *current-round* messages in a delivery, i.e.
+/// the processes NOT suspected this round (paper Sect. 1.2: p_i suspects p_j
+/// in round k iff p_i does not receive p_j's round-k message in round k).
+std::vector<ProcessId> current_round_senders(const Delivery& delivery,
+                                             Round round);
+
+}  // namespace indulgence

@@ -1,0 +1,54 @@
+// The interface every round-based distributed algorithm implements to run on
+// the simulation kernel.
+//
+// The kernel drives each process instance through the two phases of the
+// paper's round structure (Sect. 1.2): a send phase (message_for_round) and
+// a receive phase (on_round).  Decisions and halting are observed through
+// const accessors so the kernel can record them in the trace.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "sim/message.hpp"
+
+namespace indulgence {
+
+class RoundAlgorithm {
+ public:
+  virtual ~RoundAlgorithm() = default;
+
+  /// Called once before round 1 with this process' proposal value.
+  virtual void propose(Value v) = 0;
+
+  /// Send phase of round k: the message this process broadcasts.  Must not
+  /// return nullptr (per footnote 1, every process sends in every round; use
+  /// a dummy payload if the algorithm has nothing to say).
+  virtual MessagePtr message_for_round(Round k) = 0;
+
+  /// Receive phase of round k: `delivered` holds every envelope arriving in
+  /// this round — current-round messages plus any delayed ones.  A process
+  /// suspects exactly the senders with no current-round envelope.
+  virtual void on_round(Round k, const Delivery& delivered) = 0;
+
+  /// The decision, once made (stable thereafter).
+  virtual std::optional<Value> decision() const = 0;
+
+  /// True once the algorithm has returned from propose(*); the kernel then
+  /// substitutes HaltedMessage dummies for this process.  A halted process
+  /// must have decided.
+  virtual bool halted() const = 0;
+
+  /// Algorithm name for traces and reports, e.g. "A_{t+2}".
+  virtual std::string name() const = 0;
+};
+
+/// Creates the algorithm instance for one process.
+using AlgorithmFactory = std::function<std::unique_ptr<RoundAlgorithm>(
+    ProcessId self, const SystemConfig& config)>;
+
+}  // namespace indulgence

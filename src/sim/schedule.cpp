@@ -1,0 +1,99 @@
+#include "sim/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace indulgence {
+
+const RoundPlan RunSchedule::kEmptyPlan{};
+
+bool RoundPlan::crashes_process(ProcessId pid) const {
+  return std::any_of(crashes_.begin(), crashes_.end(),
+                     [pid](const CrashEvent& e) { return e.pid == pid; });
+}
+
+bool RoundPlan::crashes_before_send(ProcessId pid) const {
+  return std::any_of(
+      crashes_.begin(), crashes_.end(),
+      [pid](const CrashEvent& e) { return e.pid == pid && e.before_send; });
+}
+
+void RoundPlan::set_fate(ProcessId sender, ProcessId receiver, Fate fate) {
+  for (Override& o : overrides_) {
+    if (o.sender == sender && o.receiver == receiver) {
+      o.fate = fate;
+      return;
+    }
+  }
+  overrides_.push_back({sender, receiver, fate});
+}
+
+Fate RoundPlan::fate(ProcessId sender, ProcessId receiver) const {
+  for (const Override& o : overrides_) {
+    if (o.sender == sender && o.receiver == receiver) return o.fate;
+  }
+  return Fate::deliver();
+}
+
+const RoundPlan& RunSchedule::plan(Round k) const {
+  auto it = plans_.find(k);
+  return it == plans_.end() ? kEmptyPlan : it->second;
+}
+
+Round RunSchedule::last_planned_round() const {
+  return plans_.empty() ? 0 : plans_.rbegin()->first;
+}
+
+ProcessSet RunSchedule::crashed_processes() const {
+  ProcessSet crashed;
+  for (const auto& [round, plan] : plans_) {
+    for (const CrashEvent& e : plan.crashes()) crashed.insert(e.pid);
+  }
+  return crashed;
+}
+
+ScheduleBuilder& ScheduleBuilder::crash(ProcessId pid, Round round,
+                                        bool before_send) {
+  if (round < 1) throw std::invalid_argument("crash: round must be >= 1");
+  schedule_.plan(round).add_crash({pid, before_send});
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::lose(ProcessId sender, ProcessId receiver,
+                                       Round round) {
+  schedule_.plan(round).set_fate(sender, receiver, Fate::lose());
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::losing_to(ProcessId sender, Round round,
+                                            const ProcessSet& receivers) {
+  for (ProcessId r : receivers) lose(sender, r, round);
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::delay(ProcessId sender, ProcessId receiver,
+                                        Round send_round,
+                                        Round deliver_round) {
+  if (deliver_round <= send_round) {
+    throw std::invalid_argument("delay: deliver_round must exceed send_round");
+  }
+  schedule_.plan(send_round).set_fate(sender, receiver,
+                                      Fate::delay_to(deliver_round));
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::delaying_to(ProcessId sender,
+                                              Round send_round,
+                                              const ProcessSet& receivers,
+                                              Round deliver_round) {
+  for (ProcessId r : receivers) delay(sender, r, send_round, deliver_round);
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::gst(Round k) {
+  if (k < 1) throw std::invalid_argument("gst: K must be >= 1");
+  schedule_.set_gst(k);
+  return *this;
+}
+
+}  // namespace indulgence

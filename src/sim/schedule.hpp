@@ -1,0 +1,141 @@
+// Explicit run schedules: a full description of the adversary's choices for
+// a run — who crashes when, and the fate of every message.
+//
+// Schedules serve two purposes:
+//   * hand-crafted scenarios (the Fig. 1 lower-bound constructions, worst-
+//     case staggered-crash runs, partition scenarios in the examples), built
+//     through ScheduleBuilder;
+//   * the output format of generated adversaries, so that any run — random
+//     or searched — can be replayed and independently validated.
+
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/process_set.hpp"
+#include "common/types.hpp"
+#include "sim/fate.hpp"
+
+namespace indulgence {
+
+/// A crash of one process in one round.  `before_send == true` means the
+/// process crashes before the send phase (none of its round messages exist);
+/// otherwise it crashes after sending, and the per-message fates decide what
+/// arrives.  In both cases the process does not execute the receive phase of
+/// its crash round (it "does not complete the round", Sect. 1.2).
+struct CrashEvent {
+  ProcessId pid = -1;
+  bool before_send = false;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// The adversary's choices for one round: crashes plus message fates.
+/// Fates default to Deliver; only overrides are stored.
+class RoundPlan {
+ public:
+  void add_crash(CrashEvent e) { crashes_.push_back(e); }
+
+  const std::vector<CrashEvent>& crashes() const { return crashes_; }
+
+  bool crashes_process(ProcessId pid) const;
+
+  /// True iff pid crashes before the send phase this round.
+  bool crashes_before_send(ProcessId pid) const;
+
+  void set_fate(ProcessId sender, ProcessId receiver, Fate fate);
+
+  Fate fate(ProcessId sender, ProcessId receiver) const;
+
+  /// All explicitly overridden fates, for validation and printing.
+  struct Override {
+    ProcessId sender = -1;
+    ProcessId receiver = -1;
+    Fate fate;
+  };
+  const std::vector<Override>& overrides() const { return overrides_; }
+
+ private:
+  std::vector<CrashEvent> crashes_;
+  std::vector<Override> overrides_;
+};
+
+/// A complete schedule: per-round plans plus the claimed GST round.
+/// Rounds without an explicit plan default to "no crash, deliver all".
+class RunSchedule {
+ public:
+  explicit RunSchedule(SystemConfig config) : config_(config) {
+    config_.validate();
+  }
+
+  const SystemConfig& config() const { return config_; }
+
+  /// GST: the round K from which the eventual-synchrony guarantees hold
+  /// (Sect. 1.2).  K == 1 means the run is synchronous.
+  Round gst() const { return gst_; }
+  void set_gst(Round k) { gst_ = k; }
+
+  RoundPlan& plan(Round k) { return plans_[k]; }
+
+  /// Read access; returns the default (empty) plan for untouched rounds.
+  const RoundPlan& plan(Round k) const;
+
+  /// Largest round with an explicit plan (0 when none).
+  Round last_planned_round() const;
+
+  /// Set of processes that crash anywhere in the schedule.
+  ProcessSet crashed_processes() const;
+
+ private:
+  SystemConfig config_;
+  Round gst_ = 1;
+  std::map<Round, RoundPlan> plans_;
+  static const RoundPlan kEmptyPlan;
+};
+
+/// Fluent construction of schedules for hand-crafted scenarios.
+///
+///   ScheduleBuilder b({.n = 5, .t = 2});
+///   b.crash(0, 1).losing_to(0, 1, {2, 3});       // p0 crashes in round 1,
+///                                                // its message to p2, p3 lost
+///   b.delay(1, 4, /*send_round=*/2, /*deliver_round=*/5);
+///   b.gst(3);
+///   RunSchedule s = b.build();
+class ScheduleBuilder {
+ public:
+  explicit ScheduleBuilder(SystemConfig config) : schedule_(config) {}
+
+  /// p crashes in `round`, after its send phase by default.
+  ScheduleBuilder& crash(ProcessId pid, Round round, bool before_send = false);
+
+  /// The round-`round` message sender -> receiver is lost.
+  ScheduleBuilder& lose(ProcessId sender, ProcessId receiver, Round round);
+
+  /// The round-`round` messages from sender to every member of `receivers`
+  /// are lost.
+  ScheduleBuilder& losing_to(ProcessId sender, Round round,
+                             const ProcessSet& receivers);
+
+  /// The round-`send_round` message sender -> receiver arrives in
+  /// `deliver_round` (> send_round).
+  ScheduleBuilder& delay(ProcessId sender, ProcessId receiver,
+                         Round send_round, Round deliver_round);
+
+  /// Delay sender's round-`send_round` message to every member of
+  /// `receivers` until `deliver_round`.
+  ScheduleBuilder& delaying_to(ProcessId sender, Round send_round,
+                               const ProcessSet& receivers,
+                               Round deliver_round);
+
+  /// Declare the eventual-synchrony round K.
+  ScheduleBuilder& gst(Round k);
+
+  RunSchedule build() { return schedule_; }
+
+ private:
+  RunSchedule schedule_;
+};
+
+}  // namespace indulgence

@@ -1,0 +1,86 @@
+#include "sim/stats.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace indulgence {
+
+std::string TraceStats::to_string() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " sends=" << sends
+     << " (dummy=" << dummy_sends << ") wire=" << wire_messages
+     << " delivered=" << deliveries << " (delayed=" << delayed_deliveries
+     << ") lost=" << lost_messages << " suspicions=" << suspicions;
+  return os.str();
+}
+
+TraceStats compute_stats(const RunTrace& trace, Round until_round) {
+  TraceStats stats;
+  const Round horizon =
+      until_round > 0 ? until_round : trace.rounds_executed();
+  stats.rounds = horizon;
+  const int n = trace.config().n;
+
+  std::map<ProcessId, Round> crash_round;
+  for (const CrashRecord& c : trace.crashes()) crash_round[c.pid] = c.round;
+  auto completes = [&](ProcessId pid, Round k) {
+    auto it = crash_round.find(pid);
+    return it == crash_round.end() || it->second > k;
+  };
+
+  for (const SendRecord& s : trace.sends()) {
+    if (s.round > horizon) continue;
+    ++stats.sends;
+    if (s.dummy) ++stats.dummy_sends;
+    stats.wire_messages += n - 1;
+  }
+
+  std::set<std::tuple<ProcessId, Round, ProcessId>> delivered;
+  for (const DeliveryRecord& d : trace.deliveries()) {
+    if (d.recv_round > horizon) continue;
+    ++stats.deliveries;
+    if (d.recv_round > d.send_round) ++stats.delayed_deliveries;
+    delivered.insert({d.sender, d.send_round, d.receiver});
+  }
+
+  std::set<std::pair<ProcessId, Round>> pending;
+  for (const PendingRecord& p : trace.pending()) {
+    pending.insert({p.sender, p.send_round});
+  }
+
+  for (const SendRecord& s : trace.sends()) {
+    if (s.round > horizon) continue;
+    for (ProcessId rec = 0; rec < n; ++rec) {
+      if (rec == s.sender) continue;
+      if (!delivered.count({s.sender, s.round, rec}) &&
+          !pending.count({s.sender, s.round}) && !completes(rec, horizon)) {
+        // receiver dead: copy neither delivered nor counted lost
+        continue;
+      }
+      if (!delivered.count({s.sender, s.round, rec}) &&
+          !pending.count({s.sender, s.round}) && completes(rec, horizon)) {
+        ++stats.lost_messages;
+      }
+    }
+  }
+
+  // Suspicions: a live (this round) sender's round-k message missing from a
+  // completing receiver's round-k receipt.
+  for (Round k = 1; k <= horizon; ++k) {
+    std::set<ProcessId> sent_this_round;
+    for (const SendRecord& s : trace.sends()) {
+      if (s.round == k) sent_this_round.insert(s.sender);
+    }
+    for (ProcessId rec = 0; rec < n; ++rec) {
+      if (!completes(rec, k)) continue;
+      const ProcessSet got = trace.in_round_senders(rec, k);
+      for (ProcessId sender : sent_this_round) {
+        if (sender != rec && !got.contains(sender)) ++stats.suspicions;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace indulgence

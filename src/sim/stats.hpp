@@ -1,0 +1,41 @@
+// Trace statistics: message and suspicion counts derived from run traces.
+//
+// The paper measures time in rounds; a systems reader also wants the
+// message complexity.  These helpers derive both from recorded traces, so
+// the numbers are exact (not sampled): payload sends, point-to-point
+// deliveries, delayed deliveries, dummy (halted) traffic, and per-round
+// suspicion counts (processes missing from a receiver's current-round
+// senders).
+
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace indulgence {
+
+struct TraceStats {
+  Round rounds = 0;
+
+  long sends = 0;             ///< broadcasts performed (one per sender-round)
+  long dummy_sends = 0;       ///< kernel HaltedMessage broadcasts
+  long deliveries = 0;        ///< point-to-point receipts
+  long delayed_deliveries = 0;///< receipts after the sending round
+  long lost_messages = 0;     ///< sent copies never delivered nor pending
+  long suspicions = 0;        ///< (receiver, round, sender) gaps: the round-k
+                              ///< message of a live sender missing at k
+
+  /// Point-to-point message copies put on the wire (sends * (n - 1),
+  /// excluding self-delivery).
+  long wire_messages = 0;
+
+  std::string to_string() const;
+};
+
+/// Derives statistics from a trace.  `until_round` limits the window (0
+/// means the whole trace) — pass the global decision round to count the
+/// cost *of reaching* the decision.
+TraceStats compute_stats(const RunTrace& trace, Round until_round = 0);
+
+}  // namespace indulgence

@@ -1,0 +1,125 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace indulgence {
+
+ProcessSet RunTrace::crashed() const {
+  ProcessSet s;
+  for (const CrashRecord& c : crashes_) s.insert(c.pid);
+  return s;
+}
+
+ProcessSet RunTrace::correct() const {
+  return ProcessSet::all(config_.n) - crashed();
+}
+
+std::optional<Round> RunTrace::crash_round(ProcessId pid) const {
+  for (const CrashRecord& c : crashes_) {
+    if (c.pid == pid) return c.round;
+  }
+  return std::nullopt;
+}
+
+std::optional<Decision> RunTrace::decision_of(ProcessId pid) const {
+  for (const DecisionRecord& d : decisions_) {
+    if (d.pid == pid) return Decision{d.value, d.round};
+  }
+  return std::nullopt;
+}
+
+bool RunTrace::all_correct_decided() const {
+  for (ProcessId pid : correct()) {
+    if (!decision_of(pid)) return false;
+  }
+  return true;
+}
+
+std::optional<Round> RunTrace::global_decision_round() const {
+  if (decisions_.empty() || !all_correct_decided()) return std::nullopt;
+  Round max_round = 0;
+  for (const DecisionRecord& d : decisions_) {
+    max_round = std::max(max_round, d.round);
+  }
+  return max_round;
+}
+
+bool RunTrace::agreement_ok() const {
+  for (std::size_t i = 1; i < decisions_.size(); ++i) {
+    if (decisions_[i].value != decisions_[0].value) return false;
+  }
+  return true;
+}
+
+bool RunTrace::validity_ok() const {
+  return std::all_of(
+      decisions_.begin(), decisions_.end(), [this](const DecisionRecord& d) {
+        return std::any_of(proposals_.begin(), proposals_.end(),
+                           [&d](const auto& kv) { return kv.second == d.value; });
+      });
+}
+
+ProcessSet RunTrace::in_round_senders(ProcessId receiver, Round round) const {
+  ProcessSet s;
+  for (const DeliveryRecord& d : deliveries_) {
+    if (d.receiver == receiver && d.recv_round == round &&
+        d.send_round == round) {
+      s.insert(d.sender);
+    }
+  }
+  return s;
+}
+
+std::vector<DeliveryRecord> RunTrace::delivered_to(ProcessId receiver,
+                                                   Round round) const {
+  std::vector<DeliveryRecord> out;
+  for (const DeliveryRecord& d : deliveries_) {
+    if (d.receiver == receiver && d.recv_round == round) out.push_back(d);
+  }
+  return out;
+}
+
+std::string RunTrace::to_string() const {
+  std::ostringstream os;
+  os << "run: model=" << indulgence::to_string(model_) << " n=" << config_.n
+     << " t=" << config_.t << " gst=" << gst_
+     << " rounds=" << rounds_executed_
+     << (terminated_ ? "" : " [ROUND CAP HIT]") << '\n';
+  os << "proposals:";
+  for (const auto& [pid, v] : proposals_) os << " p" << pid << "=" << v;
+  os << '\n';
+  for (Round k = 1; k <= rounds_executed_; ++k) {
+    os << "round " << k << ":\n";
+    for (const CrashRecord& c : crashes_) {
+      if (c.round == k) {
+        os << "  CRASH p" << c.pid
+           << (c.before_send ? " (before send)" : " (after send)") << '\n';
+      }
+    }
+    for (const DeliveryRecord& d : deliveries_) {
+      if (d.recv_round != k) continue;
+      os << "  p" << d.sender << " -> p" << d.receiver;
+      if (d.send_round != k) os << "  [delayed from round " << d.send_round << "]";
+      if (d.payload) os << "  " << d.payload->describe();
+      os << '\n';
+    }
+    for (const DecisionRecord& d : decisions_) {
+      if (d.round == k) os << "  DECIDE p" << d.pid << " = " << d.value << '\n';
+    }
+    for (const auto& [pid, round] : halts_) {
+      if (round == k) os << "  HALT p" << pid << '\n';
+    }
+  }
+  if (!pending_.empty()) {
+    os << "pending at end:";
+    for (const PendingRecord& p : pending_) {
+      os << " (p" << p.sender << "->p" << p.receiver << " sent@" << p.send_round
+         << " due@" << p.deliver_round << ")";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace indulgence

@@ -1,0 +1,229 @@
+#include "sim/validator.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace indulgence {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const RunTrace& trace) : trace_(trace) {}
+
+  ValidationReport run() {
+    index();
+    check_crashes();
+    check_deliveries();
+    check_halts();
+    if (trace_.model() == Model::SCS) {
+      check_no_delays();
+      check_synchronous_delivery(/*from_round=*/1);
+    } else {
+      check_t_resilience();
+      check_synchronous_delivery(trace_.gst());
+      check_reliable_channels();
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void fail(const std::string& what) { report_.violations.push_back(what); }
+
+  void index() {
+    for (const CrashRecord& c : trace_.crashes()) {
+      crash_round_[c.pid] = c.round;
+      if (c.before_send) before_send_.insert(c.pid);
+    }
+    for (const SendRecord& s : trace_.sends()) {
+      sent_.insert({s.sender, s.round});
+    }
+    for (const DeliveryRecord& d : trace_.deliveries()) {
+      delivered_.insert({{d.sender, d.send_round}, d.receiver});
+    }
+    for (const PendingRecord& p : trace_.pending()) {
+      pending_.insert({{p.sender, p.send_round}, p.receiver});
+    }
+  }
+
+  /// A process "completes round k" iff it has not crashed in round <= k.
+  bool completes_round(ProcessId pid, Round k) const {
+    auto it = crash_round_.find(pid);
+    return it == crash_round_.end() || it->second > k;
+  }
+
+  bool crashes_in_round(ProcessId pid, Round k) const {
+    auto it = crash_round_.find(pid);
+    return it != crash_round_.end() && it->second == k;
+  }
+
+  void check_crashes() {
+    const int t = trace_.config().t;
+    std::set<ProcessId> seen;
+    for (const CrashRecord& c : trace_.crashes()) {
+      if (seen.count(c.pid)) {
+        fail("process p" + std::to_string(c.pid) + " crashes twice");
+      }
+      seen.insert(c.pid);
+      if (c.round < 1 || c.round > trace_.rounds_executed()) {
+        fail("crash of p" + std::to_string(c.pid) + " at out-of-run round " +
+             std::to_string(c.round));
+      }
+    }
+    if (static_cast<int>(seen.size()) > t) {
+      fail("more than t = " + std::to_string(t) + " crashes (" +
+           std::to_string(seen.size()) + ")");
+    }
+  }
+
+  void check_deliveries() {
+    std::set<std::tuple<ProcessId, Round, ProcessId>> seen;
+    for (const DeliveryRecord& d : trace_.deliveries()) {
+      std::ostringstream who;
+      who << "message p" << d.sender << "->p" << d.receiver << " (sent@"
+          << d.send_round << ", recv@" << d.recv_round << ")";
+      if (!sent_.count({d.sender, d.send_round})) {
+        fail(who.str() + " received without having been sent");
+      }
+      if (d.recv_round < d.send_round) {
+        fail(who.str() + " received before being sent");
+      }
+      if (!seen.insert({d.sender, d.send_round, d.receiver}).second) {
+        fail(who.str() + " received more than once");
+      }
+      if (!completes_round(d.receiver, d.recv_round)) {
+        fail(who.str() + " received by a crashed process");
+      }
+      if (d.sender == d.receiver && d.recv_round != d.send_round) {
+        fail(who.str() + " self-delivery must be in-round");
+      }
+    }
+    // Self-delivery presence: every sender completing its send round must
+    // have received its own message in that round.
+    for (const SendRecord& s : trace_.sends()) {
+      if (!completes_round(s.sender, s.round)) continue;
+      if (!delivered_.count({{s.sender, s.round}, s.sender})) {
+        fail("p" + std::to_string(s.sender) + " missed its own round-" +
+             std::to_string(s.round) + " message");
+      }
+    }
+  }
+
+  void check_halts() {
+    // Kernel enforces halted => decided; re-check decisions uniqueness here.
+    std::set<ProcessId> decided;
+    for (const DecisionRecord& d : trace_.decisions()) {
+      if (!decided.insert(d.pid).second) {
+        fail("p" + std::to_string(d.pid) + " decided twice");
+      }
+    }
+  }
+
+  void check_no_delays() {
+    for (const DeliveryRecord& d : trace_.deliveries()) {
+      if (d.recv_round != d.send_round) {
+        fail("SCS: delayed delivery p" + std::to_string(d.sender) + "->p" +
+             std::to_string(d.receiver) + " sent@" +
+             std::to_string(d.send_round) + " recv@" +
+             std::to_string(d.recv_round));
+      }
+    }
+    if (!trace_.pending().empty()) {
+      fail("SCS: messages pending at end of run");
+    }
+  }
+
+  /// From `from_round` on, a sender that does not crash in round k must be
+  /// received in-round by every process completing round k.
+  void check_synchronous_delivery(Round from_round) {
+    for (const SendRecord& s : trace_.sends()) {
+      if (s.round < from_round) continue;
+      if (crashes_in_round(s.sender, s.round)) continue;
+      for (ProcessId r = 0; r < trace_.config().n; ++r) {
+        if (!completes_round(r, s.round)) continue;
+        if (!delivered_in_round(s.sender, s.round, r)) {
+          fail("synchrony: p" + std::to_string(r) + " missed round-" +
+               std::to_string(s.round) + " message of live sender p" +
+               std::to_string(s.sender));
+        }
+      }
+    }
+  }
+
+  bool delivered_in_round(ProcessId sender, Round round,
+                          ProcessId receiver) const {
+    for (const DeliveryRecord& d : trace_.deliveries()) {
+      if (d.sender == sender && d.send_round == round &&
+          d.receiver == receiver && d.recv_round == round) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void check_t_resilience() {
+    const SystemConfig& cfg = trace_.config();
+    for (Round k = 1; k <= trace_.rounds_executed(); ++k) {
+      for (ProcessId r = 0; r < cfg.n; ++r) {
+        if (!completes_round(r, k)) continue;
+        const int got = trace_.in_round_senders(r, k).size();
+        if (got < cfg.n - cfg.t) {
+          fail("t-resilience: p" + std::to_string(r) + " received only " +
+               std::to_string(got) + " round-" + std::to_string(k) +
+               " messages in round " + std::to_string(k));
+        }
+      }
+    }
+  }
+
+  void check_reliable_channels() {
+    const ProcessSet correct = trace_.correct();
+    for (const SendRecord& s : trace_.sends()) {
+      if (!correct.contains(s.sender)) continue;
+      for (ProcessId r : correct) {
+        const std::pair<std::pair<ProcessId, Round>, ProcessId> key{
+            {s.sender, s.round}, r};
+        if (!delivered_.count(key) && !pending_.count(key)) {
+          fail("reliable channels: round-" + std::to_string(s.round) +
+               " message p" + std::to_string(s.sender) + "->p" +
+               std::to_string(r) + " (both correct) was lost");
+        }
+      }
+    }
+  }
+
+  const RunTrace& trace_;
+  ValidationReport report_;
+
+  std::map<ProcessId, Round> crash_round_;
+  std::set<ProcessId> before_send_;
+  std::set<std::pair<ProcessId, Round>> sent_;
+  std::set<std::pair<std::pair<ProcessId, Round>, ProcessId>> delivered_;
+  std::set<std::pair<std::pair<ProcessId, Round>, ProcessId>> pending_;
+};
+
+}  // namespace
+
+std::string ValidationReport::to_string() const {
+  if (ok()) return "trace valid";
+  std::ostringstream os;
+  os << violations.size() << " model violation(s):\n";
+  for (const std::string& v : violations) os << "  - " << v << '\n';
+  return os.str();
+}
+
+ValidationReport validate_trace(const RunTrace& trace) {
+  return Checker(trace).run();
+}
+
+void expect_valid(const RunTrace& trace) {
+  const ValidationReport report = validate_trace(trace);
+  if (!report.ok()) {
+    throw std::runtime_error(report.to_string() + "\ntrace:\n" +
+                             trace.to_string());
+  }
+}
+
+}  // namespace indulgence

@@ -1,0 +1,101 @@
+// Failure-detector layer: the Sect. 4 receipt simulation, scripted lies,
+// and the footnote-10 eventual leader.
+
+#include <gtest/gtest.h>
+
+#include "fd/failure_detector.hpp"
+#include "fd/leader.hpp"
+
+namespace indulgence {
+namespace {
+
+const SystemConfig kCfg{.n = 5, .t = 2};
+
+TEST(ReceiptDetector, SuspectsExactlyTheUnheard) {
+  SimulatedReceiptDetector fd(/*self=*/0, kCfg);
+  fd.observe_round(1, ProcessSet{0, 1, 2});
+  EXPECT_EQ(fd.suspects(), (ProcessSet{3, 4}));
+  fd.observe_round(2, ProcessSet{0, 1, 2, 3, 4});
+  EXPECT_TRUE(fd.suspects().empty()) << "suspicions are forgiven on receipt";
+}
+
+TEST(ReceiptDetector, NeverSuspectsSelf) {
+  SimulatedReceiptDetector fd(2, kCfg);
+  fd.observe_round(1, ProcessSet{});  // heard nobody, not even itself
+  EXPECT_FALSE(fd.suspects().contains(2));
+  EXPECT_EQ(fd.suspects().size(), kCfg.n - 1);
+}
+
+TEST(ReceiptDetector, EventualStrongAccuracyInSyncSuffix) {
+  // After "GST", if every round reports all-correct heard, suspicions stay
+  // empty — the simulation argument of Sect. 4.
+  SimulatedReceiptDetector fd(0, kCfg);
+  const ProcessSet correct{0, 1, 2, 3};
+  for (Round k = 1; k <= 10; ++k) {
+    fd.observe_round(k, correct);
+    EXPECT_EQ(fd.suspects(), (ProcessSet{4}))
+        << "crashed p4 is permanently suspected (strong completeness)";
+  }
+}
+
+TEST(ScriptedDetector, AddsLiesOnTopOfReceipt) {
+  std::map<Round, ProcessSet> lies;
+  lies[2] = ProcessSet{1};
+  ScriptedFailureDetector fd(0, kCfg, lies);
+  fd.observe_round(1, ProcessSet::all(kCfg.n));
+  EXPECT_TRUE(fd.suspects().empty());
+  fd.observe_round(2, ProcessSet::all(kCfg.n));
+  EXPECT_EQ(fd.suspects(), (ProcessSet{1})) << "the scripted lie";
+  fd.observe_round(3, ProcessSet::all(kCfg.n));
+  EXPECT_TRUE(fd.suspects().empty()) << "lies are per-round";
+}
+
+TEST(ScriptedDetector, NeverSuspectsSelfEvenWhenScripted) {
+  std::map<Round, ProcessSet> lies;
+  lies[1] = ProcessSet{0, 1};
+  ScriptedFailureDetector fd(0, kCfg, lies);
+  fd.observe_round(1, ProcessSet::all(kCfg.n));
+  EXPECT_EQ(fd.suspects(), (ProcessSet{1}));
+}
+
+TEST(DetectorFactories, ProduceWorkingModules) {
+  auto receipt = receipt_detector_factory()(1, kCfg);
+  receipt->observe_round(1, ProcessSet{0, 1});
+  EXPECT_EQ(receipt->suspects(), (ProcessSet{2, 3, 4}));
+
+  std::map<Round, ProcessSet> lies;
+  lies[1] = ProcessSet{4};
+  auto scripted = scripted_detector_factory(lies)(1, kCfg);
+  scripted->observe_round(1, ProcessSet::all(kCfg.n));
+  EXPECT_EQ(scripted->suspects(), (ProcessSet{4}));
+}
+
+TEST(EventualLeader, StartsAtP0AndTracksMinimumHeard) {
+  EventualLeader leader;
+  EXPECT_EQ(leader.leader(), 0);
+  leader.observe_round(ProcessSet{2, 3});
+  EXPECT_EQ(leader.leader(), 2);
+  leader.observe_round(ProcessSet{1, 2, 3});
+  EXPECT_EQ(leader.leader(), 1);
+}
+
+TEST(EventualLeader, EmptyRoundKeepsTheOldLeader) {
+  EventualLeader leader;
+  leader.observe_round(ProcessSet{3});
+  leader.observe_round(ProcessSet{});
+  EXPECT_EQ(leader.leader(), 3);
+}
+
+TEST(EventualLeader, ConvergesAfterCrash) {
+  // p0 crashes: from then on the minimum heard is p1, forever.
+  EventualLeader leader;
+  leader.observe_round(ProcessSet{0, 1, 2});
+  EXPECT_EQ(leader.leader(), 0);
+  for (int k = 0; k < 5; ++k) {
+    leader.observe_round(ProcessSet{1, 2});
+    EXPECT_EQ(leader.leader(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace indulgence

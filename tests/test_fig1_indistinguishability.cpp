@@ -1,0 +1,132 @@
+// The indistinguishability structure of the Claim 5.1 proof, executed:
+// the paper's argument rests on specific processes being unable to tell
+// specific runs apart at specific rounds.  We run the five Fig. 1
+// schedules and verify those receipt-level indistinguishabilities on the
+// traces themselves (receipt patterns determine a deterministic process'
+// state, so equal receipts == indistinguishable).
+
+#include <gtest/gtest.h>
+
+#include "consensus/hurfin_raynal.hpp"
+#include "core/at2.hpp"
+#include "lb/attack.hpp"
+#include "sim/harness.hpp"
+
+namespace indulgence {
+namespace {
+
+struct Fig1Fixture : public ::testing::Test {
+  static constexpr int kN = 5;
+  static constexpr int kT = 2;
+  const SystemConfig cfg{kN, kT};
+  const ProcessId p1 = 0;   // the paper's p'_1
+  const ProcessId pi1 = 1;  // the paper's p'_{i+1}
+  const Round horizon = kT + 6;  // the paper's k'
+
+  RunTrace run(const RunSchedule& s) {
+    KernelOptions opt;
+    opt.model = Model::ES;
+    opt.max_rounds = 64;
+    opt.stop_on_global_decision = false;
+    opt.max_rounds = horizon + 2;
+    return run_and_check(cfg, opt, at2_factory(hurfin_raynal_factory()),
+                         distinct_proposals(kN), s)
+        .trace;
+  }
+
+  Fig1Runs runs() {
+    return fig1_construction(cfg, {2}, p1, pi1, horizon);
+  }
+};
+
+TEST_F(Fig1Fixture, OnlyP1PrimeDistinguishesA2FromS1AtRoundT) {
+  // "At the end of round t of a2, only p'_1 can distinguish the first t
+  // rounds of a2 from the first t rounds of s1."
+  const Fig1Runs f = runs();
+  const RunTrace s1 = run(f.s1);
+  const RunTrace a2 = run(f.a2);
+  for (Round k = 1; k <= kT; ++k) {
+    for (ProcessId pid = 0; pid < kN; ++pid) {
+      if (pid == p1) continue;
+      EXPECT_EQ(s1.in_round_senders(pid, k), a2.in_round_senders(pid, k))
+          << "p" << pid << " round " << k;
+    }
+  }
+  // p'_1 itself DOES distinguish: it crashed in s1 (receives nothing at
+  // round t) but is alive in a2.
+  EXPECT_TRUE(s1.in_round_senders(p1, kT).empty());
+  EXPECT_FALSE(a2.in_round_senders(p1, kT).empty());
+}
+
+TEST_F(Fig1Fixture, Pi1CannotDistinguishA1FromS1ThroughRoundTPlus1) {
+  // "Thus p'_{i+1} cannot distinguish a1 from s1 at the end of round t+1."
+  const Fig1Runs f = runs();
+  const RunTrace s1 = run(f.s1);
+  const RunTrace a1 = run(f.a1);
+  for (Round k = 1; k <= kT + 1; ++k) {
+    EXPECT_EQ(s1.in_round_senders(pi1, k), a1.in_round_senders(pi1, k))
+        << "round " << k;
+  }
+}
+
+TEST_F(Fig1Fixture, Pi1CannotDistinguishA0FromS0ThroughRoundTPlus1) {
+  const Fig1Runs f = runs();
+  const RunTrace s0 = run(f.s0);
+  const RunTrace a0 = run(f.a0);
+  for (Round k = 1; k <= kT + 1; ++k) {
+    EXPECT_EQ(s0.in_round_senders(pi1, k), a0.in_round_senders(pi1, k))
+        << "round " << k;
+  }
+}
+
+TEST_F(Fig1Fixture, OthersCannotDistinguishA2A1A0BeforeKPrime) {
+  // "At the end of round k', processes distinct from p'_{i+1} cannot
+  // distinguish a2, a1, and a0" — modulo p'_1, which sees its own delayed
+  // round-t message fate differ between the a2/a1 side and a0.
+  const Fig1Runs f = runs();
+  const RunTrace a2 = run(f.a2);
+  const RunTrace a1 = run(f.a1);
+  const RunTrace a0 = run(f.a0);
+  for (Round k = 1; k < horizon; ++k) {
+    for (ProcessId pid = 0; pid < kN; ++pid) {
+      if (pid == pi1 || pid == p1) continue;
+      const ProcessSet in_a2 = a2.in_round_senders(pid, k);
+      const ProcessSet in_a1 = a1.in_round_senders(pid, k);
+      const ProcessSet in_a0 = a0.in_round_senders(pid, k);
+      EXPECT_EQ(in_a2, in_a1) << "p" << pid << " round " << k;
+      EXPECT_EQ(in_a1, in_a0) << "p" << pid << " round " << k;
+    }
+  }
+}
+
+TEST_F(Fig1Fixture, AllFiveRunsAreModelValidAndSafe) {
+  const Fig1Runs f = runs();
+  for (const RunSchedule* s : {&f.s1, &f.s0, &f.a2, &f.a1, &f.a0}) {
+    KernelOptions opt;
+    opt.model = Model::ES;
+    opt.max_rounds = 64;
+    RunResult r = run_and_check(cfg, opt,
+                                at2_factory(hurfin_raynal_factory()),
+                                distinct_proposals(kN), *s);
+    EXPECT_TRUE(r.validation.ok()) << r.validation.to_string();
+    EXPECT_TRUE(r.agreement && r.validity) << r.trace.to_string();
+  }
+}
+
+TEST_F(Fig1Fixture, WorksAtLargerScaleToo) {
+  const SystemConfig big{.n = 7, .t = 3};
+  const Fig1Runs f = fig1_construction(big, {3, 4}, 0, 1, big.t + 6);
+  KernelOptions opt;
+  opt.model = Model::ES;
+  opt.max_rounds = 64;
+  for (const RunSchedule* s : {&f.s1, &f.s0, &f.a2, &f.a1, &f.a0}) {
+    RunResult r = run_and_check(big, opt,
+                                at2_factory(hurfin_raynal_factory()),
+                                distinct_proposals(big.n), *s);
+    EXPECT_TRUE(r.validation.ok()) << r.validation.to_string();
+    EXPECT_TRUE(r.agreement && r.termination) << r.trace.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace indulgence

@@ -1,0 +1,110 @@
+// ProcessSet: bitset algebra every other module leans on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/process_set.hpp"
+
+namespace indulgence {
+namespace {
+
+TEST(ProcessSet, StartsEmpty) {
+  ProcessSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(ProcessSet, InsertEraseContains) {
+  ProcessSet s;
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+  s.erase(3);  // idempotent
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(ProcessSet, InitializerListAndEquality) {
+  ProcessSet a{1, 2, 5};
+  ProcessSet b;
+  b.insert(5);
+  b.insert(1);
+  b.insert(2);
+  EXPECT_EQ(a, b);
+  b.insert(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ProcessSet, AllOfN) {
+  const ProcessSet s = ProcessSet::all(5);
+  EXPECT_EQ(s.size(), 5);
+  for (ProcessId i = 0; i < 5; ++i) EXPECT_TRUE(s.contains(i));
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(ProcessSet, AllOf64DoesNotOverflow) {
+  const ProcessSet s = ProcessSet::all(64);
+  EXPECT_EQ(s.size(), 64);
+  EXPECT_TRUE(s.contains(63));
+}
+
+TEST(ProcessSet, SetAlgebra) {
+  const ProcessSet a{0, 1, 2};
+  const ProcessSet b{2, 3};
+  EXPECT_EQ(a | b, (ProcessSet{0, 1, 2, 3}));
+  EXPECT_EQ(a & b, (ProcessSet{2}));
+  EXPECT_EQ(a - b, (ProcessSet{0, 1}));
+  EXPECT_TRUE((a & b).subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE((a - b).intersects(b));
+}
+
+TEST(ProcessSet, SubsetOf) {
+  EXPECT_TRUE((ProcessSet{}).subset_of(ProcessSet{1}));
+  EXPECT_TRUE((ProcessSet{1}).subset_of(ProcessSet{1, 2}));
+  EXPECT_FALSE((ProcessSet{1, 3}).subset_of(ProcessSet{1, 2}));
+}
+
+TEST(ProcessSet, MinAndIterationOrder) {
+  const ProcessSet s{9, 4, 31};
+  EXPECT_EQ(s.min(), 4);
+  std::vector<ProcessId> ids(s.begin(), s.end());
+  EXPECT_EQ(ids, (std::vector<ProcessId>{4, 9, 31}));
+}
+
+TEST(ProcessSet, MinOnEmptyThrows) {
+  EXPECT_THROW(ProcessSet{}.min(), std::logic_error);
+}
+
+TEST(ProcessSet, RangeChecks) {
+  ProcessSet s;
+  EXPECT_THROW(s.insert(-1), std::out_of_range);
+  EXPECT_THROW(s.insert(64), std::out_of_range);
+  EXPECT_THROW((void)s.contains(64), std::out_of_range);
+  EXPECT_THROW(ProcessSet::all(65), std::out_of_range);
+}
+
+TEST(ProcessSet, MaskRoundTrip) {
+  const ProcessSet s{0, 5, 63};
+  EXPECT_EQ(ProcessSet::from_mask(s.mask()), s);
+}
+
+TEST(ProcessSet, ToString) {
+  EXPECT_EQ((ProcessSet{}).to_string(), "{}");
+  EXPECT_EQ((ProcessSet{2, 0}).to_string(), "{p0, p2}");
+}
+
+TEST(ProcessSet, SingleFactory) {
+  EXPECT_EQ(ProcessSet::single(7), (ProcessSet{7}));
+}
+
+}  // namespace
+}  // namespace indulgence

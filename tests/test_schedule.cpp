@@ -1,0 +1,131 @@
+// Schedules, the builder DSL, and canned harness schedules.
+
+#include <gtest/gtest.h>
+
+#include "sim/harness.hpp"
+#include "sim/schedule.hpp"
+
+namespace indulgence {
+namespace {
+
+const SystemConfig kCfg{.n = 5, .t = 2};
+
+TEST(Schedule, DefaultsAreBenign) {
+  RunSchedule s(kCfg);
+  EXPECT_EQ(s.gst(), 1);
+  EXPECT_EQ(s.last_planned_round(), 0);
+  EXPECT_TRUE(s.crashed_processes().empty());
+  EXPECT_TRUE(s.plan(7).crashes().empty());
+  EXPECT_EQ(s.plan(7).fate(0, 1), Fate::deliver());
+}
+
+TEST(Schedule, BuilderCrash) {
+  ScheduleBuilder b(kCfg);
+  b.crash(2, 3).crash(4, 1, /*before_send=*/true);
+  const RunSchedule s = b.build();
+  EXPECT_TRUE(s.plan(3).crashes_process(2));
+  EXPECT_FALSE(s.plan(3).crashes_before_send(2));
+  EXPECT_TRUE(s.plan(1).crashes_before_send(4));
+  EXPECT_EQ(s.crashed_processes(), (ProcessSet{2, 4}));
+  EXPECT_EQ(s.last_planned_round(), 3);
+}
+
+TEST(Schedule, BuilderLoseAndDelay) {
+  ScheduleBuilder b(kCfg);
+  b.lose(0, 1, 2);
+  b.delay(3, 4, 2, 5);
+  const RunSchedule s = b.build();
+  EXPECT_EQ(s.plan(2).fate(0, 1), Fate::lose());
+  EXPECT_EQ(s.plan(2).fate(3, 4), Fate::delay_to(5));
+  EXPECT_EQ(s.plan(2).fate(0, 2), Fate::deliver());
+}
+
+TEST(Schedule, FateOverrideReplaces) {
+  RoundPlan plan;
+  plan.set_fate(0, 1, Fate::lose());
+  plan.set_fate(0, 1, Fate::delay_to(4));
+  EXPECT_EQ(plan.fate(0, 1), Fate::delay_to(4));
+  EXPECT_EQ(plan.overrides().size(), 1u);
+}
+
+TEST(Schedule, BuilderGroupOperations) {
+  ScheduleBuilder b(kCfg);
+  b.losing_to(0, 1, ProcessSet{1, 2});
+  b.delaying_to(3, 2, ProcessSet{0, 4}, 6);
+  const RunSchedule s = b.build();
+  EXPECT_EQ(s.plan(1).fate(0, 1), Fate::lose());
+  EXPECT_EQ(s.plan(1).fate(0, 2), Fate::lose());
+  EXPECT_EQ(s.plan(1).fate(0, 3), Fate::deliver());
+  EXPECT_EQ(s.plan(2).fate(3, 0), Fate::delay_to(6));
+  EXPECT_EQ(s.plan(2).fate(3, 4), Fate::delay_to(6));
+}
+
+TEST(Schedule, BuilderRejectsNonsense) {
+  ScheduleBuilder b(kCfg);
+  EXPECT_THROW(b.crash(0, 0), std::invalid_argument);
+  EXPECT_THROW(b.delay(0, 1, 3, 3), std::invalid_argument);
+  EXPECT_THROW(b.delay(0, 1, 3, 2), std::invalid_argument);
+  EXPECT_THROW(b.gst(0), std::invalid_argument);
+}
+
+TEST(Schedule, ConfigIsValidated) {
+  EXPECT_THROW(RunSchedule(SystemConfig{.n = 2, .t = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(RunSchedule(SystemConfig{.n = 5, .t = 5}),
+               std::invalid_argument);
+}
+
+TEST(HarnessSchedules, StaggeredChainShape) {
+  const RunSchedule s = staggered_chain_schedule(kCfg, 2);
+  // Round 1: p0 crashes, message only to p1.
+  EXPECT_TRUE(s.plan(1).crashes_process(0));
+  EXPECT_EQ(s.plan(1).fate(0, 1), Fate::deliver());
+  EXPECT_EQ(s.plan(1).fate(0, 2), Fate::lose());
+  EXPECT_EQ(s.plan(1).fate(0, 3), Fate::lose());
+  // Round 2: p1 crashes, message only to p2.
+  EXPECT_TRUE(s.plan(2).crashes_process(1));
+  EXPECT_EQ(s.plan(2).fate(1, 2), Fate::deliver());
+  EXPECT_EQ(s.plan(2).fate(1, 0), Fate::lose());
+  EXPECT_THROW(staggered_chain_schedule(kCfg, 3), std::invalid_argument);
+}
+
+TEST(HarnessSchedules, CoordinatorAssassinShape) {
+  const RunSchedule s = coordinator_assassin_schedule(kCfg, 2);
+  EXPECT_TRUE(s.plan(1).crashes_before_send(0));
+  EXPECT_TRUE(s.plan(3).crashes_before_send(1));
+  EXPECT_THROW(coordinator_assassin_schedule(kCfg, 3),
+               std::invalid_argument);
+}
+
+TEST(HarnessSchedules, AsyncPrefixRespectsResilience) {
+  const RunSchedule s =
+      async_prefix_schedule(kCfg, /*gst=*/4, ProcessSet{0, 1}, /*f=*/2);
+  EXPECT_EQ(s.gst(), 4);
+  // Laggards delayed in rounds 1..3; crashes land at/after GST and avoid
+  // the laggards.
+  EXPECT_EQ(s.plan(1).fate(0, 2).kind, FateKind::Delay);
+  EXPECT_EQ(s.plan(3).fate(1, 4).kind, FateKind::Delay);
+  const ProcessSet crashed = s.crashed_processes();
+  EXPECT_EQ(crashed.size(), 2);
+  EXPECT_FALSE(crashed.contains(0));
+  EXPECT_FALSE(crashed.contains(1));
+  EXPECT_THROW(async_prefix_schedule(kCfg, 4, ProcessSet{0, 1, 2}, 0),
+               std::invalid_argument);
+}
+
+TEST(HarnessSchedules, HostileLibraryIsNonTrivial) {
+  const auto schedules = hostile_sync_schedules(kCfg, kCfg.t);
+  EXPECT_GE(schedules.size(), 6u);
+  for (const RunSchedule& s : schedules) {
+    EXPECT_LE(s.crashed_processes().size(), kCfg.t);
+    EXPECT_EQ(s.gst(), 1) << "hostile sync schedules must stay synchronous";
+  }
+}
+
+TEST(HarnessSchedules, ProposalHelpers) {
+  EXPECT_EQ(distinct_proposals(3), (std::vector<Value>{0, 1, 2}));
+  EXPECT_EQ(uniform_proposals(3, 9), (std::vector<Value>{9, 9, 9}));
+}
+
+}  // namespace
+}  // namespace indulgence

@@ -1,0 +1,101 @@
+// TraceStats: exact message accounting on known schedules.
+
+#include <gtest/gtest.h>
+
+#include "consensus/floodset.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/at2.hpp"
+#include "sim/harness.hpp"
+#include "sim/stats.hpp"
+
+namespace indulgence {
+namespace {
+
+KernelOptions es_options() {
+  KernelOptions o;
+  o.model = Model::ES;
+  o.max_rounds = 64;
+  return o;
+}
+
+TEST(Stats, FailureFreeAt2CountsAreExact) {
+  const SystemConfig cfg{.n = 5, .t = 2};
+  RunResult r = run_and_check(cfg, es_options(),
+                              at2_factory(hurfin_raynal_factory()),
+                              distinct_proposals(cfg.n),
+                              failure_free_schedule(cfg));
+  ASSERT_TRUE(r.ok());
+  const TraceStats s = compute_stats(r.trace);
+  // t + 2 = 4 rounds, 5 senders each: 20 broadcasts, 20 * 4 wire copies.
+  EXPECT_EQ(s.rounds, 4);
+  EXPECT_EQ(s.sends, 20);
+  EXPECT_EQ(s.dummy_sends, 0);
+  EXPECT_EQ(s.wire_messages, 80);
+  // Every copy delivered, plus 5 self-deliveries per round.
+  EXPECT_EQ(s.deliveries, 100);
+  EXPECT_EQ(s.delayed_deliveries, 0);
+  EXPECT_EQ(s.lost_messages, 0);
+  EXPECT_EQ(s.suspicions, 0);
+}
+
+TEST(Stats, LostCopiesAndSuspicionsAreCounted) {
+  const SystemConfig cfg{.n = 5, .t = 2};
+  ScheduleBuilder b(cfg);
+  b.crash(0, 1);
+  ProcessSet lost = ProcessSet::all(cfg.n);
+  lost.erase(0);
+  lost.erase(1);  // only p1 gets p0's final message: 3 copies lost
+  b.losing_to(0, 1, lost);
+  RunResult r = run_and_check(cfg, es_options(), floodset_factory(),
+                              distinct_proposals(cfg.n), b.build());
+  ASSERT_TRUE(r.validation.ok());
+  const TraceStats s = compute_stats(r.trace);
+  EXPECT_EQ(s.lost_messages, 3);
+  // p2, p3, p4 each miss p0's round-1 message: 3 suspicion events.
+  EXPECT_EQ(s.suspicions, 3);
+}
+
+TEST(Stats, DelayedDeliveriesAreCounted) {
+  const SystemConfig cfg{.n = 4, .t = 1};
+  ScheduleBuilder b(cfg);
+  b.delay(0, 1, 1, 3);
+  b.gst(3);
+  RunResult r = run_and_check(cfg, es_options(),
+                              at2_factory(hurfin_raynal_factory()),
+                              distinct_proposals(cfg.n), b.build());
+  ASSERT_TRUE(r.validation.ok());
+  const TraceStats s = compute_stats(r.trace);
+  EXPECT_EQ(s.delayed_deliveries, 1);
+  EXPECT_EQ(s.suspicions, 1) << "p1 suspected p0 in round 1";
+}
+
+TEST(Stats, WindowLimitsTheAccounting) {
+  const SystemConfig cfg{.n = 5, .t = 2};
+  KernelOptions opt = es_options();
+  opt.stop_on_global_decision = false;
+  opt.max_rounds = 8;
+  RunResult r = run_and_check(cfg, opt, floodset_factory(),
+                              distinct_proposals(cfg.n),
+                              failure_free_schedule(cfg));
+  const TraceStats first2 = compute_stats(r.trace, 2);
+  EXPECT_EQ(first2.rounds, 2);
+  EXPECT_EQ(first2.sends, 10);
+  const TraceStats all = compute_stats(r.trace);
+  EXPECT_EQ(all.rounds, 8);
+  EXPECT_GT(all.sends, first2.sends);
+  EXPECT_GT(all.dummy_sends, 0) << "FloodSet halts at t+1; later rounds are "
+                                   "kernel dummies";
+}
+
+TEST(Stats, ToStringMentionsTheNumbers) {
+  TraceStats s;
+  s.rounds = 3;
+  s.sends = 12;
+  s.wire_messages = 48;
+  const std::string out = s.to_string();
+  EXPECT_NE(out.find("rounds=3"), std::string::npos);
+  EXPECT_NE(out.find("wire=48"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace indulgence

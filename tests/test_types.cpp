@@ -1,0 +1,49 @@
+// SystemConfig and base-type contracts.
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace indulgence {
+namespace {
+
+TEST(SystemConfig, ValidatesBounds) {
+  EXPECT_NO_THROW((SystemConfig{.n = 3, .t = 0}.validate()));
+  EXPECT_NO_THROW((SystemConfig{.n = 3, .t = 1}.validate()));
+  EXPECT_NO_THROW((SystemConfig{.n = 64, .t = 31}.validate()));
+  EXPECT_THROW((SystemConfig{.n = 2, .t = 0}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((SystemConfig{.n = 5, .t = -1}.validate()),
+               std::invalid_argument);
+  EXPECT_THROW((SystemConfig{.n = 5, .t = 5}.validate()),
+               std::invalid_argument);
+}
+
+TEST(SystemConfig, ResilienceClassesMatchThePaper) {
+  // t < n/2 (indulgence possible) and t < n/3 (A_{f+2} territory).
+  EXPECT_TRUE((SystemConfig{.n = 5, .t = 2}.majority_correct()));
+  EXPECT_FALSE((SystemConfig{.n = 4, .t = 2}.majority_correct()));
+  EXPECT_TRUE((SystemConfig{.n = 7, .t = 2}.third_correct()));
+  EXPECT_FALSE((SystemConfig{.n = 6, .t = 2}.third_correct()));
+  EXPECT_FALSE((SystemConfig{.n = 9, .t = 3}.third_correct()))
+      << "3t < n must be strict";
+}
+
+TEST(Types, BottomIsOutsideTheProposalRange) {
+  EXPECT_LT(kBottom, std::numeric_limits<Value>::min() + 1);
+  EXPECT_EQ(kBottom, std::numeric_limits<Value>::min());
+}
+
+TEST(Types, ModelToString) {
+  EXPECT_EQ(to_string(Model::SCS), "SCS");
+  EXPECT_EQ(to_string(Model::ES), "ES");
+}
+
+TEST(Types, DecisionEquality) {
+  EXPECT_EQ((Decision{1, 2}), (Decision{1, 2}));
+  EXPECT_FALSE((Decision{1, 2}) == (Decision{1, 3}));
+  EXPECT_FALSE((Decision{2, 2}) == (Decision{1, 2}));
+}
+
+}  // namespace
+}  // namespace indulgence

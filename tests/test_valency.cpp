@@ -1,0 +1,91 @@
+// Valency structure of serial partial runs (E3, paper Lemmas 2-5).
+//
+// For an algorithm that decides at t+1 in synchronous runs (FloodSet), all
+// t-round serial partial runs are univalent (Lemma 2's engine); for A_{t+2}
+// bivalency survives one round longer — the structural "price of
+// indulgence".
+
+#include <gtest/gtest.h>
+
+#include "consensus/floodset.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/at2.hpp"
+#include "lb/valency.hpp"
+#include "sim/harness.hpp"
+
+namespace indulgence {
+namespace {
+
+AlgorithmFactory at2() { return at2_factory(hurfin_raynal_factory()); }
+
+// Bivalent at t = 1: only p1 holds the minimum 0, so one crash (p1, silent)
+// reaches decision 1 while the failure-free run reaches decision 0.
+std::vector<Value> binary_proposals_301() { return {1, 0, 1}; }
+
+TEST(Valency, BivalentBinaryInitialConfigurationsExist) {
+  // Lemma 3.  All-0 and all-1 are univalent by validity; mixed
+  // configurations must include bivalent ones.
+  const SystemConfig cfg{.n = 3, .t = 1};
+  for (const AlgorithmFactory& factory : {floodset_factory(), at2()}) {
+    ValencyAnalyzer analyzer(cfg, factory, /*extension_rounds=*/cfg.t + 2);
+    const int bivalent = analyzer.count_bivalent_binary_initial_configs();
+    EXPECT_GT(bivalent, 0);
+    EXPECT_LT(bivalent, 1 << cfg.n)
+        << "all-equal configurations are univalent by validity";
+  }
+}
+
+TEST(Valency, UniformConfigsAreUnivalent) {
+  const SystemConfig cfg{.n = 3, .t = 1};
+  ValencyAnalyzer analyzer(cfg, at2(), cfg.t + 2);
+  EXPECT_EQ(analyzer.valency(uniform_proposals(cfg.n, 0), {}),
+            (std::set<Value>{0}));
+  EXPECT_EQ(analyzer.valency(uniform_proposals(cfg.n, 1), {}),
+            (std::set<Value>{1}));
+}
+
+TEST(Valency, FloodSetLosesBivalencyAtRoundT) {
+  // FloodSet decides at t+1 in sync runs => every t-round serial partial
+  // run is univalent (Lemma 2 applied to the t+1-fast algorithm).
+  const SystemConfig cfg{.n = 3, .t = 1};
+  ValencyAnalyzer analyzer(cfg, floodset_factory(), cfg.t + 2);
+  const auto profile =
+      analyzer.profile(binary_proposals_301(), /*max_prefix_len=*/cfg.t);
+  ASSERT_TRUE(profile.all_terminated);
+  EXPECT_GT(profile.bivalent_prefixes[0], 0)
+      << "the initial configuration 1,0,1 must be bivalent";
+  EXPECT_EQ(profile.bivalent_prefixes[cfg.t], 0)
+      << "t-round serial partial runs of a t+1-fast algorithm are univalent";
+}
+
+TEST(Valency, At2SerialPrefixesAreUnivalentAtRoundTToo) {
+  // Instructive negative result: A_{t+2}'s t-round SERIAL prefixes are also
+  // all univalent — once the crash budget is spent (or unspendable without
+  // exceeding one-per-round), a serial extension is deterministic.  This is
+  // exactly why the paper's Lemma 5 must bring in NON-synchronous runs
+  // (false suspicions) to keep bivalency alive for the extra round: within
+  // purely synchronous serial runs, uncertainty dies at round t for every
+  // algorithm.  The asynchronous side of the story is what
+  // test_lowerbound.cpp's attack search exercises.
+  const SystemConfig cfg{.n = 3, .t = 1};
+  ValencyAnalyzer analyzer(cfg, at2(), cfg.t + 3);
+  const auto profile =
+      analyzer.profile(binary_proposals_301(), /*max_prefix_len=*/cfg.t + 1);
+  ASSERT_TRUE(profile.all_terminated);
+  EXPECT_GT(profile.bivalent_prefixes[0], 0)
+      << "Lemma 3: a bivalent initial configuration exists";
+  EXPECT_EQ(profile.bivalent_prefixes[cfg.t], 0);
+  EXPECT_EQ(profile.bivalent_prefixes[cfg.t + 1], 0);
+}
+
+TEST(Valency, ProfileCountsEveryPrefix) {
+  const SystemConfig cfg{.n = 3, .t = 1};
+  ValencyAnalyzer analyzer(cfg, floodset_factory(), cfg.t + 2);
+  const auto profile = analyzer.profile(binary_proposals_301(), 1);
+  EXPECT_EQ(profile.prefixes_checked[0], 1);
+  // Round-1 actions at n=3: NoOp + 3 victims x 4 delivery subsets = 13.
+  EXPECT_EQ(profile.prefixes_checked[1], 13);
+}
+
+}  // namespace
+}  // namespace indulgence
