@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_price_of_indulgence.dir/bench_e1_price_of_indulgence.cpp.o"
+  "CMakeFiles/bench_e1_price_of_indulgence.dir/bench_e1_price_of_indulgence.cpp.o.d"
+  "bench_e1_price_of_indulgence"
+  "bench_e1_price_of_indulgence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_price_of_indulgence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_valency.dir/bench_e3_valency.cpp.o"
+  "CMakeFiles/bench_e3_valency.dir/bench_e3_valency.cpp.o.d"
+  "bench_e3_valency"
+  "bench_e3_valency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_valency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_fast_decision.dir/bench_e4_fast_decision.cpp.o"
+  "CMakeFiles/bench_e4_fast_decision.dir/bench_e4_fast_decision.cpp.o.d"
+  "bench_e4_fast_decision"
+  "bench_e4_fast_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_fast_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

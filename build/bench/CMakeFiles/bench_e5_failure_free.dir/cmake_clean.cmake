@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_failure_free.dir/bench_e5_failure_free.cpp.o"
+  "CMakeFiles/bench_e5_failure_free.dir/bench_e5_failure_free.cpp.o.d"
+  "bench_e5_failure_free"
+  "bench_e5_failure_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_failure_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e6_ds_variant.cpp" "bench/CMakeFiles/bench_e6_ds_variant.dir/bench_e6_ds_variant.cpp.o" "gcc" "bench/CMakeFiles/bench_e6_ds_variant.dir/bench_e6_ds_variant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/indulgence_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/indulgence_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/indulgence_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/indulgence_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/indulgence_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/indulgence_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/indulgence_rsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

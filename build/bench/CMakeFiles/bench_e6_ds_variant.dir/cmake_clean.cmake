@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_ds_variant.dir/bench_e6_ds_variant.cpp.o"
+  "CMakeFiles/bench_e6_ds_variant.dir/bench_e6_ds_variant.cpp.o.d"
+  "bench_e6_ds_variant"
+  "bench_e6_ds_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_ds_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

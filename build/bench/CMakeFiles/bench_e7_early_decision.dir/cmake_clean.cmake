@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_early_decision.dir/bench_e7_early_decision.cpp.o"
+  "CMakeFiles/bench_e7_early_decision.dir/bench_e7_early_decision.cpp.o.d"
+  "bench_e7_early_decision"
+  "bench_e7_early_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_early_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_eventual_decision.dir/bench_e8_eventual_decision.cpp.o"
+  "CMakeFiles/bench_e8_eventual_decision.dir/bench_e8_eventual_decision.cpp.o.d"
+  "bench_e8_eventual_decision"
+  "bench_e8_eventual_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_eventual_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_indulgence.dir/bench_e9_indulgence.cpp.o"
+  "CMakeFiles/bench_e9_indulgence.dir/bench_e9_indulgence.cpp.o.d"
+  "bench_e9_indulgence"
+  "bench_e9_indulgence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_indulgence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_x2_rsm_throughput.dir/bench_x2_rsm_throughput.cpp.o"
+  "CMakeFiles/bench_x2_rsm_throughput.dir/bench_x2_rsm_throughput.cpp.o.d"
+  "bench_x2_rsm_throughput"
+  "bench_x2_rsm_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_x2_rsm_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_attack.dir/lower_bound_attack.cpp.o"
+  "CMakeFiles/lower_bound_attack.dir/lower_bound_attack.cpp.o.d"
+  "lower_bound_attack"
+  "lower_bound_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_tolerance.dir/partition_tolerance.cpp.o"
+  "CMakeFiles/partition_tolerance.dir/partition_tolerance.cpp.o.d"
+  "partition_tolerance"
+  "partition_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_of_indulgence.dir/price_of_indulgence.cpp.o"
+  "CMakeFiles/price_of_indulgence.dir/price_of_indulgence.cpp.o.d"
+  "price_of_indulgence"
+  "price_of_indulgence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_of_indulgence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

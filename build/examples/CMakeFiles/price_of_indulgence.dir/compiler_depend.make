@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for price_of_indulgence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indulgence_common.dir/common/process_set.cpp.o"
+  "CMakeFiles/indulgence_common.dir/common/process_set.cpp.o.d"
+  "CMakeFiles/indulgence_common.dir/common/rng.cpp.o"
+  "CMakeFiles/indulgence_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/indulgence_common.dir/common/table.cpp.o"
+  "CMakeFiles/indulgence_common.dir/common/table.cpp.o.d"
+  "libindulgence_common.a"
+  "libindulgence_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indulgence_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/amr_leader.cpp" "src/CMakeFiles/indulgence_consensus.dir/consensus/amr_leader.cpp.o" "gcc" "src/CMakeFiles/indulgence_consensus.dir/consensus/amr_leader.cpp.o.d"
+  "/root/repo/src/consensus/chandra_toueg.cpp" "src/CMakeFiles/indulgence_consensus.dir/consensus/chandra_toueg.cpp.o" "gcc" "src/CMakeFiles/indulgence_consensus.dir/consensus/chandra_toueg.cpp.o.d"
+  "/root/repo/src/consensus/consensus.cpp" "src/CMakeFiles/indulgence_consensus.dir/consensus/consensus.cpp.o" "gcc" "src/CMakeFiles/indulgence_consensus.dir/consensus/consensus.cpp.o.d"
+  "/root/repo/src/consensus/floodset.cpp" "src/CMakeFiles/indulgence_consensus.dir/consensus/floodset.cpp.o" "gcc" "src/CMakeFiles/indulgence_consensus.dir/consensus/floodset.cpp.o.d"
+  "/root/repo/src/consensus/floodset_early.cpp" "src/CMakeFiles/indulgence_consensus.dir/consensus/floodset_early.cpp.o" "gcc" "src/CMakeFiles/indulgence_consensus.dir/consensus/floodset_early.cpp.o.d"
+  "/root/repo/src/consensus/floodset_ws.cpp" "src/CMakeFiles/indulgence_consensus.dir/consensus/floodset_ws.cpp.o" "gcc" "src/CMakeFiles/indulgence_consensus.dir/consensus/floodset_ws.cpp.o.d"
+  "/root/repo/src/consensus/hurfin_raynal.cpp" "src/CMakeFiles/indulgence_consensus.dir/consensus/hurfin_raynal.cpp.o" "gcc" "src/CMakeFiles/indulgence_consensus.dir/consensus/hurfin_raynal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/indulgence_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/indulgence_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/indulgence_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

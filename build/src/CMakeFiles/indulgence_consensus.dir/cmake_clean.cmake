@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indulgence_consensus.dir/consensus/amr_leader.cpp.o"
+  "CMakeFiles/indulgence_consensus.dir/consensus/amr_leader.cpp.o.d"
+  "CMakeFiles/indulgence_consensus.dir/consensus/chandra_toueg.cpp.o"
+  "CMakeFiles/indulgence_consensus.dir/consensus/chandra_toueg.cpp.o.d"
+  "CMakeFiles/indulgence_consensus.dir/consensus/consensus.cpp.o"
+  "CMakeFiles/indulgence_consensus.dir/consensus/consensus.cpp.o.d"
+  "CMakeFiles/indulgence_consensus.dir/consensus/floodset.cpp.o"
+  "CMakeFiles/indulgence_consensus.dir/consensus/floodset.cpp.o.d"
+  "CMakeFiles/indulgence_consensus.dir/consensus/floodset_early.cpp.o"
+  "CMakeFiles/indulgence_consensus.dir/consensus/floodset_early.cpp.o.d"
+  "CMakeFiles/indulgence_consensus.dir/consensus/floodset_ws.cpp.o"
+  "CMakeFiles/indulgence_consensus.dir/consensus/floodset_ws.cpp.o.d"
+  "CMakeFiles/indulgence_consensus.dir/consensus/hurfin_raynal.cpp.o"
+  "CMakeFiles/indulgence_consensus.dir/consensus/hurfin_raynal.cpp.o.d"
+  "libindulgence_consensus.a"
+  "libindulgence_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indulgence_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

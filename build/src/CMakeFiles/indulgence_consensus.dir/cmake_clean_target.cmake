@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libindulgence_consensus.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indulgence_core.dir/core/af2.cpp.o"
+  "CMakeFiles/indulgence_core.dir/core/af2.cpp.o.d"
+  "CMakeFiles/indulgence_core.dir/core/at2.cpp.o"
+  "CMakeFiles/indulgence_core.dir/core/at2.cpp.o.d"
+  "CMakeFiles/indulgence_core.dir/core/at2_ds.cpp.o"
+  "CMakeFiles/indulgence_core.dir/core/at2_ds.cpp.o.d"
+  "libindulgence_core.a"
+  "libindulgence_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indulgence_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indulgence_fd.dir/fd/failure_detector.cpp.o"
+  "CMakeFiles/indulgence_fd.dir/fd/failure_detector.cpp.o.d"
+  "CMakeFiles/indulgence_fd.dir/fd/leader.cpp.o"
+  "CMakeFiles/indulgence_fd.dir/fd/leader.cpp.o.d"
+  "libindulgence_fd.a"
+  "libindulgence_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indulgence_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

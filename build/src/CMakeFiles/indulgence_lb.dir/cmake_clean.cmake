@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indulgence_lb.dir/lb/attack.cpp.o"
+  "CMakeFiles/indulgence_lb.dir/lb/attack.cpp.o.d"
+  "CMakeFiles/indulgence_lb.dir/lb/explorer.cpp.o"
+  "CMakeFiles/indulgence_lb.dir/lb/explorer.cpp.o.d"
+  "CMakeFiles/indulgence_lb.dir/lb/valency.cpp.o"
+  "CMakeFiles/indulgence_lb.dir/lb/valency.cpp.o.d"
+  "libindulgence_lb.a"
+  "libindulgence_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indulgence_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indulgence_rsm.dir/rsm/rsm.cpp.o"
+  "CMakeFiles/indulgence_rsm.dir/rsm/rsm.cpp.o.d"
+  "libindulgence_rsm.a"
+  "libindulgence_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indulgence_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/adversary.cpp" "src/CMakeFiles/indulgence_sim.dir/sim/adversary.cpp.o" "gcc" "src/CMakeFiles/indulgence_sim.dir/sim/adversary.cpp.o.d"
+  "/root/repo/src/sim/harness.cpp" "src/CMakeFiles/indulgence_sim.dir/sim/harness.cpp.o" "gcc" "src/CMakeFiles/indulgence_sim.dir/sim/harness.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/indulgence_sim.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/indulgence_sim.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/message.cpp" "src/CMakeFiles/indulgence_sim.dir/sim/message.cpp.o" "gcc" "src/CMakeFiles/indulgence_sim.dir/sim/message.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/CMakeFiles/indulgence_sim.dir/sim/schedule.cpp.o" "gcc" "src/CMakeFiles/indulgence_sim.dir/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/indulgence_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/indulgence_sim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/indulgence_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/indulgence_sim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/validator.cpp" "src/CMakeFiles/indulgence_sim.dir/sim/validator.cpp.o" "gcc" "src/CMakeFiles/indulgence_sim.dir/sim/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/indulgence_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

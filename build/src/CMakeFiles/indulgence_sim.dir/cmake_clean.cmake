@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indulgence_sim.dir/sim/adversary.cpp.o"
+  "CMakeFiles/indulgence_sim.dir/sim/adversary.cpp.o.d"
+  "CMakeFiles/indulgence_sim.dir/sim/harness.cpp.o"
+  "CMakeFiles/indulgence_sim.dir/sim/harness.cpp.o.d"
+  "CMakeFiles/indulgence_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/indulgence_sim.dir/sim/kernel.cpp.o.d"
+  "CMakeFiles/indulgence_sim.dir/sim/message.cpp.o"
+  "CMakeFiles/indulgence_sim.dir/sim/message.cpp.o.d"
+  "CMakeFiles/indulgence_sim.dir/sim/schedule.cpp.o"
+  "CMakeFiles/indulgence_sim.dir/sim/schedule.cpp.o.d"
+  "CMakeFiles/indulgence_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/indulgence_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/indulgence_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/indulgence_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/indulgence_sim.dir/sim/validator.cpp.o"
+  "CMakeFiles/indulgence_sim.dir/sim/validator.cpp.o.d"
+  "libindulgence_sim.a"
+  "libindulgence_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indulgence_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

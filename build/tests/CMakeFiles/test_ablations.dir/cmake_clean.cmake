@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ablations.dir/test_ablations.cpp.o"
+  "CMakeFiles/test_ablations.dir/test_ablations.cpp.o.d"
+  "test_ablations"
+  "test_ablations.pdb"
+  "test_ablations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

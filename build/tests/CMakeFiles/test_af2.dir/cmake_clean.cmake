@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_af2.dir/test_af2.cpp.o"
+  "CMakeFiles/test_af2.dir/test_af2.cpp.o.d"
+  "test_af2"
+  "test_af2.pdb"
+  "test_af2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_af2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_at2.dir/test_at2.cpp.o"
+  "CMakeFiles/test_at2.dir/test_at2.cpp.o.d"
+  "test_at2"
+  "test_at2.pdb"
+  "test_at2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_at2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_at2_ds.dir/test_at2_ds.cpp.o"
+  "CMakeFiles/test_at2_ds.dir/test_at2_ds.cpp.o.d"
+  "test_at2_ds"
+  "test_at2_ds.pdb"
+  "test_at2_ds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_at2_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_variants.dir/test_attack_variants.cpp.o"
+  "CMakeFiles/test_attack_variants.dir/test_attack_variants.cpp.o.d"
+  "test_attack_variants"
+  "test_attack_variants.pdb"
+  "test_attack_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

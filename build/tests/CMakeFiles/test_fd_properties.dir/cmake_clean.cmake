@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fd_properties.dir/test_fd_properties.cpp.o"
+  "CMakeFiles/test_fd_properties.dir/test_fd_properties.cpp.o.d"
+  "test_fd_properties"
+  "test_fd_properties.pdb"
+  "test_fd_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fd_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

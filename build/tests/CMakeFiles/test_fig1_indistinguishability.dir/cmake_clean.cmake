@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig1_indistinguishability.dir/test_fig1_indistinguishability.cpp.o"
+  "CMakeFiles/test_fig1_indistinguishability.dir/test_fig1_indistinguishability.cpp.o.d"
+  "test_fig1_indistinguishability"
+  "test_fig1_indistinguishability.pdb"
+  "test_fig1_indistinguishability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig1_indistinguishability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

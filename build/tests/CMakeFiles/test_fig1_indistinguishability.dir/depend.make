@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fig1_indistinguishability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floodset_early.dir/test_floodset_early.cpp.o"
+  "CMakeFiles/test_floodset_early.dir/test_floodset_early.cpp.o.d"
+  "test_floodset_early"
+  "test_floodset_early.pdb"
+  "test_floodset_early[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floodset_early.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

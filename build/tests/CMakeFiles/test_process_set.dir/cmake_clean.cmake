@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_process_set.dir/test_process_set.cpp.o"
+  "CMakeFiles/test_process_set.dir/test_process_set.cpp.o.d"
+  "test_process_set"
+  "test_process_set.pdb"
+  "test_process_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_process_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsm_windows.dir/test_rsm_windows.cpp.o"
+  "CMakeFiles/test_rsm_windows.dir/test_rsm_windows.cpp.o.d"
+  "test_rsm_windows"
+  "test_rsm_windows.pdb"
+  "test_rsm_windows[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsm_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
