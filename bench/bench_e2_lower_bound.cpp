@@ -38,6 +38,9 @@ int main() {
       "agreement; A_{t+2} survives the same adversary search");
 
   bool ok = true;
+  const CampaignOptions campaign = bench::bench_campaign();
+  const bench::Stopwatch watch;
+  long total_runs = 0;
 
   Table table({"candidate", "n", "t", "sync-fast?", "runs searched",
                "violation found", "paper predicts"});
@@ -57,14 +60,17 @@ int main() {
     };
     for (const Candidate& c : candidates) {
       SyncRunExplorer explorer(cfg, c.factory, distinct_proposals(n));
-      const auto sync = explorer.explore(cfg.t + 2);
+      const auto sync = explorer.explore(cfg.t + 2, /*max_rounds=*/64,
+                                         campaign);
       const bool fast = sync.max_decision_round <= cfg.t + 1;
 
       AttackOptions options;
       options.action_rounds = cfg.t + 2;
+      options.campaign = campaign;
       const AttackResult attack =
           search_agreement_violation(cfg, c.factory, options);
       ok &= attack.violation_found == c.expect_violation;
+      total_runs += sync.runs + attack.runs_tried;
       table.add(c.name, n, t, bench::check_mark(fast), attack.runs_tried,
                 attack.violation_found ? "YES — agreement broken" : "none",
                 c.expect_violation ? "violation must exist"
@@ -75,8 +81,11 @@ int main() {
 
   {
     const SystemConfig cfg{.n = 3, .t = 1};
+    AttackOptions options;
+    options.campaign = campaign;
     const AttackResult attack =
-        search_agreement_violation(cfg, at2_truncated());
+        search_agreement_violation(cfg, at2_truncated(), options);
+    total_runs += attack.runs_tried;
     if (attack.violation_found) {
       std::cout << "Example counterexample against the truncated A_{t+2} "
                    "(n=3, t=1):\n  "
@@ -123,5 +132,6 @@ int main() {
   std::cout << (ok ? "E2 REPRODUCED: violations exist exactly where "
                      "Proposition 1 predicts.\n"
                    : "E2 MISMATCH.\n");
+  watch.report("E2 campaign", total_runs, campaign.resolved_jobs());
   return ok ? 0 : 1;
 }

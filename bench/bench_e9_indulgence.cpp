@@ -7,6 +7,10 @@
 // measurable fraction of runs.
 //
 // 1000 seeded runs per cell; decision-round statistics relative to GST.
+// Each run's adversary is seeded by its run INDEX, so the sweep partitions
+// into index ranges on the campaign engine and the per-chunk partials merge
+// to the same statistics at any job count (decision rounds are small
+// integers, so the double sums are exact in any association).
 
 #include <algorithm>
 
@@ -22,35 +26,54 @@ struct CellStats {
   int safety_violations = 0;
   int non_terminated = 0;
   Round max_decision = 0;
+  double decision_sum = 0;
+  int decided_runs = 0;
   double mean_decision = 0;
+
+  void merge(const CellStats& other) {
+    runs += other.runs;
+    safety_violations += other.safety_violations;
+    non_terminated += other.non_terminated;
+    max_decision = std::max(max_decision, other.max_decision);
+    decision_sum += other.decision_sum;
+    decided_runs += other.decided_runs;
+  }
 };
 
 CellStats sweep(const SystemConfig& cfg, const AlgorithmFactory& factory,
-                Round gst, int runs, std::uint64_t seed_base) {
-  CellStats stats;
-  double sum = 0;
-  int decided_runs = 0;
-  for (int i = 0; i < runs; ++i) {
-    RandomEsOptions opt;
-    opt.gst = gst;
-    RandomEsAdversary adversary(cfg, opt, seed_base + i);
-    RunResult r = run_and_check(cfg, bench::es_options(512), factory,
-                                distinct_proposals(cfg.n), adversary);
-    ++stats.runs;
-    if (!r.validation.ok()) continue;  // not the algorithm's fault; rare
-    if (!r.agreement || !r.validity) ++stats.safety_violations;
-    if (!r.termination) {
-      ++stats.non_terminated;
-      continue;
-    }
-    if (r.global_decision_round) {
-      sum += *r.global_decision_round;
-      ++decided_runs;
-      stats.max_decision = std::max(stats.max_decision,
-                                    *r.global_decision_round);
-    }
-  }
-  stats.mean_decision = decided_runs ? sum / decided_runs : 0;
+                Round gst, int runs, std::uint64_t seed_base,
+                const CampaignOptions& campaign) {
+  CellStats stats = parallel_reduce(
+      static_cast<long>(runs), campaign.resolved_chunk(125),
+      campaign.resolved_jobs(), CellStats{},
+      [&](long /*chunk*/, long begin, long end) {
+        CellStats partial;
+        RunContext ctx(cfg, bench::es_options(512));
+        for (long i = begin; i < end; ++i) {
+          RandomEsOptions opt;
+          opt.gst = gst;
+          RandomEsAdversary adversary(cfg, opt,
+                                      seed_base + static_cast<std::uint64_t>(i));
+          const RunResult& r =
+              ctx.run(factory, distinct_proposals(cfg.n), adversary);
+          ++partial.runs;
+          if (!r.validation.ok()) continue;  // not the algorithm's fault; rare
+          if (!r.agreement || !r.validity) ++partial.safety_violations;
+          if (!r.termination) {
+            ++partial.non_terminated;
+            continue;
+          }
+          if (r.global_decision_round) {
+            partial.decision_sum += *r.global_decision_round;
+            ++partial.decided_runs;
+            partial.max_decision = std::max(partial.max_decision,
+                                            *r.global_decision_round);
+          }
+        }
+        return partial;
+      });
+  stats.mean_decision =
+      stats.decided_runs ? stats.decision_sum / stats.decided_runs : 0;
   return stats;
 }
 
@@ -66,6 +89,9 @@ int main() {
 
   bool ok = true;
   const int kRuns = 1000;
+  const CampaignOptions campaign = bench::bench_campaign();
+  const bench::Stopwatch watch;
+  long total_runs = 0;
 
   Table table({"algorithm", "n", "t", "GST", "runs", "safety violations",
                "unterminated", "mean round", "max round"});
@@ -88,7 +114,8 @@ int main() {
     for (std::size_t i = cells.size() - 4; i < cells.size(); ++i) {
       Cell& c = cells[i];
       const CellStats s =
-          sweep(c.cfg, c.factory, gst, kRuns, 1000 * gst + 17 * i);
+          sweep(c.cfg, c.factory, gst, kRuns, 1000 * gst + 17 * i, campaign);
+      total_runs += s.runs;
       table.add(c.name, c.cfg.n, c.cfg.t, gst, s.runs, s.safety_violations,
                 s.non_terminated,
                 std::to_string(s.mean_decision).substr(0, 5),
@@ -133,5 +160,6 @@ int main() {
                      "safety and terminate after GST;\nthe non-indulgent "
                      "transplant does not survive asynchrony.\n"
                    : "E9 MISMATCH.\n");
+  watch.report("E9 campaign", total_runs, campaign.resolved_jobs());
   return ok ? 0 : 1;
 }

@@ -1,13 +1,20 @@
 // Shared helpers for the experiment benches (E1..E9): each bench binary
 // regenerates one table of EXPERIMENTS.md and prints it to stdout in a
 // stable, diffable format.
+//
+// Sweep-heavy benches run on the parallel campaign engine
+// (common/thread_pool).  The table contents are independent of the job
+// count; wall-clock / runs-per-second reporting goes to STDERR so the
+// stdout tables stay byte-identical run to run.
 
 #pragma once
 
+#include <chrono>
 #include <iostream>
 #include <string>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "consensus/hurfin_raynal.hpp"
 #include "core/at2.hpp"
 #include "sim/harness.hpp"
@@ -39,5 +46,37 @@ inline void print_header(const std::string& id, const std::string& claim) {
 }
 
 inline std::string check_mark(bool ok) { return ok ? "yes" : "NO"; }
+
+/// The campaign options benches sweep with: jobs from INDULGENCE_JOBS (or
+/// all cores), default chunking, fixed seed so sampled sweeps are
+/// reproducible.
+inline CampaignOptions bench_campaign() { return default_campaign(); }
+
+/// Wall-clock timer for campaign reporting.  Timing lines go to stderr —
+/// never stdout — so the regenerated tables stay diffable.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Prints "label: R runs in S s (X runs/s, jobs=J)" to stderr.
+  void report(const std::string& label, long runs, int jobs) const {
+    const double s = seconds();
+    std::cerr << label << ": " << runs << " runs in " << s << " s";
+    if (s > 0.0) {
+      std::cerr << " (" << static_cast<long>(static_cast<double>(runs) / s)
+                << " runs/s, jobs=" << jobs << ")";
+    }
+    std::cerr << "\n";
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace indulgence::bench

@@ -39,47 +39,75 @@ void add_blocking_prefix(ScheduleBuilder& b, const SystemConfig& cfg,
   }
 }
 
-Round worst_decision(const SystemConfig& cfg,
-                     const AlgorithmFactory& factory, Round k, int f,
-                     bool& blocked_until_gst, bool& all_ok) {
+// Partial statistics of one chunk of the delivery-pattern sweep.  `worst`
+// merges by plain max and the flags by AND, so the merged result is the
+// same at any chunking and job count.
+struct GapStats {
   Round worst = 0;
+  bool blocked_until_gst = true;
+  bool all_ok = true;
+  long runs = 0;
+
+  void merge(const GapStats& other) {
+    worst = std::max(worst, other.worst);
+    blocked_until_gst &= other.blocked_until_gst;
+    all_ok &= other.all_ok;
+    runs += other.runs;
+  }
+};
+
+GapStats worst_decision(const SystemConfig& cfg,
+                        const AlgorithmFactory& factory, Round k, int f,
+                        const CampaignOptions& campaign) {
   const int bits = cfg.n - 1;
   const std::uint64_t patterns = f > 0 ? (1ULL << (bits * f)) : 1;
-  for (std::uint64_t packed = 0; packed < patterns; ++packed) {
-    ScheduleBuilder b(cfg);
-    b.gst(k + 1);
-    add_blocking_prefix(b, cfg, k);
-    std::uint64_t cursor = packed;
-    for (int a = 0; a < f; ++a) {
-      const ProcessId victim = a;  // p0 then p1: the camp leaders
-      ProcessSet delivered;
-      int bit = 0;
-      for (ProcessId pid = 0; pid < cfg.n; ++pid) {
-        if (pid == victim) continue;
-        if ((cursor >> bit) & 1u) delivered.insert(pid);
-        ++bit;
-      }
-      cursor >>= bits;
-      const Round crash_round = k + 2 * a + 1;
-      if (delivered.empty()) {
-        b.crash(victim, crash_round, true);
-      } else {
-        b.crash(victim, crash_round);
-        ProcessSet lost = ProcessSet::all(cfg.n) - delivered;
-        lost.erase(victim);
-        b.losing_to(victim, crash_round, lost);
-      }
-    }
-    RunResult r = run_and_check(cfg, bench::es_options(512), factory,
-                                distinct_proposals(cfg.n), b.build());
-    if (!r.ok()) {
-      all_ok = false;
-      continue;
-    }
-    worst = std::max(worst, *r.global_decision_round);
-    if (*r.global_decision_round <= k && k > 2) blocked_until_gst = false;
-  }
-  return worst;
+  return parallel_reduce(
+      static_cast<long>(patterns), campaign.resolved_chunk(32),
+      campaign.resolved_jobs(), GapStats{},
+      [&](long /*chunk*/, long begin, long end) {
+        GapStats partial;
+        RunContext ctx(cfg, bench::es_options(512));
+        for (long index = begin; index < end; ++index) {
+          const std::uint64_t packed = static_cast<std::uint64_t>(index);
+          ScheduleBuilder b(cfg);
+          b.gst(k + 1);
+          add_blocking_prefix(b, cfg, k);
+          std::uint64_t cursor = packed;
+          for (int a = 0; a < f; ++a) {
+            const ProcessId victim = a;  // p0 then p1: the camp leaders
+            ProcessSet delivered;
+            int bit = 0;
+            for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+              if (pid == victim) continue;
+              if ((cursor >> bit) & 1u) delivered.insert(pid);
+              ++bit;
+            }
+            cursor >>= bits;
+            const Round crash_round = k + 2 * a + 1;
+            if (delivered.empty()) {
+              b.crash(victim, crash_round, true);
+            } else {
+              b.crash(victim, crash_round);
+              ProcessSet lost = ProcessSet::all(cfg.n) - delivered;
+              lost.erase(victim);
+              b.losing_to(victim, crash_round, lost);
+            }
+          }
+          const RunSchedule schedule = b.build();
+          const RunResult& r =
+              ctx.run(factory, distinct_proposals(cfg.n), schedule);
+          ++partial.runs;
+          if (!r.ok()) {
+            partial.all_ok = false;
+            continue;
+          }
+          partial.worst = std::max(partial.worst, *r.global_decision_round);
+          if (*r.global_decision_round <= k && k > 2) {
+            partial.blocked_until_gst = false;
+          }
+        }
+        return partial;
+      });
 }
 
 }  // namespace
@@ -94,6 +122,9 @@ int main() {
 
   const SystemConfig cfg{.n = 5, .t = 2};  // n/3 <= t < n/2
   bool ok = true;
+  const CampaignOptions campaign = bench::bench_campaign();
+  const bench::Stopwatch watch;
+  long total_runs = 0;
 
   struct Row {
     std::string name;
@@ -110,10 +141,11 @@ int main() {
   for (const Row& row : rows) {
     for (Round k : {0, 3, 6}) {
       for (int f = 0; f <= cfg.t; ++f) {
-        bool blocked = true, all_ok = true;
-        const Round worst =
-            worst_decision(cfg, row.factory, k, f, blocked, all_ok);
-        ok &= all_ok;
+        const GapStats stats =
+            worst_decision(cfg, row.factory, k, f, campaign);
+        ok &= stats.all_ok;
+        total_runs += stats.runs;
+        const Round worst = stats.worst;
         const Round bound = k + f + 2;
         const bool early = worst < k + 2;
         table.add(row.name, k, f, worst, bound,
@@ -141,5 +173,6 @@ int main() {
          "    paper's open problem.\n\n";
   std::cout << (ok ? "X4 OK (probe completed; gap reported above).\n"
                    : "X4 FAILED (a run broke consensus).\n");
+  watch.report("X4 campaign", total_runs, campaign.resolved_jobs());
   return ok ? 0 : 1;
 }

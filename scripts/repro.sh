@@ -2,6 +2,12 @@
 # One-command reproduction: build, run the full test suite, regenerate every
 # experiment table (E1..E10, X1..X4), and leave the outputs in
 # test_output.txt / bench_output.txt at the repository root.
+#
+# INDULGENCE_JOBS controls the campaign engine's worker count (default: all
+# cores).  The tables are bit-identical at any setting; INDULGENCE_JOBS=1 is
+# the sequential reference mode.  Campaign timing / runs-per-second lines are
+# emitted on stderr and captured separately in bench_timing.txt so
+# bench_output.txt stays byte-stable across job counts and machines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,15 +15,17 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
+: > bench_timing.txt
 {
   for b in build/bench/*; do
     if [ -x "$b" ] && [ -f "$b" ]; then
       echo "################ $(basename "$b") ################"
-      "$b"
+      "$b" 2>> bench_timing.txt
       echo "---- exit: $? ----"
       echo
     fi
   done
-} 2>&1 | tee bench_output.txt
+} | tee bench_output.txt
 
-echo "Reproduction complete: see test_output.txt and bench_output.txt."
+echo "Reproduction complete: see test_output.txt and bench_output.txt" \
+     "(campaign timing: bench_timing.txt)."

@@ -58,4 +58,11 @@ double Rng::next_double() {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng Rng::for_stream(std::uint64_t base_seed, std::uint64_t stream) {
+  // Mix the stream index through SplitMix64 before combining so that
+  // consecutive indices land far apart in seed space.
+  SplitMix64 sm(stream + 0x5851f42d4c957f2dULL);
+  return Rng(base_seed ^ sm.next());
+}
+
 }  // namespace indulgence

@@ -51,6 +51,11 @@ class Rng {
   /// A decorrelated child generator (for per-process / per-round streams).
   Rng split();
 
+  /// Deterministic per-stream generator: the campaign engine gives worker
+  /// chunk i the stream (base_seed, i), so a sweep draws the same numbers
+  /// at any thread count and any single draw can be replayed in isolation.
+  static Rng for_stream(std::uint64_t base_seed, std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
 };

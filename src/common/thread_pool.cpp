@@ -1,0 +1,115 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace indulgence {
+
+namespace {
+
+int auto_jobs() {
+  if (const char* env = std::getenv("INDULGENCE_JOBS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+int CampaignOptions::resolved_jobs() const {
+  return jobs > 0 ? jobs : auto_jobs();
+}
+
+CampaignOptions default_campaign() { return CampaignOptions{}; }
+
+ThreadPool::ThreadPool(int jobs) {
+  const int count = jobs > 0 ? jobs : 1;
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for_chunked(long total, long chunk, int jobs,
+                          const std::function<void(long, long, long)>& body) {
+  if (chunk <= 0) {
+    throw std::invalid_argument("parallel_for_chunked: chunk <= 0");
+  }
+  if (total <= 0) return;
+  const long chunks = (total + chunk - 1) / chunk;
+
+  if (jobs <= 1 || chunks == 1) {
+    // Inline reference mode: chunk order IS execution order.
+    for (long c = 0; c < chunks; ++c) {
+      const long begin = c * chunk;
+      body(c, begin, std::min(total, begin + chunk));
+    }
+    return;
+  }
+
+  // One exception slot per chunk; after the barrier the lowest-index one is
+  // rethrown, so failure reporting is as deterministic as the results.
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(chunks));
+  ThreadPool pool(std::min<long>(jobs, chunks));
+  for (long c = 0; c < chunks; ++c) {
+    pool.submit([&, c] {
+      const long begin = c * chunk;
+      try {
+        body(c, begin, std::min(total, begin + chunk));
+      } catch (...) {
+        errors[static_cast<std::size_t>(c)] = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace indulgence

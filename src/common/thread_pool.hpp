@@ -1,0 +1,144 @@
+// The parallel run-campaign engine: a thread pool plus deterministic
+// chunked map/reduce helpers.
+//
+// Every headline claim of the paper is verified by sweeping huge spaces of
+// adversarial runs (SyncRunExplorer, worst_case_over_deliveries, the attack
+// search).  Individual runs are independent, so a sweep — a "campaign" — is
+// embarrassingly parallel; what is NOT trivial is keeping the results
+// bit-identical regardless of thread count.  The contract here:
+//
+//   * the work is partitioned into chunks by the PROBLEM (first-round
+//     action, packed-pattern range, run index), never by the job count;
+//   * each chunk produces a partial result on one worker;
+//   * partials are merged sequentially in chunk-index order.
+//
+// Because every partial result is a monoid with left-biased tie-breaking
+// (counts add, maxima keep the earliest witness), the chunk-ordered merge
+// reproduces exactly what a sequential left-to-right sweep computes, for
+// any number of jobs.  jobs == 1 executes chunks inline in order, with no
+// threads at all — the bit-for-bit reference mode (INDULGENCE_JOBS=1).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace indulgence {
+
+/// Knobs of one parallel campaign.  KernelOptions configures one run;
+/// CampaignOptions configures a sweep of many.
+struct CampaignOptions {
+  /// Worker threads.  <= 0 means auto: the INDULGENCE_JOBS environment
+  /// variable if set, otherwise std::thread::hardware_concurrency.
+  int jobs = 0;
+
+  /// Work items per chunk for range-partitioned campaigns.  <= 0 lets each
+  /// call site pick its default.  Chunking is always derived from the
+  /// problem, never from `jobs`, so partials merge identically at any
+  /// thread count.
+  long chunk = 0;
+
+  /// Base seed for per-worker RNG streams (Rng::for_stream(seed, chunk)).
+  std::uint64_t seed = 1;
+
+  /// `jobs` with the auto rule applied; always >= 1.
+  int resolved_jobs() const;
+
+  /// Chunk size to use: `chunk` if positive, else `fallback`.
+  long resolved_chunk(long fallback) const {
+    return chunk > 0 ? chunk : (fallback > 0 ? fallback : 1);
+  }
+};
+
+/// The process-wide default campaign: auto jobs (INDULGENCE_JOBS honoured),
+/// auto chunking.
+CampaignOptions default_campaign();
+
+/// Cooperative cancellation shared by the chunks of one campaign: a found
+/// violation or an exhausted run budget flips it and outstanding chunks
+/// return early.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+/// Campaign helpers below create one per call; construction is microseconds
+/// against sweeps of thousands-to-millions of runs.
+class ThreadPool {
+ public:
+  /// Spawns `jobs` workers (clamped to >= 1).
+  explicit ThreadPool(int jobs);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int jobs() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.  Tasks must not throw (campaign helpers capture
+  /// exceptions per chunk themselves).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Splits [0, total) into chunks of size `chunk` (the last one ragged) and
+/// invokes `body(chunk_index, begin, end)` for each, on `jobs` workers.
+/// Chunk boundaries depend only on (total, chunk).  jobs == 1 runs inline,
+/// in chunk order.  The first exception (lowest chunk index) is rethrown
+/// after all chunks finished.
+void parallel_for_chunked(long total, long chunk, int jobs,
+                          const std::function<void(long, long, long)>& body);
+
+/// Deterministic chunked reduction: `map(chunk_index, begin, end)` produces
+/// one partial T per chunk on the pool; partials are merged into `total`
+/// via `total.merge(partial)` IN CHUNK ORDER after all chunks completed.
+/// With monoidal merges (counts add, left-biased maxima) the result is
+/// bit-identical for every job count, including the inline jobs == 1 path.
+template <typename T, typename Map>
+T parallel_reduce(long total_items, long chunk, int jobs, T init,
+                  const Map& map) {
+  if (chunk <= 0) throw std::invalid_argument("parallel_reduce: chunk <= 0");
+  const long chunks =
+      total_items <= 0 ? 0 : (total_items + chunk - 1) / chunk;
+  std::vector<T> partials;
+  partials.reserve(static_cast<std::size_t>(chunks));
+  for (long c = 0; c < chunks; ++c) partials.push_back(init);
+  parallel_for_chunked(total_items, chunk, jobs,
+                       [&](long index, long begin, long end) {
+                         partials[static_cast<std::size_t>(index)] =
+                             map(index, begin, end);
+                       });
+  T result = std::move(init);
+  for (T& partial : partials) result.merge(partial);
+  return result;
+}
+
+}  // namespace indulgence

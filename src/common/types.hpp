@@ -37,6 +37,8 @@ struct SystemConfig {
   constexpr bool majority_correct() const { return 2 * t < n; }
   constexpr bool third_correct() const { return 3 * t < n; }
 
+  friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
+
   /// Throws std::invalid_argument unless 0 <= t and n >= 3.
   void validate() const {
     if (n < 3) throw std::invalid_argument("SystemConfig: n must be >= 3");

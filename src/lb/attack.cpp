@@ -1,5 +1,8 @@
 #include "lb/attack.hpp"
 
+#include <atomic>
+#include <limits>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -67,34 +70,88 @@ AttackResult search_violation(SystemConfig config,
   kernel_options.model = Model::ES;
   kernel_options.max_rounds = options.max_rounds;
 
+  const int jobs = options.campaign.resolved_jobs();
+  const long chunk_size = options.campaign.resolved_chunk(1);
+  constexpr long kNoWinner = std::numeric_limits<long>::max();
+
+  // Shared across the proposal vectors so the budget is global, exactly as
+  // in the sequential search.  `tried` includes the speculative work of
+  // chunks that end up cancelled; the REPORTED count sums per-chunk tallies
+  // only up to the winning chunk, which is the same at every job count.
+  std::atomic<long> tried{0};
+  long reported = 0;
+
   for (const std::vector<Value>& proposals : proposal_vectors) {
-    for_each_action_sequence(
-        config, action_rounds, /*allow_delays=*/true, options.delay_gap,
-        [&](const std::vector<AdversaryAction>& actions) {
-          if (result.runs_tried >= options.max_runs) return false;
-          ++result.runs_tried;
-          const RunSchedule schedule = schedule_from_actions(config, actions);
-          AlgorithmInstances instances;
-          RunResult r = run_and_check(config, kernel_options, factory,
-                                      proposals, schedule, &instances);
-          if (!r.validation.ok()) {
-            // Impossible by construction; never blame the algorithm for a
-            // run outside the model.
-            return true;
+    // Partition by first-round action.  Early-stop propagation: `winner`
+    // holds the lowest chunk index that found a violation; a chunk aborts
+    // as soon as a LOWER-indexed chunk has won (its own subtree can no
+    // longer contain the canonical counterexample), while lower chunks run
+    // on, so the reported run is deterministic at any job count.
+    const std::vector<AdversaryAction> first = enumerate_actions(
+        config, ProcessSet::all(config.n), 0, /*allow_delays=*/true,
+        options.delay_gap);
+    std::atomic<long> winner{kNoWinner};
+    std::mutex winner_mutex;
+    const long total = static_cast<long>(first.size());
+    const long chunks = total <= 0 ? 0 : (total + chunk_size - 1) / chunk_size;
+    std::vector<long> chunk_tried(static_cast<std::size_t>(chunks), 0);
+
+    parallel_for_chunked(
+        total, chunk_size, jobs,
+        [&](long chunk_index, long begin, long end) {
+          RunContext ctx(config, kernel_options);
+          for (long i = begin; i < end; ++i) {
+            for_each_action_sequence_from(
+                config, {first[static_cast<std::size_t>(i)]}, action_rounds,
+                /*allow_delays=*/true, options.delay_gap,
+                [&](const std::vector<AdversaryAction>& actions) {
+                  if (winner.load(std::memory_order_relaxed) < chunk_index) {
+                    return false;  // a lower subtree already won
+                  }
+                  if (tried.load(std::memory_order_relaxed) >=
+                      options.max_runs) {
+                    return false;  // budget exhausted
+                  }
+                  tried.fetch_add(1, std::memory_order_relaxed);
+                  ++chunk_tried[static_cast<std::size_t>(chunk_index)];
+                  const RunSchedule schedule =
+                      schedule_from_actions(config, actions);
+                  const RunResult& r =
+                      ctx.run(factory, proposals, schedule);
+                  if (!r.validation.ok()) {
+                    // Impossible by construction; never blame the algorithm
+                    // for a run outside the model.
+                    return true;
+                  }
+                  if (auto what = violated(r, ctx.algorithms())) {
+                    std::lock_guard<std::mutex> lock(winner_mutex);
+                    if (chunk_index < winner.load()) {
+                      winner.store(chunk_index);
+                      result.violation_found = true;
+                      result.description = *what;
+                      result.schedule = schedule;
+                      result.actions = actions;
+                      result.proposals = proposals;
+                      result.trace_dump = r.trace.to_string();
+                    }
+                    return false;
+                  }
+                  return true;
+                });
+            if (winner.load(std::memory_order_relaxed) <= chunk_index ||
+                tried.load(std::memory_order_relaxed) >= options.max_runs) {
+              break;
+            }
           }
-          if (auto what = violated(r, instances)) {
-            result.violation_found = true;
-            result.description = *what;
-            result.schedule = schedule;
-            result.actions = actions;
-            result.proposals = proposals;
-            result.trace_dump = r.trace.to_string();
-            return false;
-          }
-          return true;
         });
+    const long winning = winner.load();
+    for (long c = 0; c < chunks; ++c) {
+      if (c > winning) break;  // cancelled chunks' speculative work
+      reported += chunk_tried[static_cast<std::size_t>(c)];
+    }
     if (result.violation_found) break;
   }
+  result.runs_tried = reported;
   return result;
 }
 

@@ -44,10 +44,24 @@ struct AttackOptions {
   /// Also try every proposal assignment from this list (empty: distinct
   /// proposals only).
   std::vector<std::vector<Value>> proposal_vectors;
+
+  /// Campaign engine knobs for the search (jobs, chunking).  The adversary
+  /// space is partitioned by first-round action; a violation found in one
+  /// chunk cancels every HIGHER-indexed chunk, while lower-indexed chunks
+  /// run on, so the reported counterexample is the one in the lowest
+  /// subtree — deterministic at any job count (modulo the run budget).
+  CampaignOptions campaign;
 };
 
 struct AttackResult {
   bool violation_found = false;
+
+  /// Complete runs examined, counting only the chunks up to and including
+  /// the winning one (cancelled chunks' speculative work is excluded), so
+  /// the count is the same at every job count.  Only the `max_runs` budget
+  /// is enforced against the racy global tally; a budget-truncated parallel
+  /// search may therefore report slightly fewer runs than the sequential
+  /// one.
   long runs_tried = 0;
   std::string description;                  ///< which property broke and how
   std::optional<RunSchedule> schedule;      ///< the violating adversary

@@ -97,47 +97,97 @@ RunSchedule schedule_from_actions(
   return b.build();
 }
 
+namespace {
+
+/// Depth-first core shared by the whole-space and per-prefix entry points:
+/// extends `actions` (the serial prefix chosen so far) to `rounds` rounds,
+/// threading alive/crash state through the recursion.
+struct SequenceEnumerator {
+  const SystemConfig& config;
+  Round rounds;
+  bool allow_delays;
+  Round delay_gap;
+  const std::function<bool(const std::vector<AdversaryAction>&)>& visit;
+
+  long visited = 0;
+  bool keep_going = true;
+
+  void recurse(std::vector<AdversaryAction>& actions, Round depth,
+               ProcessSet alive, int crashes) {
+    if (!keep_going) return;
+    if (depth == rounds) {
+      ++visited;
+      if (!visit(actions)) keep_going = false;
+      return;
+    }
+    for (const AdversaryAction& a : enumerate_actions(
+             config, alive, crashes, allow_delays, delay_gap)) {
+      actions.push_back(a);
+      if (a.kind == AdversaryAction::Kind::Crash) {
+        ProcessSet next_alive = alive;
+        next_alive.erase(a.victim);
+        recurse(actions, depth + 1, next_alive, crashes + 1);
+      } else {
+        recurse(actions, depth + 1, alive, crashes);
+      }
+      actions.pop_back();
+      if (!keep_going) return;
+    }
+  }
+};
+
+}  // namespace
+
 long for_each_action_sequence(
     const SystemConfig& config, Round rounds, bool allow_delays,
     Round delay_gap,
     const std::function<bool(const std::vector<AdversaryAction>&)>& visit) {
   config.validate();
-  long visited = 0;
+  SequenceEnumerator e{config, rounds, allow_delays, delay_gap, visit};
   std::vector<AdversaryAction> actions;
-  bool keep_going = true;
+  actions.reserve(static_cast<std::size_t>(rounds));
+  e.recurse(actions, 0, ProcessSet::all(config.n), 0);
+  return e.visited;
+}
 
-  // Depth-first over rounds; alive/crash state threaded through recursion.
-  std::function<void(Round, ProcessSet, int)> recurse =
-      [&](Round depth, ProcessSet alive, int crashes) {
-        if (!keep_going) return;
-        if (depth == rounds) {
-          ++visited;
-          if (!visit(actions)) keep_going = false;
-          return;
-        }
-        for (const AdversaryAction& a : enumerate_actions(
-                 config, alive, crashes, allow_delays, delay_gap)) {
-          actions.push_back(a);
-          if (a.kind == AdversaryAction::Kind::Crash) {
-            ProcessSet next_alive = alive;
-            next_alive.erase(a.victim);
-            recurse(depth + 1, next_alive, crashes + 1);
-          } else {
-            recurse(depth + 1, alive, crashes);
-          }
-          actions.pop_back();
-          if (!keep_going) return;
-        }
-      };
-  recurse(0, ProcessSet::all(config.n), 0);
-  return visited;
+long for_each_action_sequence_from(
+    const SystemConfig& config, const std::vector<AdversaryAction>& prefix,
+    Round rounds, bool allow_delays, Round delay_gap,
+    const std::function<bool(const std::vector<AdversaryAction>&)>& visit) {
+  config.validate();
+  if (static_cast<Round>(prefix.size()) > rounds) {
+    throw std::invalid_argument(
+        "for_each_action_sequence_from: prefix longer than rounds");
+  }
+  ProcessSet alive = ProcessSet::all(config.n);
+  int crashes = 0;
+  for (const AdversaryAction& a : prefix) {
+    if (a.kind == AdversaryAction::Kind::Crash) {
+      alive.erase(a.victim);
+      ++crashes;
+    }
+  }
+  SequenceEnumerator e{config, rounds, allow_delays, delay_gap, visit};
+  std::vector<AdversaryAction> actions = prefix;
+  actions.reserve(static_cast<std::size_t>(rounds));
+  e.recurse(actions, static_cast<Round>(prefix.size()), alive, crashes);
+  return e.visited;
+}
+
+void WorstCaseResult::merge(const WorstCaseResult& other) {
+  runs += other.runs;
+  all_ok &= other.all_ok;
+  if (other.worst_decision_round > worst_decision_round) {
+    worst_decision_round = other.worst_decision_round;
+    schedule = other.schedule;
+  }
 }
 
 WorstCaseResult worst_case_over_deliveries(
     SystemConfig config, const AlgorithmFactory& factory,
     const std::vector<Value>& proposals, const std::vector<CrashSlot>& slots,
-    long exhaustive_limit, long samples, std::uint64_t seed,
-    Round max_rounds) {
+    long exhaustive_limit, long samples, std::uint64_t seed, Round max_rounds,
+    CampaignOptions campaign) {
   config.validate();
   if (static_cast<int>(slots.size()) > config.t) {
     throw std::invalid_argument("worst_case_over_deliveries: > t crashes");
@@ -153,9 +203,27 @@ WorstCaseResult worst_case_over_deliveries(
   const bool exhaustive =
       total_bits < 63 && (1LL << total_bits) <= exhaustive_limit;
 
-  WorstCaseResult result;
+  // The patterns to examine, indexed 0..total-1.  Exhaustive mode uses the
+  // index itself; sampled mode pre-draws the whole list from Rng(seed), so
+  // the examined patterns match the sequential sweep draw-for-draw no
+  // matter how the index range is later chunked.
+  std::vector<std::uint64_t> drawn;
+  long total;
+  if (exhaustive) {
+    total = 1L << total_bits;
+  } else {
+    total = samples;
+    drawn.reserve(static_cast<std::size_t>(samples));
+    Rng rng(seed);
+    for (long i = 0; i < samples; ++i) {
+      std::uint64_t packed = rng.next_u64();
+      if (total_bits < 64) packed &= (std::uint64_t{1} << total_bits) - 1;
+      drawn.push_back(packed);
+    }
+  }
 
-  auto evaluate = [&](std::uint64_t packed) {
+  auto evaluate = [&](std::uint64_t packed, RunContext& ctx,
+                      WorstCaseResult& partial) {
     ScheduleBuilder b(config);
     std::uint64_t cursor = packed;
     for (const CrashSlot& slot : slots) {
@@ -177,30 +245,30 @@ WorstCaseResult worst_case_over_deliveries(
       }
     }
     const RunSchedule schedule = b.build();
-    RunResult r = run_and_check(config, options, factory, proposals, schedule);
-    ++result.runs;
+    const RunResult& r = ctx.run(factory, proposals, schedule);
+    ++partial.runs;
     if (!r.ok()) {
-      result.all_ok = false;
+      partial.all_ok = false;
       return;
     }
-    if (*r.global_decision_round > result.worst_decision_round) {
-      result.worst_decision_round = *r.global_decision_round;
-      result.schedule = schedule;
+    if (*r.global_decision_round > partial.worst_decision_round) {
+      partial.worst_decision_round = *r.global_decision_round;
+      partial.schedule = schedule;
     }
   };
 
-  if (exhaustive) {
-    const std::uint64_t limit = std::uint64_t{1} << total_bits;
-    for (std::uint64_t packed = 0; packed < limit; ++packed) evaluate(packed);
-  } else {
-    Rng rng(seed);
-    for (long i = 0; i < samples; ++i) {
-      std::uint64_t packed = rng.next_u64();
-      if (total_bits < 64) packed &= (std::uint64_t{1} << total_bits) - 1;
-      evaluate(packed);
-    }
-  }
-  return result;
+  return parallel_reduce<WorstCaseResult>(
+      total, campaign.resolved_chunk(256), campaign.resolved_jobs(),
+      WorstCaseResult{}, [&](long, long begin, long end) {
+        WorstCaseResult partial;
+        RunContext ctx(config, options);
+        for (long i = begin; i < end; ++i) {
+          evaluate(exhaustive ? static_cast<std::uint64_t>(i)
+                              : drawn[static_cast<std::size_t>(i)],
+                   ctx, partial);
+        }
+        return partial;
+      });
 }
 
 SyncRunExplorer::SyncRunExplorer(SystemConfig config, AlgorithmFactory factory,
@@ -211,39 +279,80 @@ SyncRunExplorer::SyncRunExplorer(SystemConfig config, AlgorithmFactory factory,
   config_.validate();
 }
 
+void SyncRunExplorer::Stats::merge(const Stats& other) {
+  runs += other.runs;
+  if (other.max_decision_round > max_decision_round) {
+    max_decision_round = other.max_decision_round;
+    worst_schedule = other.worst_schedule;
+  }
+  min_decision_round = std::min(min_decision_round, other.min_decision_round);
+  all_valid &= other.all_valid;
+  all_agreement &= other.all_agreement;
+  all_validity &= other.all_validity;
+  all_terminated &= other.all_terminated;
+  decision_values.insert(other.decision_values.begin(),
+                         other.decision_values.end());
+}
+
 SyncRunExplorer::Stats SyncRunExplorer::explore(Round action_rounds,
-                                                Round max_rounds) {
-  Stats stats;
-  stats.min_decision_round = max_rounds + 1;
+                                                Round max_rounds,
+                                                CampaignOptions campaign) {
+  Stats init;
+  init.min_decision_round = max_rounds + 1;
   KernelOptions options;
   options.model = Model::ES;
   options.max_rounds = max_rounds;
 
-  for_each_action_sequence(
-      config_, action_rounds, /*allow_delays=*/false, /*delay_gap=*/0,
-      [&](const std::vector<AdversaryAction>& actions) {
-        const RunSchedule schedule = schedule_from_actions(config_, actions);
-        RunResult r =
-            run_and_check(config_, options, factory_, proposals_, schedule);
-        ++stats.runs;
-        stats.all_valid &= r.validation.ok();
-        stats.all_agreement &= r.agreement;
-        stats.all_validity &= r.validity;
-        stats.all_terminated &= r.termination;
-        if (r.global_decision_round) {
-          if (*r.global_decision_round > stats.max_decision_round) {
-            stats.max_decision_round = *r.global_decision_round;
-            stats.worst_schedule = schedule;
-          }
-          stats.min_decision_round =
-              std::min(stats.min_decision_round, *r.global_decision_round);
+  auto record = [&](RunContext& ctx,
+                    const std::vector<AdversaryAction>& actions,
+                    Stats& stats) {
+    const RunSchedule schedule = schedule_from_actions(config_, actions);
+    const RunResult& r = ctx.run(factory_, proposals_, schedule);
+    ++stats.runs;
+    stats.all_valid &= r.validation.ok();
+    stats.all_agreement &= r.agreement;
+    stats.all_validity &= r.validity;
+    stats.all_terminated &= r.termination;
+    if (r.global_decision_round) {
+      if (*r.global_decision_round > stats.max_decision_round) {
+        stats.max_decision_round = *r.global_decision_round;
+        stats.worst_schedule = schedule;
+      }
+      stats.min_decision_round =
+          std::min(stats.min_decision_round, *r.global_decision_round);
+    }
+    for (const DecisionRecord& d : r.trace.decisions()) {
+      stats.decision_values.insert(d.value);
+    }
+  };
+
+  if (action_rounds <= 0) {
+    // A single crash-free run; nothing to partition.
+    Stats stats = init;
+    RunContext ctx(config_, options);
+    record(ctx, {}, stats);
+    return stats;
+  }
+
+  // Partition by first-round action: one independent subtree per item.
+  const std::vector<AdversaryAction> first = enumerate_actions(
+      config_, ProcessSet::all(config_.n), 0, /*allow_delays=*/false, 0);
+  return parallel_reduce<Stats>(
+      static_cast<long>(first.size()), campaign.resolved_chunk(1),
+      campaign.resolved_jobs(), init, [&](long, long begin, long end) {
+        Stats partial = init;
+        RunContext ctx(config_, options);
+        for (long i = begin; i < end; ++i) {
+          for_each_action_sequence_from(
+              config_, {first[static_cast<std::size_t>(i)]}, action_rounds,
+              /*allow_delays=*/false, /*delay_gap=*/0,
+              [&](const std::vector<AdversaryAction>& actions) {
+                record(ctx, actions, partial);
+                return true;
+              });
         }
-        for (const DecisionRecord& d : r.trace.decisions()) {
-          stats.decision_values.insert(d.value);
-        }
-        return true;
+        return partial;
       });
-  return stats;
 }
 
 }  // namespace indulgence

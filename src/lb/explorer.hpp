@@ -25,6 +25,15 @@
 //   * the attack search in attack.hpp — adds Delay actions and hunts for a
 //     single ES run violating agreement (Proposition 1, made executable).
 
+// Sweeps are executed on the parallel campaign engine (common/thread_pool):
+// the action-sequence space is partitioned into independent chunks by its
+// FIRST-ROUND action, each chunk is explored depth-first on a pool worker
+// with its own reusable RunContext, and the per-chunk partial statistics
+// are merged in chunk order.  Because every partial is a monoid with
+// left-biased tie-breaking, the totals — including which schedule is
+// reported as worst — are bit-identical at any job count, and identical to
+// the sequential sweep (INDULGENCE_JOBS=1 forces the inline path).
+
 #pragma once
 
 #include <functional>
@@ -33,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sim/harness.hpp"
 
 namespace indulgence {
@@ -69,6 +79,16 @@ long for_each_action_sequence(
     Round delay_gap,
     const std::function<bool(const std::vector<AdversaryAction>&)>& visit);
 
+/// As for_each_action_sequence, but enumerates only the sequences that
+/// begin with `prefix` (serial actions already chosen for rounds
+/// 1..prefix.size()).  This is the campaign engine's partitioning primitive:
+/// the sequence space splits into one independent subtree per first-round
+/// action, and a worker sweeps one subtree per work item.
+long for_each_action_sequence_from(
+    const SystemConfig& config, const std::vector<AdversaryAction>& prefix,
+    Round rounds, bool allow_delays, Round delay_gap,
+    const std::function<bool(const std::vector<AdversaryAction>&)>& visit);
+
 /// Exhaustive sweep over all synchronous serial runs of an algorithm.
 class SyncRunExplorer {
  public:
@@ -86,6 +106,12 @@ class SyncRunExplorer {
     bool all_ok() const {
       return all_valid && all_agreement && all_validity && all_terminated;
     }
+
+    /// Monoid merge of a later chunk's partial statistics into this one.
+    /// Counts add, flags AND, value sets union; the worst schedule is
+    /// replaced only on a STRICTLY larger decision round, so the earliest
+    /// witness (in enumeration order) wins at any chunking.
+    void merge(const Stats& other);
   };
 
   SyncRunExplorer(SystemConfig config, AlgorithmFactory factory,
@@ -93,8 +119,11 @@ class SyncRunExplorer {
 
   /// Enumerates all serial synchronous runs whose crashes happen within the
   /// first `action_rounds` rounds (use >= t to cover every serial pattern
-  /// that matters) and runs each to completion (cap `max_rounds`).
-  Stats explore(Round action_rounds, Round max_rounds = 64);
+  /// that matters) and runs each to completion (cap `max_rounds`).  The
+  /// sweep executes on `campaign.jobs` workers; results are independent of
+  /// the job count.
+  Stats explore(Round action_rounds, Round max_rounds = 64,
+                CampaignOptions campaign = {});
 
  private:
   SystemConfig config_;
@@ -114,6 +143,10 @@ struct WorstCaseResult {
   long runs = 0;
   std::optional<RunSchedule> schedule;
   bool all_ok = true;  ///< consensus + model held in every examined run
+
+  /// Monoid merge (see SyncRunExplorer::Stats::merge): strictly-greater
+  /// replacement keeps the earliest worst schedule at any chunking.
+  void merge(const WorstCaseResult& other);
 };
 
 /// Maximizes the global decision round over the delivery patterns of the
@@ -122,10 +155,16 @@ struct WorstCaseResult {
 /// `samples` draws.  Used to find the worst synchronous runs of the
 /// coordinator/leader baselines (2t+2 for Hurfin-Raynal, k+2f+2 for AMR)
 /// where the simple canned schedules are not adversarial enough.
+///
+/// The pattern space is swept in chunks on the campaign engine.  Sampled
+/// mode pre-draws the sample list from Rng(seed) before partitioning, so
+/// the examined patterns — and therefore the result — do not depend on the
+/// job count and match the sequential sweep draw-for-draw.
 WorstCaseResult worst_case_over_deliveries(
     SystemConfig config, const AlgorithmFactory& factory,
     const std::vector<Value>& proposals, const std::vector<CrashSlot>& slots,
     long exhaustive_limit = 1 << 16, long samples = 4096,
-    std::uint64_t seed = 1, Round max_rounds = 64);
+    std::uint64_t seed = 1, Round max_rounds = 64,
+    CampaignOptions campaign = {});
 
 }  // namespace indulgence

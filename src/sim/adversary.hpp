@@ -55,6 +55,21 @@ class ScheduleAdversary final : public Adversary {
   RunSchedule schedule_;
 };
 
+/// Replays a borrowed schedule without copying it.  The sweep hot path runs
+/// millions of schedules; ScheduleAdversary's by-value copy of the plan map
+/// is measurable there.  The schedule must outlive the adversary.
+class ScheduleRefAdversary final : public Adversary {
+ public:
+  explicit ScheduleRefAdversary(const RunSchedule& schedule)
+      : schedule_(&schedule) {}
+
+  Round gst() const override { return schedule_->gst(); }
+  RoundPlan plan_round(Round k) override { return schedule_->plan(k); }
+
+ private:
+  const RunSchedule* schedule_;
+};
+
 /// Tuning knobs for the random ES adversary.
 struct RandomEsOptions {
   Round gst = 1;              ///< eventual synchrony from this round on

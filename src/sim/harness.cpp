@@ -39,9 +39,35 @@ RunResult run_and_check(SystemConfig config, KernelOptions options,
                         const std::vector<Value>& proposals,
                         const RunSchedule& schedule,
                         AlgorithmInstances* algorithms_out) {
-  ScheduleAdversary adversary(schedule);
+  ScheduleRefAdversary adversary(schedule);
   return run_and_check(config, options, factory, proposals, adversary,
                        algorithms_out);
+}
+
+RunContext::RunContext(SystemConfig config, KernelOptions options)
+    : config_(config), options_(options) {
+  config_.validate();
+}
+
+const RunResult& RunContext::run(const AlgorithmFactory& factory,
+                                 const std::vector<Value>& proposals,
+                                 Adversary& adversary) {
+  execute_run(config_, options_, factory, proposals, adversary, scratch_,
+              result_.trace);
+  result_.validation = validate_trace(result_.trace);
+  result_.global_decision_round = result_.trace.global_decision_round();
+  result_.agreement = result_.trace.agreement_ok();
+  result_.validity = result_.trace.validity_ok();
+  result_.termination =
+      result_.trace.terminated() && result_.trace.all_correct_decided();
+  return result_;
+}
+
+const RunResult& RunContext::run(const AlgorithmFactory& factory,
+                                 const std::vector<Value>& proposals,
+                                 const RunSchedule& schedule) {
+  ScheduleRefAdversary adversary(schedule);
+  return run(factory, proposals, adversary);
 }
 
 std::vector<Value> distinct_proposals(int n) {
@@ -181,28 +207,53 @@ std::vector<RunSchedule> hostile_sync_schedules(SystemConfig config,
   return out;
 }
 
+namespace {
+
+/// Partial result of the hostile-schedule sweep: the worst round is a max,
+/// so any chunk-ordered merge reproduces the sequential answer.
+struct WorstRound {
+  Round worst = 0;
+  void merge(const WorstRound& other) { worst = std::max(worst, other.worst); }
+};
+
+}  // namespace
+
 Round worst_case_sync_decision_round(
     SystemConfig config, const AlgorithmFactory& factory,
     const std::vector<std::vector<Value>>& proposal_vectors, int crashes,
-    Round max_rounds) {
-  Round worst = 0;
+    Round max_rounds, CampaignOptions campaign) {
   KernelOptions options;
   options.model = Model::ES;
   options.max_rounds = max_rounds;
-  for (const RunSchedule& schedule : hostile_sync_schedules(config, crashes)) {
-    for (const std::vector<Value>& proposals : proposal_vectors) {
-      RunResult result =
-          run_and_check(config, options, factory, proposals, schedule);
-      if (!result.ok()) {
-        throw std::runtime_error("worst_case_sync_decision_round: run failed: " +
-                                 result.summary() + "\n" +
-                                 result.validation.to_string() + "\n" +
-                                 result.trace.to_string());
-      }
-      worst = std::max(worst, *result.global_decision_round);
-    }
-  }
-  return worst;
+
+  const std::vector<RunSchedule> schedules =
+      hostile_sync_schedules(config, crashes);
+  const long total =
+      static_cast<long>(schedules.size() * proposal_vectors.size());
+  const long per_proposal = static_cast<long>(proposal_vectors.size());
+
+  // One (schedule, proposal) cell per work item; chunked per schedule.
+  const WorstRound result = parallel_reduce<WorstRound>(
+      total, campaign.resolved_chunk(per_proposal), campaign.resolved_jobs(),
+      WorstRound{}, [&](long, long begin, long end) {
+        WorstRound partial;
+        RunContext ctx(config, options);
+        for (long i = begin; i < end; ++i) {
+          const RunSchedule& schedule =
+              schedules[static_cast<std::size_t>(i / per_proposal)];
+          const std::vector<Value>& proposals =
+              proposal_vectors[static_cast<std::size_t>(i % per_proposal)];
+          const RunResult& r = ctx.run(factory, proposals, schedule);
+          if (!r.ok()) {
+            throw std::runtime_error(
+                "worst_case_sync_decision_round: run failed: " + r.summary() +
+                "\n" + r.validation.to_string() + "\n" + r.trace.to_string());
+          }
+          partial.worst = std::max(partial.worst, *r.global_decision_round);
+        }
+        return partial;
+      });
+  return result.worst;
 }
 
 }  // namespace indulgence

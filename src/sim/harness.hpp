@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "sim/adversary.hpp"
 #include "sim/kernel.hpp"
 #include "sim/trace.hpp"
@@ -58,6 +59,38 @@ RunResult run_and_check(SystemConfig config, KernelOptions options,
                         const RunSchedule& schedule,
                         AlgorithmInstances* algorithms_out = nullptr);
 
+/// A reusable run driver for sweep workers.  Owns the kernel scratch
+/// buffers, the trace, and the RunResult, so executing a run allocates only
+/// what the run itself needs (algorithm instances and message payloads) —
+/// a worker runs millions of schedules without reallocating storage.  Each
+/// campaign worker keeps its own RunContext; contexts are not thread-safe.
+class RunContext {
+ public:
+  RunContext(SystemConfig config, KernelOptions options);
+
+  /// Runs one schedule and re-checks it.  The returned reference (and the
+  /// instances below) stay valid until the next run() call.
+  const RunResult& run(const AlgorithmFactory& factory,
+                       const std::vector<Value>& proposals,
+                       const RunSchedule& schedule);
+
+  /// As above, under an arbitrary adversary.
+  const RunResult& run(const AlgorithmFactory& factory,
+                       const std::vector<Value>& proposals,
+                       Adversary& adversary);
+
+  /// Algorithm instances of the last run, for state inspection.
+  const std::vector<std::unique_ptr<RoundAlgorithm>>& algorithms() const {
+    return scratch_.algorithms;
+  }
+
+ private:
+  SystemConfig config_;
+  KernelOptions options_;
+  KernelScratch scratch_;
+  RunResult result_;
+};
+
 /// Distinct proposals 0, 1, ..., n-1 (process i proposes i).
 std::vector<Value> distinct_proposals(int n);
 
@@ -102,11 +135,14 @@ std::vector<RunSchedule> hostile_sync_schedules(SystemConfig config,
 
 /// Worst-case synchronous global decision round of `factory` over the
 /// hostile schedule library and the given proposal vectors; checks every
-/// run is valid, agreeing, and terminating.  Throws on any failure.
+/// run is valid, agreeing, and terminating.  Throws on any failure (the
+/// lowest-indexed failing run wins, at any job count).  The (schedule,
+/// proposal) grid is swept on the campaign engine.
 Round worst_case_sync_decision_round(SystemConfig config,
                                      const AlgorithmFactory& factory,
                                      const std::vector<std::vector<Value>>&
                                          proposal_vectors,
-                                     int crashes, Round max_rounds = 256);
+                                     int crashes, Round max_rounds = 256,
+                                     CampaignOptions campaign = {});
 
 }  // namespace indulgence

@@ -5,64 +5,70 @@
 
 namespace indulgence {
 
-Kernel::Kernel(SystemConfig config, KernelOptions options,
-               AlgorithmFactory factory, std::vector<Value> proposals,
-               Adversary& adversary)
-    : config_(config),
-      options_(options),
-      factory_(std::move(factory)),
-      proposals_(std::move(proposals)),
-      adversary_(adversary) {
-  config_.validate();
-  if (static_cast<int>(proposals_.size()) != config_.n) {
+namespace {
+
+void validate_run_inputs(const SystemConfig& config,
+                         const std::vector<Value>& proposals) {
+  config.validate();
+  if (static_cast<int>(proposals.size()) != config.n) {
     throw std::invalid_argument("Kernel: need exactly n proposals");
   }
-  for (Value v : proposals_) {
+  for (Value v : proposals) {
     if (v == kBottom) {
       throw std::invalid_argument("Kernel: kBottom is not a legal proposal");
     }
   }
 }
 
-RunTrace Kernel::run() {
-  if (used_) throw std::logic_error("Kernel::run is single-shot");
-  used_ = true;
+}  // namespace
 
-  RunTrace trace(config_, options_.model, adversary_.gst());
+void execute_run(const SystemConfig& config, const KernelOptions& options,
+                 const AlgorithmFactory& factory,
+                 const std::vector<Value>& proposals, Adversary& adversary,
+                 KernelScratch& scratch, RunTrace& trace) {
+  validate_run_inputs(config, proposals);
+  trace.reset(config, options.model, adversary.gst());
 
-  std::vector<std::unique_ptr<RoundAlgorithm>> procs(config_.n);
-  std::vector<bool> alive(config_.n, true);
-  std::vector<bool> halted(config_.n, false);
-  std::vector<bool> decided(config_.n, false);
-  for (ProcessId pid = 0; pid < config_.n; ++pid) {
-    procs[pid] = factory_(pid, config_);
-    procs[pid]->propose(proposals_[pid]);
-    trace.record_proposal(pid, proposals_[pid]);
+  const std::size_t n = static_cast<std::size_t>(config.n);
+  scratch.algorithms.clear();
+  scratch.algorithms.resize(n);
+  scratch.alive.assign(n, 1);
+  scratch.halted.assign(n, 0);
+  scratch.decided.assign(n, 0);
+  scratch.pending.clear();
+  scratch.inboxes.resize(n);
+  for (Delivery& inbox : scratch.inboxes) inbox.clear();
+
+  auto& procs = scratch.algorithms;
+  auto& alive = scratch.alive;
+  auto& halted = scratch.halted;
+  auto& decided = scratch.decided;
+  auto& pending = scratch.pending;
+
+  for (ProcessId pid = 0; pid < config.n; ++pid) {
+    procs[pid] = factory(pid, config);
+    procs[pid]->propose(proposals[pid]);
+    trace.record_proposal(pid, proposals[pid]);
   }
 
-  std::vector<PendingMessage> pending;
   Round executed = 0;
   bool all_decided = false;
 
-  for (Round k = 1; k <= options_.max_rounds; ++k) {
-    const RoundPlan plan = adversary_.plan_round(k);
+  for (Round k = 1; k <= options.max_rounds; ++k) {
+    const RoundPlan plan = adversary.plan_round(k);
 
     // --- crashes declared for this round ---------------------------------
     ProcessSet crashing_now;
     for (const CrashEvent& e : plan.crashes()) {
-      if (e.pid < 0 || e.pid >= config_.n || !alive[e.pid]) continue;
+      if (e.pid < 0 || e.pid >= config.n || !alive[e.pid]) continue;
       crashing_now.insert(e.pid);
       trace.record_crash({k, e.pid, e.before_send});
     }
 
     // --- send phase -------------------------------------------------------
-    struct Outgoing {
-      ProcessId sender;
-      MessagePtr payload;
-    };
-    std::vector<Outgoing> outgoing;
-    outgoing.reserve(config_.n);
-    for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    auto& outgoing = scratch.outgoing;
+    outgoing.clear();
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
       if (!alive[pid]) continue;
       if (crashing_now.contains(pid) && plan.crashes_before_send(pid)) {
         continue;  // crashed before the send phase; no round-k message
@@ -77,15 +83,15 @@ RunTrace Kernel::run() {
                                  ": message_for_round returned null");
         }
       }
-      trace.record_send({k, pid, halted[pid]});
+      trace.record_send({k, pid, halted[pid] != 0});
       outgoing.push_back({pid, std::move(payload)});
     }
 
     // --- fate resolution ----------------------------------------------------
     // In-round deliveries of round-k messages, plus queueing of delays.
-    std::vector<std::vector<Envelope>> inbox(config_.n);
-    for (const Outgoing& out : outgoing) {
-      for (ProcessId receiver = 0; receiver < config_.n; ++receiver) {
+    auto& inbox = scratch.inboxes;
+    for (const KernelScratch::Outgoing& out : outgoing) {
+      for (ProcessId receiver = 0; receiver < config.n; ++receiver) {
         Envelope env{out.sender, k, out.payload};
         if (receiver == out.sender) {
           inbox[receiver].push_back(std::move(env));  // self-delivery
@@ -99,7 +105,7 @@ RunTrace Kernel::run() {
           case FateKind::Lose:
             break;
           case FateKind::Delay:
-            if (options_.model == Model::SCS) {
+            if (options.model == Model::SCS) {
               throw std::logic_error("Kernel: Delay fate in SCS model");
             }
             if (fate.deliver_round <= k) {
@@ -122,16 +128,19 @@ RunTrace Kernel::run() {
     }
 
     // --- mark this round's crashers dead (they do not receive) -----------
-    for (ProcessId pid : crashing_now) alive[pid] = false;
+    for (ProcessId pid : crashing_now) alive[pid] = 0;
     // Drop pending messages addressed to dead receivers.
-    std::erase_if(pending, [&](const PendingMessage& p) {
+    std::erase_if(pending, [&](const KernelScratch::PendingMessage& p) {
       return !alive[p.receiver];
     });
 
     // --- receive phase ----------------------------------------------------
-    for (ProcessId pid = 0; pid < config_.n; ++pid) {
-      if (!alive[pid]) continue;
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
       Delivery& delivery = inbox[pid];
+      if (!alive[pid]) {
+        delivery.clear();
+        continue;
+      }
       // Deterministic presentation order: by send round, then sender.
       std::sort(delivery.begin(), delivery.end(),
                 [](const Envelope& a, const Envelope& b) {
@@ -142,13 +151,16 @@ RunTrace Kernel::run() {
       for (const Envelope& env : delivery) {
         trace.record_delivery({k, pid, env.sender, env.send_round, env.payload});
       }
-      if (halted[pid]) continue;  // dummies only; the algorithm has returned
+      if (halted[pid]) {
+        delivery.clear();
+        continue;  // dummies only; the algorithm has returned
+      }
 
       procs[pid]->on_round(k, delivery);
 
       if (!decided[pid]) {
         if (auto d = procs[pid]->decision()) {
-          decided[pid] = true;
+          decided[pid] = 1;
           trace.record_decision({k, pid, *d});
         }
       }
@@ -157,31 +169,50 @@ RunTrace Kernel::run() {
           throw std::logic_error(procs[pid]->name() +
                                  ": halted without deciding");
         }
-        halted[pid] = true;
+        halted[pid] = 1;
         trace.record_halt(pid, k);
       }
+      delivery.clear();
     }
 
     executed = k;
 
     // --- stop condition -----------------------------------------------------
     all_decided = true;
-    for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
       if (alive[pid] && !decided[pid]) {
         all_decided = false;
         break;
       }
     }
-    if (all_decided && options_.stop_on_global_decision) break;
+    if (all_decided && options.stop_on_global_decision) break;
   }
 
-  for (const PendingMessage& p : pending) {
+  for (const KernelScratch::PendingMessage& p : pending) {
     trace.record_pending(
         {p.envelope.sender, p.receiver, p.envelope.send_round, p.deliver_round});
   }
   trace.set_rounds_executed(executed);
   trace.set_terminated(all_decided);
-  algorithms_ = std::move(procs);  // keep instances inspectable post-run
+}
+
+Kernel::Kernel(SystemConfig config, KernelOptions options,
+               AlgorithmFactory factory, std::vector<Value> proposals,
+               Adversary& adversary)
+    : config_(config),
+      options_(options),
+      factory_(std::move(factory)),
+      proposals_(std::move(proposals)),
+      adversary_(adversary) {
+  validate_run_inputs(config_, proposals_);
+}
+
+RunTrace Kernel::run() {
+  if (used_) throw std::logic_error("Kernel::run is single-shot");
+  used_ = true;
+  RunTrace trace;
+  execute_run(config_, options_, factory_, proposals_, adversary_, scratch_,
+              trace);
   return trace;
 }
 

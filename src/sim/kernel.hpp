@@ -45,6 +45,40 @@ struct KernelOptions {
   bool stop_on_global_decision = true;
 };
 
+/// Per-worker scratch storage for the round loop.  A sweep worker keeps one
+/// KernelScratch across millions of runs: execute_run clears the buffers
+/// (retaining capacity) instead of reallocating them per run.  Algorithm
+/// instances themselves are still factory-made each run — they are the
+/// run's state — but every kernel-side container is reused.
+struct KernelScratch {
+  struct PendingMessage {
+    Round deliver_round = 0;
+    ProcessId receiver = -1;
+    Envelope envelope;
+  };
+  struct Outgoing {
+    ProcessId sender = -1;
+    MessagePtr payload;
+  };
+
+  std::vector<std::unique_ptr<RoundAlgorithm>> algorithms;
+  std::vector<char> alive;    ///< char, not bool: no bitset proxy churn
+  std::vector<char> halted;
+  std::vector<char> decided;
+  std::vector<PendingMessage> pending;
+  std::vector<Outgoing> outgoing;
+  std::vector<Delivery> inboxes;
+};
+
+/// Executes one run into `trace` (reset first), using `scratch` for every
+/// kernel-side buffer.  The algorithm instances of the run are left in
+/// `scratch.algorithms` for post-run inspection.  This is the reusable core
+/// that Kernel and the campaign engine's RunContext both drive.
+void execute_run(const SystemConfig& config, const KernelOptions& options,
+                 const AlgorithmFactory& factory,
+                 const std::vector<Value>& proposals, Adversary& adversary,
+                 KernelScratch& scratch, RunTrace& trace);
+
 class Kernel {
  public:
   /// `proposals[i]` is process i's proposal.  The adversary is borrowed and
@@ -58,23 +92,17 @@ class Kernel {
   /// After run(): the algorithm instances, for state inspection (e.g. the
   /// elimination-property checks read each process' final new estimate).
   std::vector<std::unique_ptr<RoundAlgorithm>> take_algorithms() {
-    return std::move(algorithms_);
+    return std::move(scratch_.algorithms);
   }
 
  private:
-  struct PendingMessage {
-    Round deliver_round = 0;
-    ProcessId receiver = -1;
-    Envelope envelope;
-  };
-
   SystemConfig config_;
   KernelOptions options_;
   AlgorithmFactory factory_;
   std::vector<Value> proposals_;
   Adversary& adversary_;
   bool used_ = false;
-  std::vector<std::unique_ptr<RoundAlgorithm>> algorithms_;
+  KernelScratch scratch_;
 };
 
 /// Convenience wrapper: build a kernel and run a schedule in one call.

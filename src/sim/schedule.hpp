@@ -54,8 +54,12 @@ class RoundPlan {
     ProcessId sender = -1;
     ProcessId receiver = -1;
     Fate fate;
+
+    friend bool operator==(const Override&, const Override&) = default;
   };
   const std::vector<Override>& overrides() const { return overrides_; }
+
+  friend bool operator==(const RoundPlan&, const RoundPlan&) = default;
 
  private:
   std::vector<CrashEvent> crashes_;
@@ -87,6 +91,13 @@ class RunSchedule {
 
   /// Set of processes that crash anywhere in the schedule.
   ProcessSet crashed_processes() const;
+
+  /// Structural equality (config, GST, per-round plans); lets determinism
+  /// tests assert that campaigns at different job counts find the SAME
+  /// worst schedule, not merely the same worst round.
+  friend bool operator==(const RunSchedule& a, const RunSchedule& b) {
+    return a.config_ == b.config_ && a.gst_ == b.gst_ && a.plans_ == b.plans_;
+  }
 
  private:
   SystemConfig config_;

@@ -1,10 +1,22 @@
 #include "sim/stats.hpp"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
 
 namespace indulgence {
+
+void TraceStats::merge(const TraceStats& other) {
+  rounds = std::max(rounds, other.rounds);
+  sends += other.sends;
+  dummy_sends += other.dummy_sends;
+  deliveries += other.deliveries;
+  delayed_deliveries += other.delayed_deliveries;
+  lost_messages += other.lost_messages;
+  suspicions += other.suspicions;
+  wire_messages += other.wire_messages;
+}
 
 std::string TraceStats::to_string() const {
   std::ostringstream os;

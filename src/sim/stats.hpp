@@ -30,6 +30,11 @@ struct TraceStats {
   /// excluding self-delivery).
   long wire_messages = 0;
 
+  /// Monoid merge for campaign workers: counters add, `rounds` keeps the
+  /// maximum.  Chunk-ordered merging of partials equals the sequential
+  /// aggregate exactly (all fields are integers).
+  void merge(const TraceStats& other);
+
   std::string to_string() const;
 };
 

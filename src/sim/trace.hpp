@@ -58,6 +58,27 @@ class RunTrace {
   RunTrace(SystemConfig config, Model model, Round gst)
       : config_(config), model_(model), gst_(gst) {}
 
+  /// An empty trace awaiting reset(); used by reusable run contexts.
+  RunTrace() = default;
+
+  /// Clears all recorded events and rebinds the trace to a new run, keeping
+  /// the vectors' capacity.  Sweep workers reset one trace per run instead
+  /// of reallocating storage for each of millions of runs.
+  void reset(SystemConfig config, Model model, Round gst) {
+    config_ = config;
+    model_ = model;
+    gst_ = gst;
+    rounds_executed_ = 0;
+    terminated_ = false;
+    proposals_.clear();
+    crashes_.clear();
+    sends_.clear();
+    deliveries_.clear();
+    decisions_.clear();
+    pending_.clear();
+    halts_.clear();
+  }
+
   // --- recording (kernel-side) ----------------------------------------
 
   void record_proposal(ProcessId pid, Value v) { proposals_[pid] = v; }
@@ -127,8 +148,8 @@ class RunTrace {
   std::string to_string() const;
 
  private:
-  SystemConfig config_;
-  Model model_;
+  SystemConfig config_{};
+  Model model_ = Model::ES;
   Round gst_ = 1;
   Round rounds_executed_ = 0;
   bool terminated_ = false;

@@ -1,0 +1,185 @@
+// The campaign engine itself: pool lifecycle, chunk partitioning,
+// chunk-ordered reduction, exception propagation, RNG streams.
+
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace indulgence {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.jobs(), 4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor must drain, then join
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ChunkBoundariesDependOnlyOnTotalAndChunk) {
+  // Collect (index, begin, end) triples at jobs=1 and jobs=4; the set of
+  // chunks must be identical (only execution order may differ).
+  auto chunks_at = [](int jobs) {
+    std::mutex m;
+    std::set<std::tuple<long, long, long>> seen;
+    parallel_for_chunked(103, 10, jobs, [&](long index, long begin, long end) {
+      std::lock_guard<std::mutex> lock(m);
+      seen.insert({index, begin, end});
+    });
+    return seen;
+  };
+  const auto inline_chunks = chunks_at(1);
+  EXPECT_EQ(inline_chunks.size(), 11u);  // 10 full + 1 ragged
+  EXPECT_EQ(inline_chunks, chunks_at(4));
+  EXPECT_TRUE(inline_chunks.count({10, 100, 103}));
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_chunked(257, 16, 4, [&](long, long begin, long end) {
+    for (long i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRejectsNonPositiveChunk) {
+  EXPECT_THROW(parallel_for_chunked(10, 0, 2, [](long, long, long) {}),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, LowestChunkExceptionWins) {
+  for (int jobs : {1, 4}) {
+    try {
+      parallel_for_chunked(40, 10, jobs, [&](long index, long, long) {
+        if (index == 1) throw std::runtime_error("chunk-1");
+        if (index == 3) throw std::runtime_error("chunk-3");
+      });
+      FAIL() << "expected an exception at jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk-1");
+    }
+  }
+}
+
+struct Sum {
+  long value = 0;
+  void merge(const Sum& other) { value += other.value; }
+};
+
+TEST(ThreadPool, ParallelReduceMatchesSequentialSum) {
+  const long total = 1000;
+  for (int jobs : {1, 3, 8}) {
+    const Sum sum = parallel_reduce(total, 7, jobs, Sum{},
+                                    [](long, long begin, long end) {
+                                      Sum partial;
+                                      for (long i = begin; i < end; ++i) {
+                                        partial.value += i;
+                                      }
+                                      return partial;
+                                    });
+    EXPECT_EQ(sum.value, total * (total - 1) / 2) << "jobs=" << jobs;
+  }
+}
+
+struct FirstMax {
+  long best = -1;
+  long witness = -1;
+  void merge(const FirstMax& other) {
+    // Left-biased: a later chunk replaces only on STRICTLY greater.
+    if (other.best > best) {
+      best = other.best;
+      witness = other.witness;
+    }
+  }
+};
+
+TEST(ThreadPool, LeftBiasedMergeKeepsEarliestWitnessAtAnyChunking) {
+  // values[i] has several ties for the maximum; the earliest index must be
+  // reported regardless of chunk size or job count.
+  std::vector<long> values(500);
+  for (long i = 0; i < 500; ++i) values[i] = i % 97;
+  auto reduce = [&](long chunk, int jobs) {
+    return parallel_reduce(500, chunk, jobs, FirstMax{},
+                           [&](long, long begin, long end) {
+                             FirstMax partial;
+                             for (long i = begin; i < end; ++i) {
+                               if (values[i] > partial.best) {
+                                 partial.best = values[i];
+                                 partial.witness = i;
+                               }
+                             }
+                             return partial;
+                           });
+  };
+  const FirstMax reference = reduce(500, 1);  // single chunk, sequential
+  EXPECT_EQ(reference.best, 96);
+  EXPECT_EQ(reference.witness, 96);
+  for (long chunk : {1L, 13L, 64L}) {
+    for (int jobs : {1, 4}) {
+      const FirstMax got = reduce(chunk, jobs);
+      EXPECT_EQ(got.best, reference.best);
+      EXPECT_EQ(got.witness, reference.witness)
+          << "chunk=" << chunk << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ThreadPool, CampaignOptionsResolveJobsAndChunk) {
+  CampaignOptions c;
+  c.jobs = 3;
+  EXPECT_EQ(c.resolved_jobs(), 3);
+  EXPECT_EQ(c.resolved_chunk(16), 16);
+  c.chunk = 5;
+  EXPECT_EQ(c.resolved_chunk(16), 5);
+  CampaignOptions autodetect;
+  EXPECT_GE(autodetect.resolved_jobs(), 1);
+}
+
+TEST(ThreadPool, RngStreamsAreDecorrelated) {
+  // Different streams from one base seed must not collide on their first
+  // draws; the same stream must reproduce.
+  std::set<std::uint64_t> first_draws;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    Rng rng = Rng::for_stream(42, s);
+    first_draws.insert(rng.next_u64());
+  }
+  EXPECT_EQ(first_draws.size(), 64u);
+  Rng a = Rng::for_stream(42, 7);
+  Rng b = Rng::for_stream(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(ThreadPool, CancelTokenFlipsOnce) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace indulgence
