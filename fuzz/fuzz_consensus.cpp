@@ -1,0 +1,289 @@
+// fuzz_consensus: the schedule-fuzzing driver.
+//
+// Sweeps every registered algorithm (or one, with --algo) through `budget`
+// seeded random model-valid schedules on the parallel campaign engine,
+// judges each run with the target's violation predicate, and minimizes the
+// first find with the delta-debugging shrinker.  The paper's verdicts are
+// the oracle: the seven real algorithms must survive every model-valid run,
+// and the deliberately broken variants (X1 ablations, E2's truncated
+// A_{t+1}) must be caught.  Exit status 0 iff every target matched its
+// expected verdict — so the CI smoke job is just `fuzz_consensus --budget N`.
+//
+// Repro workflow:
+//   fuzz_consensus --algo at2-fscheck --seed 7 --out repros/
+//       writes the minimized find as repros/at2-fscheck.sched
+//   fuzz_consensus --replay repros/at2-fscheck.sched
+//       re-judges a single repro file (exit 0 iff it still reproduces)
+//   fuzz_consensus --corpus tests/corpus
+//       replays every *.sched in a directory (the regression corpus)
+//
+// Table output goes to stdout in a stable, diffable format; timing goes to
+// stderr (same convention as the bench binaries).
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/targets.hpp"
+#include "sim/schedule_io.hpp"
+
+namespace {
+
+using namespace indulgence;
+
+struct DriverOptions {
+  std::uint64_t seed = 1;
+  long budget = 2000;
+  std::string algo = "all";
+  int n = 3;
+  int t = 1;
+  bool shrink = true;
+  bool list = false;
+  std::optional<std::string> out_dir;
+  std::optional<std::string> replay_file;
+  std::optional<std::string> corpus_dir;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: fuzz_consensus [options]\n"
+        "  --seed S       base seed for schedule generation (default 1)\n"
+        "  --budget N     random schedules per target (default 2000)\n"
+        "  --algo NAME    fuzz one target only (default: all; see --list)\n"
+        "  --n N --t T    system size (default n=3 t=1)\n"
+        "  --no-shrink    keep the first find as generated\n"
+        "  --out DIR      write each minimized find to DIR/<target>.sched\n"
+        "  --replay FILE  re-judge one .sched repro file and exit\n"
+        "  --corpus DIR   replay every *.sched in DIR and exit\n"
+        "  --list         list registered targets and exit\n"
+        "Exit status 0 iff every verdict matched expectations.\n";
+}
+
+std::optional<DriverOptions> parse_args(int argc, char** argv) {
+  DriverOptions opts;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "fuzz_consensus: " << argv[i] << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (arg == "--list") {
+      opts.list = true;
+    } else if (arg == "--no-shrink") {
+      opts.shrink = false;
+    } else if (arg == "--seed") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.seed = std::stoull(v);
+    } else if (arg == "--budget") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.budget = std::stol(v);
+    } else if (arg == "--algo") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.algo = v;
+    } else if (arg == "--n") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.n = std::stoi(v);
+    } else if (arg == "--t") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.t = std::stoi(v);
+    } else if (arg == "--out") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.out_dir = v;
+    } else if (arg == "--replay") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.replay_file = v;
+    } else if (arg == "--corpus") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.corpus_dir = v;
+    } else {
+      std::cerr << "fuzz_consensus: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return std::nullopt;
+    }
+  }
+  return opts;
+}
+
+int list_targets() {
+  Table table({"target", "model", "expect", "check", "summary"});
+  for (const FuzzTarget& t : fuzz_targets()) {
+    table.add(t.name, t.model == Model::ES ? "ES" : "SCS",
+              t.expect_safe ? "safe" : "broken", t.check, t.summary);
+  }
+  table.print(std::cout, "Registered fuzz targets");
+  return 0;
+}
+
+void print_verdicts(const std::vector<ReplayVerdict>& verdicts,
+                    const std::string& title) {
+  Table table({"entry", "expected", "observed", "valid", "ok", "detail"});
+  for (const ReplayVerdict& v : verdicts) {
+    table.add(v.name, v.expect_violation ? "violation" : "ok",
+              v.violation ? "violation" : "ok", v.model_valid, v.matches(),
+              v.detail.empty() ? "-" : v.detail);
+  }
+  table.print(std::cout, title);
+}
+
+int replay_one(const std::string& path) {
+  const ReproCase repro = load_repro_file(path);
+  const ReplayVerdict verdict =
+      replay_repro(std::filesystem::path(path).filename().string(), repro);
+  print_verdicts({verdict}, "Repro replay");
+  return verdict.matches() ? 0 : 1;
+}
+
+int replay_directory(const std::string& dir) {
+  const auto corpus = load_corpus_dir(dir);
+  if (corpus.empty()) {
+    std::cerr << "fuzz_consensus: no *.sched files in " << dir << "\n";
+    return 1;
+  }
+  const auto verdicts = replay_corpus(corpus, default_campaign());
+  print_verdicts(verdicts, "Corpus replay: " + dir);
+  bool all_ok = true;
+  for (const ReplayVerdict& v : verdicts) all_ok = all_ok && v.matches();
+  std::cout << "\n"
+            << (all_ok ? "all entries reproduce" : "STALE ENTRIES — see 'ok'")
+            << " (" << verdicts.size() << " files)\n";
+  return all_ok ? 0 : 1;
+}
+
+/// The minimized find, wrapped as a self-contained repro document.
+ReproCase to_repro(const FuzzTarget& target, const FuzzFinding& find,
+                   std::uint64_t seed) {
+  ReproCase repro;
+  repro.algo = target.name;
+  repro.expect_violation = true;
+  repro.max_rounds = 64;
+  repro.proposals = find.proposals;
+  repro.comment = "minimized fuzz find: " + find.description +
+                  "\nregenerate: fuzz_consensus --algo " + target.name +
+                  " --seed " + std::to_string(seed) + " (run index " +
+                  std::to_string(find.run_index) + ")";
+  repro.schedule = find.schedule;
+  return repro;
+}
+
+void write_repro(const std::string& dir, const FuzzTarget& target,
+                 const ReproCase& repro) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + target.name + ".sched";
+  std::ofstream out(path);
+  out << print_repro(repro);
+  if (!out) {
+    std::cerr << "fuzz_consensus: failed to write " << path << "\n";
+    std::exit(1);
+  }
+  std::cerr << "wrote " << path << "\n";
+}
+
+int fuzz(const DriverOptions& opts) {
+  std::vector<const FuzzTarget*> targets;
+  if (opts.algo == "all") {
+    for (const FuzzTarget& t : fuzz_targets()) targets.push_back(&t);
+  } else {
+    const FuzzTarget* t = find_fuzz_target(opts.algo);
+    if (!t) {
+      std::cerr << "fuzz_consensus: unknown target '" << opts.algo
+                << "' (see --list)\n";
+      return 1;
+    }
+    targets.push_back(t);
+  }
+
+  FuzzOptions fuzz_options;
+  fuzz_options.seed = opts.seed;
+  fuzz_options.budget = opts.budget;
+  fuzz_options.shrink = opts.shrink;
+  fuzz_options.campaign = default_campaign();
+
+  const SystemConfig config{.n = opts.n, .t = opts.t};
+  Table table({"target", "model", "expect", "runs", "violations", "first",
+               "shrunk-rounds", "verdict"});
+  bool all_ok = true;
+  const auto start = std::chrono::steady_clock::now();
+  long total_runs = 0;
+  for (const FuzzTarget* target : targets) {
+    FuzzReport report;
+    try {
+      report = fuzz_target(*target, config, fuzz_options);
+    } catch (const std::exception& e) {
+      // An algorithm can reject the system size outright (A_{f+2} needs
+      // t < n/3).  In an all-target sweep that is a skip, not a failure;
+      // with an explicit --algo it is the user's error.
+      if (opts.algo != "all") throw;
+      table.add(target->name, target->model == Model::ES ? "ES" : "SCS",
+                target->expect_safe ? "safe" : "broken", 0L, 0L, "-", "-",
+                std::string("skipped: ") + e.what());
+      continue;
+    }
+    total_runs += report.runs;
+    const bool ok = report.as_expected();
+    all_ok = all_ok && ok;
+    table.add(report.target, target->model == Model::ES ? "ES" : "SCS",
+              report.expect_safe ? "safe" : "broken", report.runs,
+              report.violations,
+              report.first ? std::to_string(report.first->run_index) : "-",
+              report.first ? std::to_string(report.first->planned_rounds)
+                           : "-",
+              ok ? "as expected" : "UNEXPECTED");
+    if (report.first) {
+      std::cerr << report.target << ": run " << report.first->run_index
+                << " -> " << report.first->description << " (shrink "
+                << report.first->shrink_stats.accepted << "/"
+                << report.first->shrink_stats.attempts << " reductions)\n";
+      if (opts.out_dir) {
+        write_repro(*opts.out_dir, *target,
+                    to_repro(*target, *report.first, opts.seed));
+      }
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  table.print(std::cout,
+              "Schedule fuzz: n=" + std::to_string(opts.n) +
+                  " t=" + std::to_string(opts.t) +
+                  " seed=" + std::to_string(opts.seed) +
+                  " budget=" + std::to_string(opts.budget));
+  std::cout << "\n"
+            << (all_ok ? "all targets matched the paper's verdict"
+                       : "VERDICT MISMATCH — see table")
+            << "\n";
+  std::cerr << "fuzz: " << total_runs << " runs in " << secs << " s (jobs="
+            << fuzz_options.campaign.resolved_jobs() << ")\n";
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<DriverOptions> opts = parse_args(argc, argv);
+  if (!opts) return 2;
+  try {
+    if (opts->list) return list_targets();
+    if (opts->replay_file) return replay_one(*opts->replay_file);
+    if (opts->corpus_dir) return replay_directory(*opts->corpus_dir);
+    return fuzz(*opts);
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_consensus: " << e.what() << "\n";
+    return 2;
+  }
+}

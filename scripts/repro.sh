@@ -27,5 +27,10 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
   done
 } | tee bench_output.txt
 
+# The fuzz smoke: every target must match the paper's verdict from the
+# fixed default seed, and every checked-in repro must still reproduce.
+./build/fuzz/fuzz_consensus --corpus tests/corpus 2>> bench_timing.txt
+./build/fuzz/fuzz_consensus 2>> bench_timing.txt
+
 echo "Reproduction complete: see test_output.txt and bench_output.txt" \
      "(campaign timing: bench_timing.txt)."

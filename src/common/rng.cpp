@@ -39,8 +39,13 @@ std::uint64_t Rng::next_below(std::uint64_t bound) {
 
 int Rng::next_int(int lo, int hi) {
   if (lo > hi) throw std::invalid_argument("Rng::next_int: lo > hi");
-  return lo + static_cast<int>(next_below(
-                  static_cast<std::uint64_t>(hi) - lo + 1));
+  // Width must be computed in 64-bit signed arithmetic: hi - lo overflows
+  // int for wide ranges, and casting a negative hi straight to uint64_t
+  // turns e.g. [−3, −1] into a 2^64-sized range.
+  const std::uint64_t width = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo) + 1);
+  return static_cast<int>(static_cast<std::int64_t>(lo) +
+                          static_cast<std::int64_t>(next_below(width)));
 }
 
 bool Rng::chance(std::uint64_t num, std::uint64_t den) {

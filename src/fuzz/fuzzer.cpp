@@ -1,0 +1,166 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/harness.hpp"
+
+namespace indulgence {
+
+namespace {
+
+/// FNV-1a, so the per-target seed stream is stable across platforms and
+/// does not depend on the target's position in the registry.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t cell_seed(const FuzzTarget& target, const SystemConfig& config,
+                        std::uint64_t seed) {
+  return seed ^ fnv1a(target.name) ^
+         (static_cast<std::uint64_t>(config.n) << 32) ^
+         static_cast<std::uint64_t>(config.t);
+}
+
+std::vector<Value> draw_proposals(const SystemConfig& config, Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0:
+    case 1:
+      return distinct_proposals(config.n);
+    case 2: {
+      std::vector<Value> reversed(config.n);
+      for (int i = 0; i < config.n; ++i) reversed[i] = config.n - 1 - i;
+      return reversed;
+    }
+    default: {
+      std::vector<Value> shuffled = distinct_proposals(config.n);
+      for (int i = config.n - 1; i > 0; --i) {
+        const int j = rng.next_int(0, i);
+        std::swap(shuffled[i], shuffled[j]);
+      }
+      return shuffled;
+    }
+  }
+}
+
+/// Lowest-run-index-wins monoid for the campaign reduce.
+struct CellResult {
+  long runs = 0;
+  long invalid_runs = 0;
+  long violations = 0;
+  long first_index = -1;
+  std::string first_description;
+
+  void merge(const CellResult& other) {
+    runs += other.runs;
+    invalid_runs += other.invalid_runs;
+    violations += other.violations;
+    if (other.first_index >= 0 &&
+        (first_index < 0 || other.first_index < first_index)) {
+      first_index = other.first_index;
+      first_description = other.first_description;
+    }
+  }
+};
+
+}  // namespace
+
+RunSchedule fuzz_run_schedule(const FuzzTarget& target, SystemConfig config,
+                              std::uint64_t seed, long run_index,
+                              const FuzzGenOptions& gen,
+                              std::vector<Value>* proposals_out) {
+  Rng rng = Rng::for_stream(cell_seed(target, config, seed),
+                            static_cast<std::uint64_t>(run_index));
+  std::vector<Value> proposals = draw_proposals(config, rng);
+  RunSchedule schedule = random_run_schedule(config, target.model, rng, gen);
+  if (proposals_out) *proposals_out = std::move(proposals);
+  return schedule;
+}
+
+FuzzReport fuzz_target(const FuzzTarget& target, SystemConfig config,
+                       const FuzzOptions& options) {
+  config.validate();
+  KernelOptions kernel_options;
+  kernel_options.model = target.model;
+  kernel_options.max_rounds = options.max_rounds;
+  const ViolationPredicate violated = find_check(target.check);
+
+  const CellResult cell = parallel_reduce<CellResult>(
+      options.budget, options.campaign.resolved_chunk(25),
+      options.campaign.resolved_jobs(), CellResult{},
+      [&](long, long begin, long end) {
+        CellResult partial;
+        RunContext ctx(config, kernel_options);
+        for (long i = begin; i < end; ++i) {
+          std::vector<Value> proposals;
+          const RunSchedule schedule = fuzz_run_schedule(
+              target, config, options.seed, i, options.gen, &proposals);
+          const RunResult& r = ctx.run(target.factory, proposals, schedule);
+          ++partial.runs;
+          if (!r.validation.ok()) {
+            // The generator promises model-valid schedules; an invalid run
+            // is a generator bug, never the algorithm's fault.
+            ++partial.invalid_runs;
+            continue;
+          }
+          if (auto what = violated(r, ctx.algorithms())) {
+            ++partial.violations;
+            if (partial.first_index < 0) {
+              partial.first_index = i;
+              partial.first_description = *what;
+            }
+          }
+        }
+        return partial;
+      });
+
+  FuzzReport report;
+  report.target = target.name;
+  report.config = config;
+  report.expect_safe = target.expect_safe;
+  report.runs = cell.runs;
+  report.invalid_runs = cell.invalid_runs;
+  report.violations = cell.violations;
+  if (cell.first_index < 0) return report;
+
+  FuzzFinding finding{cell.first_index,
+                      cell.first_description,
+                      config,
+                      {},
+                      RunSchedule(config),
+                      RunSchedule(config),
+                      {},
+                      0};
+  finding.original = fuzz_run_schedule(target, config, options.seed,
+                                       cell.first_index, options.gen,
+                                       &finding.proposals);
+  finding.schedule = finding.original;
+
+  if (options.shrink) {
+    const ShrinkTest still_fails =
+        [&](const SystemConfig& candidate_config,
+            const std::vector<Value>& proposals,
+            const RunSchedule& candidate) {
+          RunContext ctx(candidate_config, kernel_options);
+          const RunResult& r = ctx.run(target.factory, proposals, candidate);
+          return r.validation.ok() &&
+                 violated(r, ctx.algorithms()).has_value();
+        };
+    ShrinkResult shrunk = shrink_schedule(config, finding.proposals,
+                                          finding.original, still_fails);
+    finding.config = shrunk.config;
+    finding.proposals = std::move(shrunk.proposals);
+    finding.schedule = std::move(shrunk.schedule);
+    finding.shrink_stats = shrunk.stats;
+  }
+  finding.planned_rounds = finding.schedule.planned_rounds();
+  report.first = std::move(finding);
+  return report;
+}
+
+}  // namespace indulgence

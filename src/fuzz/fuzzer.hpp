@@ -1,0 +1,76 @@
+// The fuzzing campaign: seeded random schedules, per-run judging, and
+// automatic shrinking of the first find.
+//
+// One campaign sweeps `budget` random schedules for one target on the
+// parallel campaign engine.  Determinism contract (same as every other
+// campaign in this repository): run i's schedule is derived from
+// Rng::for_stream(seed', i) where seed' mixes the user seed with the target
+// name and system config — never from the job count or chunk layout — and
+// the reported first find is the lowest-index violating run, so a fuzz
+// verdict is reproducible at any thread count and any single run can be
+// regenerated from (seed, target, config, index) alone.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/targets.hpp"
+
+namespace indulgence {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  long budget = 400;        ///< runs per (target, config) cell
+  Round max_rounds = 64;    ///< kernel round cap per run
+  FuzzGenOptions gen;
+  bool shrink = true;       ///< minimize the first find
+  CampaignOptions campaign;
+};
+
+/// A violating run, as generated and (when enabled) as minimized.
+struct FuzzFinding {
+  long run_index = -1;        ///< index within the (target, config) cell
+  std::string description;    ///< what broke, from the predicate
+  SystemConfig config;        ///< post-shrink system (== input when !shrink)
+  std::vector<Value> proposals;
+  RunSchedule schedule;       ///< post-shrink schedule
+  RunSchedule original;       ///< the schedule exactly as generated
+  ShrinkStats shrink_stats;
+  int planned_rounds = 0;     ///< non-empty rounds of the minimized schedule
+};
+
+struct FuzzReport {
+  std::string target;
+  SystemConfig config;
+  bool expect_safe = true;
+  long runs = 0;
+  long invalid_runs = 0;   ///< generator emitted a model-invalid run (a bug)
+  long violations = 0;
+  std::optional<FuzzFinding> first;  ///< lowest-index violation, minimized
+
+  /// The fuzz verdict agrees with the paper: safe targets survived every
+  /// run, known-broken targets were caught, and the generator never left
+  /// the model.
+  bool as_expected() const {
+    return invalid_runs == 0 &&
+           (expect_safe ? violations == 0 : violations > 0);
+  }
+};
+
+/// Fuzzes one target on one system configuration.
+FuzzReport fuzz_target(const FuzzTarget& target, SystemConfig config,
+                       const FuzzOptions& options);
+
+/// The per-run schedule the campaign would examine (exposed so tests, and
+/// the driver when wrapping a find as a repro, can regenerate any single
+/// run from (seed, target, config, index) alone).
+RunSchedule fuzz_run_schedule(const FuzzTarget& target, SystemConfig config,
+                              std::uint64_t seed, long run_index,
+                              const FuzzGenOptions& gen,
+                              std::vector<Value>* proposals_out = nullptr);
+
+}  // namespace indulgence

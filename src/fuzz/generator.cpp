@@ -1,0 +1,46 @@
+#include "fuzz/generator.hpp"
+
+namespace indulgence {
+
+RunSchedule record_adversary(const SystemConfig& config, Adversary& adversary,
+                             Round rounds) {
+  RunSchedule schedule(config);
+  schedule.set_gst(adversary.gst());
+  for (Round k = 1; k <= rounds; ++k) {
+    RoundPlan plan = adversary.plan_round(k);
+    if (plan.crashes().empty() && plan.overrides().empty()) continue;
+    schedule.plan(k) = std::move(plan);
+  }
+  return schedule;
+}
+
+RunSchedule random_run_schedule(const SystemConfig& config, Model model,
+                                Rng& rng, const FuzzGenOptions& options) {
+  if (model == Model::SCS) {
+    RandomScsOptions scs;
+    scs.crash_prob = 0.2 + 0.6 * rng.next_double();
+    scs.before_send_prob = rng.next_double();
+    scs.crash_loss_prob = rng.next_double();
+    RandomScsAdversary adversary(config, scs, rng.next_u64());
+    // Crashes only matter while the algorithms are still exchanging state:
+    // t + 2 rounds covers every SCS algorithm in the repository.
+    const Round horizon =
+        config.t + 2 + rng.next_int(0, options.extra_rounds);
+    return record_adversary(config, adversary, horizon);
+  }
+
+  RandomEsOptions es;
+  es.gst = 1 + rng.next_int(0, options.max_gst - 1);
+  es.crash_prob = 0.1 + 0.5 * rng.next_double();
+  es.before_send_prob = rng.next_double();
+  es.laggard_prob = 0.3 + 0.6 * rng.next_double();
+  es.delay_prob = 0.3 + 0.6 * rng.next_double();
+  es.max_delay = 1 + rng.next_int(0, 3);
+  es.crash_loss_prob = rng.next_double();
+  es.allow_crash_delay = rng.chance(1, 2);
+  RandomEsAdversary adversary(config, es, rng.next_u64());
+  const Round horizon = es.gst + rng.next_int(0, options.extra_rounds);
+  return record_adversary(config, adversary, horizon);
+}
+
+}  // namespace indulgence

@@ -1,0 +1,43 @@
+// Seeded random schedule generation for the fuzzer.
+//
+// The generator reuses the random adversaries of sim/adversary.hpp — which
+// maintain the model constraints (t-resilience, reliable channels, eventual
+// synchrony after GST) by construction — and records their per-round plans
+// into an explicit RunSchedule.  Recording first, running second keeps every
+// fuzz run replayable byte-for-byte: the schedule IS the run, and a find can
+// be serialized, shrunk, and checked into tests/corpus/ unchanged.
+//
+// Randomness discipline: one Rng per run, derived by the caller via
+// Rng::for_stream(seed, run_index), so a campaign examines the same
+// schedules at any job count and any single run replays in isolation.
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "sim/adversary.hpp"
+#include "sim/schedule.hpp"
+
+namespace indulgence {
+
+struct FuzzGenOptions {
+  /// GST is drawn uniformly from [1, max_gst] (ES runs only).
+  Round max_gst = 6;
+
+  /// The adversary stays active for gst + [0, extra_rounds] rounds; later
+  /// rounds are failure-free and synchronous.
+  Round extra_rounds = 3;
+};
+
+/// Drives `adversary` for rounds 1..rounds and records the non-empty plans
+/// (plus the adversary's GST) into an explicit schedule.
+RunSchedule record_adversary(const SystemConfig& config, Adversary& adversary,
+                             Round rounds);
+
+/// One random model-valid schedule.  ES draws a GST, per-run probabilities,
+/// laggard delays, and crash fates; SCS draws only crashes and crash-round
+/// losses.  Everything is derived from `rng`, so equal (config, model, rng
+/// state) means an identical schedule.
+RunSchedule random_run_schedule(const SystemConfig& config, Model model,
+                                Rng& rng, const FuzzGenOptions& options = {});
+
+}  // namespace indulgence

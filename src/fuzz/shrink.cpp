@@ -1,0 +1,230 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace indulgence {
+
+namespace {
+
+/// Flat, editable mirror of a RunSchedule: events can be erased or tweaked
+/// by index, then rebuilt into a schedule for the next predicate call.
+struct Draft {
+  Round gst = 1;
+  struct Crash {
+    Round round;
+    CrashEvent event;
+  };
+  struct Override {
+    Round round;
+    RoundPlan::Override o;
+  };
+  std::vector<Crash> crashes;
+  std::vector<Override> overrides;
+
+  static Draft from(const RunSchedule& schedule) {
+    Draft d;
+    d.gst = schedule.gst();
+    for (Round k = 1; k <= schedule.last_planned_round(); ++k) {
+      const RoundPlan& plan = schedule.plan(k);
+      for (const CrashEvent& c : plan.crashes()) d.crashes.push_back({k, c});
+      for (const RoundPlan::Override& o : plan.overrides()) {
+        if (o.fate.kind == FateKind::Deliver) continue;  // no-op override
+        d.overrides.push_back({k, o});
+      }
+    }
+    return d;
+  }
+
+  RunSchedule build(const SystemConfig& config) const {
+    RunSchedule schedule(config);
+    schedule.set_gst(gst);
+    for (const Crash& c : crashes) schedule.plan(c.round).add_crash(c.event);
+    for (const Override& o : overrides) {
+      schedule.plan(o.round).set_fate(o.o.sender, o.o.receiver, o.o.fate);
+    }
+    return schedule;
+  }
+
+  /// Highest process id any event references (-1 when none).
+  ProcessId max_pid() const {
+    ProcessId pid = -1;
+    for (const Crash& c : crashes) pid = std::max(pid, c.event.pid);
+    for (const Override& o : overrides) {
+      pid = std::max(pid, std::max(o.o.sender, o.o.receiver));
+    }
+    return pid;
+  }
+};
+
+class Shrinker {
+ public:
+  Shrinker(SystemConfig config, std::vector<Value> proposals, Draft draft,
+           const ShrinkTest& still_fails, long max_attempts)
+      : config_(config),
+        proposals_(std::move(proposals)),
+        draft_(std::move(draft)),
+        still_fails_(still_fails),
+        max_attempts_(max_attempts) {}
+
+  ShrinkResult run() {
+    bool changed = true;
+    while (changed && stats_.attempts < max_attempts_) {
+      changed = false;
+      changed |= drop_rounds();
+      changed |= drop_crashes();
+      changed |= drop_overrides();
+      changed |= shorten_delays();
+      changed |= lower_gst();
+      changed |= shrink_system();
+    }
+    return {config_, proposals_, draft_.build(config_), stats_};
+  }
+
+ private:
+  /// Tries one candidate draft/config; adopts it iff the failure persists.
+  bool accept(const Draft& candidate, const SystemConfig& config,
+              const std::vector<Value>& proposals) {
+    if (stats_.attempts >= max_attempts_) return false;
+    ++stats_.attempts;
+    if (!still_fails_(config, proposals, candidate.build(config))) {
+      return false;
+    }
+    ++stats_.accepted;
+    draft_ = candidate;
+    config_ = config;
+    proposals_ = proposals;
+    return true;
+  }
+
+  bool accept(const Draft& candidate) {
+    return accept(candidate, config_, proposals_);
+  }
+
+  bool drop_rounds() {
+    bool changed = false;
+    std::set<Round> rounds;
+    for (const Draft::Crash& c : draft_.crashes) rounds.insert(c.round);
+    for (const Draft::Override& o : draft_.overrides) rounds.insert(o.round);
+    for (Round k : rounds) {
+      Draft candidate = draft_;
+      std::erase_if(candidate.crashes,
+                    [k](const Draft::Crash& c) { return c.round == k; });
+      std::erase_if(candidate.overrides,
+                    [k](const Draft::Override& o) { return o.round == k; });
+      changed |= accept(candidate);
+    }
+    return changed;
+  }
+
+  bool drop_crashes() {
+    bool changed = false;
+    for (std::size_t i = 0; i < draft_.crashes.size();) {
+      Draft candidate = draft_;
+      candidate.crashes.erase(candidate.crashes.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+      if (accept(candidate)) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool drop_overrides() {
+    bool changed = false;
+    for (std::size_t i = 0; i < draft_.overrides.size();) {
+      Draft candidate = draft_;
+      candidate.overrides.erase(candidate.overrides.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      if (accept(candidate)) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool shorten_delays() {
+    bool changed = false;
+    for (std::size_t i = 0; i < draft_.overrides.size(); ++i) {
+      if (draft_.overrides[i].o.fate.kind != FateKind::Delay) continue;
+      // First jump straight to the minimum lateness, then walk down one
+      // round at a time from wherever we are.
+      const Round minimum = draft_.overrides[i].round + 1;
+      if (draft_.overrides[i].o.fate.deliver_round > minimum) {
+        Draft candidate = draft_;
+        candidate.overrides[i].o.fate.deliver_round = minimum;
+        changed |= accept(candidate);
+      }
+      while (draft_.overrides[i].o.fate.deliver_round > minimum) {
+        Draft candidate = draft_;
+        --candidate.overrides[i].o.fate.deliver_round;
+        if (!accept(candidate)) break;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool lower_gst() {
+    bool changed = false;
+    if (draft_.gst > 1) {
+      Draft candidate = draft_;
+      candidate.gst = 1;
+      changed |= accept(candidate);
+    }
+    while (draft_.gst > 1) {
+      Draft candidate = draft_;
+      --candidate.gst;
+      if (!accept(candidate)) break;
+      changed = true;
+    }
+    return changed;
+  }
+
+  bool shrink_system() {
+    bool changed = false;
+    // Drop the highest process while nothing references it.
+    while (config_.n > 3 && draft_.max_pid() < config_.n - 1) {
+      SystemConfig smaller = config_;
+      --smaller.n;
+      if (smaller.t >= smaller.n) break;
+      std::vector<Value> proposals = proposals_;
+      proposals.resize(static_cast<std::size_t>(smaller.n));
+      if (!accept(draft_, smaller, proposals)) break;
+      changed = true;
+    }
+    while (config_.t > 0) {
+      SystemConfig smaller = config_;
+      --smaller.t;
+      if (!accept(draft_, smaller, proposals_)) break;
+      changed = true;
+    }
+    return changed;
+  }
+
+  SystemConfig config_;
+  std::vector<Value> proposals_;
+  Draft draft_;
+  const ShrinkTest& still_fails_;
+  long max_attempts_;
+  ShrinkStats stats_;
+};
+
+}  // namespace
+
+ShrinkResult shrink_schedule(SystemConfig config,
+                             std::vector<Value> proposals,
+                             const RunSchedule& schedule,
+                             const ShrinkTest& still_fails,
+                             long max_attempts) {
+  config.validate();
+  Shrinker shrinker(config, std::move(proposals), Draft::from(schedule),
+                    still_fails, max_attempts);
+  return shrinker.run();
+}
+
+}  // namespace indulgence

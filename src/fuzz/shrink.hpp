@@ -1,0 +1,58 @@
+// Delta-debugging shrinker for violating schedules.
+//
+// Given a schedule on which some predicate fails (an agreement violation, a
+// broken lemma, a crash in the harness itself), shrink_schedule greedily
+// applies semantics-preserving reductions and keeps each one iff the
+// predicate still fails:
+//
+//   * drop a whole round's plan, a single crash, or a single fate override
+//     (the fate reverts to Deliver);
+//   * shorten a delay (deliver_round toward send_round + 1);
+//   * lower GST toward 1;
+//   * shrink the system: drop the highest process id when no event uses it,
+//     or lower t.
+//
+// The loop runs to a fixpoint, so the result is 1-minimal with respect to
+// the event reductions: removing ANY remaining crash or override un-breaks
+// the predicate — which is exactly what the shrinker unit tests assert.
+// The test callback owns the definition of "still fails"; for fuzz finds it
+// re-runs the schedule and requires the run to stay model-valid AND the
+// violation to persist, so shrinking can never walk out of the model.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/schedule.hpp"
+
+namespace indulgence {
+
+/// Returns true iff the (config, proposals, schedule) candidate still
+/// exhibits the failure being minimized.
+using ShrinkTest = std::function<bool(
+    const SystemConfig&, const std::vector<Value>&, const RunSchedule&)>;
+
+struct ShrinkStats {
+  long attempts = 0;  ///< candidate schedules tried (predicate evaluations)
+  long accepted = 0;  ///< reductions that kept the failure
+};
+
+struct ShrinkResult {
+  SystemConfig config;
+  std::vector<Value> proposals;
+  RunSchedule schedule;
+  ShrinkStats stats;
+};
+
+/// Minimizes `schedule` (and the system size) while `still_fails` keeps
+/// returning true.  `still_fails` is never called on the input itself — the
+/// caller asserts that — and at most `max_attempts` candidates are tried.
+ShrinkResult shrink_schedule(SystemConfig config,
+                             std::vector<Value> proposals,
+                             const RunSchedule& schedule,
+                             const ShrinkTest& still_fails,
+                             long max_attempts = 20000);
+
+}  // namespace indulgence

@@ -1,0 +1,53 @@
+// The fuzzable algorithm registry.
+//
+// A FuzzTarget names one algorithm configuration the fuzzer can sweep: the
+// factory, the model its guarantees are stated in (FloodSet and friends are
+// SCS algorithms; the indulgent stack is ES), the predicate that defines
+// "violation" for it, and whether the paper says it must survive (the seven
+// real algorithms) or must break (the ablated / truncated A_{t+2} variants,
+// which exist precisely so the fuzzer has known bugs to rediscover).
+//
+// Target names are stable strings: `.sched` repro files in tests/corpus/
+// reference them, so renaming a target orphans corpus entries.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lb/attack.hpp"
+
+namespace indulgence {
+
+struct FuzzTarget {
+  std::string name;     ///< stable key, referenced by `.sched` repro files
+  std::string summary;  ///< one line for --list output
+  Model model = Model::ES;
+  bool expect_safe = true;      ///< paper's verdict under model-valid runs
+  std::string check = "consensus";  ///< default predicate (find_check key)
+  AlgorithmFactory factory;
+};
+
+/// All registered targets: the seven real algorithms (three SCS FloodSet
+/// variants, the indulgent A_{t+2} / A_{<>S} / A_{f+2} stack, Hurfin-Raynal)
+/// followed by the deliberately broken variants (X1 ablations, the
+/// truncated "A_{t+1}" of E2).
+const std::vector<FuzzTarget>& fuzz_targets();
+
+/// Lookup by name; nullptr when unknown.
+const FuzzTarget* find_fuzz_target(std::string_view name);
+
+/// Named violation predicates usable in `.sched` files:
+///   "consensus"   - agreement, validity, or termination broken;
+///   "elimination" - Lemma 6 broken (two distinct non-BOTTOM new estimates).
+/// Throws std::invalid_argument for unknown names.
+ViolationPredicate find_check(std::string_view name);
+
+/// The "consensus" predicate: agreement_or_validity_violation plus the
+/// termination check (every correct process decided within the round cap).
+std::optional<std::string> consensus_violation(
+    const RunResult& result, const AlgorithmInstances& instances);
+
+}  // namespace indulgence

@@ -134,12 +134,21 @@ RunSchedule coordinator_assassin_schedule(SystemConfig config, int crashes) {
 }
 
 RunSchedule async_prefix_schedule(SystemConfig config, Round gst,
-                                  const ProcessSet& laggards, int f) {
+                                  const ProcessSet& laggards, int f,
+                                  Round horizon) {
   if (laggards.size() > config.t) {
     throw std::invalid_argument("async_prefix_schedule: |laggards| > t");
   }
-  if (f > config.t - 0) {
+  if (f > config.t) {
     throw std::invalid_argument("async_prefix_schedule: f > t");
+  }
+  if (f + static_cast<int>(laggards.size()) > config.n) {
+    throw std::invalid_argument(
+        "async_prefix_schedule: f + |laggards| > n (crashes skip laggards)");
+  }
+  if (horizon > 0 && f > 0 && gst + f - 1 > horizon) {
+    throw std::invalid_argument(
+        "async_prefix_schedule: last crash round gst + f - 1 exceeds horizon");
   }
   ScheduleBuilder b(config);
   b.gst(gst);

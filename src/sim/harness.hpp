@@ -121,10 +121,16 @@ RunSchedule coordinator_assassin_schedule(SystemConfig config, int crashes);
 
 /// An asynchronous prefix: rounds 1..gst-1 delay all messages from the
 /// `laggards` set by one round (a moving partition), synchronous from gst
-/// on, with `f` staggered crashes after gst.  Used by the eventual-decision
-/// experiments (runs "synchronous after round k").
+/// on, with `f` staggered crashes in rounds gst .. gst+f-1.  Used by the
+/// eventual-decision experiments (runs "synchronous after round k").
+/// Requires f <= t, |laggards| <= t, and f + |laggards| <= n (the crashes
+/// skip the laggards, so there must be enough other processes to kill).
+/// A positive `horizon` additionally requires the last crash round
+/// gst + f - 1 to stay within it — rejecting schedules whose crashes would
+/// fall beyond the run's round cap and silently never happen.
 RunSchedule async_prefix_schedule(SystemConfig config, Round gst,
-                                  const ProcessSet& laggards, int f);
+                                  const ProcessSet& laggards, int f,
+                                  Round horizon = 0);
 
 /// A library of hostile synchronous schedules with exactly `crashes`
 /// crashes (chains with different delivery targets, bursts early and late,

@@ -44,6 +44,14 @@ Round RunSchedule::last_planned_round() const {
   return plans_.empty() ? 0 : plans_.rbegin()->first;
 }
 
+int RunSchedule::planned_rounds() const {
+  int planned = 0;
+  for (const auto& [round, plan] : plans_) {
+    if (!plan.crashes().empty() || !plan.overrides().empty()) ++planned;
+  }
+  return planned;
+}
+
 ProcessSet RunSchedule::crashed_processes() const {
   ProcessSet crashed;
   for (const auto& [round, plan] : plans_) {

@@ -89,6 +89,9 @@ class RunSchedule {
   /// Largest round with an explicit plan (0 when none).
   Round last_planned_round() const;
 
+  /// Number of rounds with a non-empty plan — the "size" of a repro.
+  int planned_rounds() const;
+
   /// Set of processes that crash anywhere in the schedule.
   ProcessSet crashed_processes() const;
 

@@ -1,0 +1,244 @@
+#include "sim/schedule_io.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace indulgence {
+
+namespace {
+
+std::string trimmed(std::string line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = line.find_last_not_of(" \t\r");
+  return line.substr(first, last - first + 1);
+}
+
+/// Tokenizer over one directive line, with parse-error context.
+class Line {
+ public:
+  Line(const std::string& text, int number) : stream_(text), number_(number) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ScheduleParseError(number_, what);
+  }
+
+  std::string word(const std::string& expected_what) {
+    std::string token;
+    if (!(stream_ >> token)) fail("expected " + expected_what);
+    return token;
+  }
+
+  int integer(const std::string& expected_what) {
+    const std::string token = word(expected_what);
+    return parse_int(token, expected_what);
+  }
+
+  int parse_int(const std::string& token, const std::string& expected_what) {
+    std::size_t used = 0;
+    int value = 0;
+    try {
+      value = std::stoi(token, &used);
+    } catch (const std::exception&) {
+      fail("expected " + expected_what + ", got '" + token + "'");
+    }
+    if (used != token.size()) {
+      fail("expected " + expected_what + ", got '" + token + "'");
+    }
+    return value;
+  }
+
+  ProcessId process(const std::string& role) {
+    const std::string token = word(role + " (p<id>)");
+    if (token.empty() || token[0] != 'p') {
+      fail(role + " must look like p<id>, got '" + token + "'");
+    }
+    return parse_int(token.substr(1), role + " id");
+  }
+
+  void arrow() {
+    const std::string token = word("'->'");
+    if (token != "->") fail("expected '->', got '" + token + "'");
+  }
+
+  Round at_round() {
+    const std::string token = word("'@<round>'");
+    if (token.empty() || token[0] != '@') {
+      fail("expected '@<round>', got '" + token + "'");
+    }
+    return parse_int(token.substr(1), "delivery round");
+  }
+
+  void done() {
+    std::string extra;
+    if (stream_ >> extra) fail("trailing token '" + extra + "'");
+  }
+
+ private:
+  std::istringstream stream_;
+  int number_;
+};
+
+}  // namespace
+
+std::string print_schedule(const RunSchedule& schedule) {
+  std::ostringstream os;
+  os << "sched v1\n";
+  os << "system n=" << schedule.config().n << " t=" << schedule.config().t
+     << "\n";
+  if (schedule.gst() != 1) os << "gst " << schedule.gst() << "\n";
+  for (Round k = 1; k <= schedule.last_planned_round(); ++k) {
+    const RoundPlan& plan = schedule.plan(k);
+    // A block is worth printing only if it has a crash or a non-Deliver
+    // fate; Deliver overrides are no-ops and are dropped below, so a plan
+    // holding nothing else must not leave an empty `round` header behind.
+    const bool has_content =
+        !plan.crashes().empty() ||
+        std::any_of(plan.overrides().begin(), plan.overrides().end(),
+                    [](const RoundPlan::Override& o) {
+                      return o.fate.kind != FateKind::Deliver;
+                    });
+    if (!has_content) continue;
+    os << "round " << k << "\n";
+    for (const CrashEvent& c : plan.crashes()) {
+      os << "  crash p" << c.pid
+         << (c.before_send ? " before-send" : " after-send") << "\n";
+    }
+    for (const RoundPlan::Override& o : plan.overrides()) {
+      switch (o.fate.kind) {
+        case FateKind::Lose:
+          os << "  lose p" << o.sender << " -> p" << o.receiver << "\n";
+          break;
+        case FateKind::Delay:
+          os << "  delay p" << o.sender << " -> p" << o.receiver << " @"
+             << o.fate.deliver_round << "\n";
+          break;
+        case FateKind::Deliver:
+          // Deliver is the default fate; an explicit Deliver override is
+          // semantically a no-op, so the canonical form drops it.
+          break;
+      }
+    }
+  }
+  return os.str();
+}
+
+RunSchedule parse_schedule(std::string_view text) {
+  std::istringstream input{std::string(text)};
+  std::string raw;
+  int line_number = 0;
+
+  bool saw_header = false;
+  std::optional<RunSchedule> schedule;
+  Round current_round = 0;
+
+  auto need_system = [&](const Line& line) -> RunSchedule& {
+    if (!schedule) line.fail("'system n=<N> t=<T>' must come first");
+    return *schedule;
+  };
+  auto need_round = [&](const Line& line) -> RoundPlan& {
+    if (current_round == 0) line.fail("event outside any 'round <k>' block");
+    return need_system(line).plan(current_round);
+  };
+  auto check_pid = [&](const Line& line, ProcessId pid,
+                       const std::string& role) {
+    if (pid < 0 || pid >= need_system(line).config().n) {
+      line.fail(role + " p" + std::to_string(pid) + " out of range [0, " +
+                std::to_string(need_system(line).config().n) + ")");
+    }
+  };
+
+  while (std::getline(input, raw)) {
+    ++line_number;
+    const std::string text_line = trimmed(raw);
+    if (text_line.empty()) continue;
+    Line line(text_line, line_number);
+    const std::string directive = line.word("a directive");
+
+    if (!saw_header) {
+      if (directive != "sched") line.fail("file must start with 'sched v1'");
+      if (line.word("format version") != "v1") {
+        line.fail("unsupported schedule format version (want v1)");
+      }
+      line.done();
+      saw_header = true;
+      continue;
+    }
+
+    if (directive == "system") {
+      if (schedule) line.fail("duplicate 'system' directive");
+      SystemConfig config;
+      for (const char* key : {"n=", "t="}) {
+        const std::string token = line.word(std::string(key) + "<int>");
+        if (token.rfind(key, 0) != 0) {
+          line.fail("expected '" + std::string(key) + "<int>', got '" + token +
+                    "'");
+        }
+        (key[0] == 'n' ? config.n : config.t) =
+            line.parse_int(token.substr(2), std::string(1, key[0]));
+      }
+      line.done();
+      try {
+        schedule.emplace(config);
+      } catch (const std::invalid_argument& e) {
+        line.fail(e.what());
+      }
+    } else if (directive == "gst") {
+      const Round k = line.integer("GST round");
+      line.done();
+      if (k < 1) line.fail("gst must be >= 1");
+      need_system(line).set_gst(k);
+    } else if (directive == "round") {
+      const Round k = line.integer("round number");
+      line.done();
+      need_system(line);
+      if (k < 1) line.fail("round must be >= 1");
+      if (k <= current_round) line.fail("rounds must be strictly ascending");
+      current_round = k;
+    } else if (directive == "crash") {
+      const ProcessId pid = line.process("crash victim");
+      const std::string phase = line.word("'before-send' or 'after-send'");
+      line.done();
+      check_pid(line, pid, "crash victim");
+      if (phase != "before-send" && phase != "after-send") {
+        line.fail("expected 'before-send' or 'after-send', got '" + phase +
+                  "'");
+      }
+      need_round(line).add_crash({pid, phase == "before-send"});
+    } else if (directive == "lose") {
+      const ProcessId sender = line.process("sender");
+      line.arrow();
+      const ProcessId receiver = line.process("receiver");
+      line.done();
+      check_pid(line, sender, "sender");
+      check_pid(line, receiver, "receiver");
+      need_round(line).set_fate(sender, receiver, Fate::lose());
+    } else if (directive == "delay") {
+      const ProcessId sender = line.process("sender");
+      line.arrow();
+      const ProcessId receiver = line.process("receiver");
+      const Round deliver = line.at_round();
+      line.done();
+      check_pid(line, sender, "sender");
+      check_pid(line, receiver, "receiver");
+      if (deliver <= current_round) {
+        line.fail("delayed delivery must land after its send round");
+      }
+      need_round(line).set_fate(sender, receiver, Fate::delay_to(deliver));
+    } else {
+      line.fail("unknown directive '" + directive + "'");
+    }
+  }
+
+  if (!saw_header) throw ScheduleParseError(line_number, "empty document");
+  if (!schedule) {
+    throw ScheduleParseError(line_number, "missing 'system' directive");
+  }
+  return *std::move(schedule);
+}
+
+}  // namespace indulgence

@@ -1,0 +1,64 @@
+// Text serialization for RunSchedule: the `.sched` format.
+//
+// Every run in this repository is driven by a RunSchedule; serializing one
+// turns a transient counterexample (a fuzzer find, an attack-search witness,
+// a hand-built scenario) into a file that replays byte-for-byte.  The format
+// is line-oriented and human-editable, because repro files get checked into
+// tests/corpus/ and read in code review:
+//
+//   sched v1
+//   system n=3 t=1
+//   gst 2
+//   round 1
+//     crash p0 after-send
+//     lose p0 -> p2
+//     delay p1 -> p2 @3
+//   round 2
+//     crash p1 before-send
+//
+// Directives:
+//   system n=<N> t=<T>     -- required, before any round
+//   gst <K>                -- optional, default 1
+//   round <k>              -- opens round k's plan (k >= 1, ascending)
+//   crash p<i> before-send|after-send
+//   lose p<i> -> p<j>      -- round message i -> j never arrives
+//   delay p<i> -> p<j> @<r>-- round message i -> j arrives in round r
+//
+// '#' starts a comment (whole-line or trailing); blank lines and leading
+// indentation are ignored.  print_schedule emits the canonical form: rounds
+// ascending, crashes before fate overrides, no empty round blocks — so
+// parse(print(s)) == s structurally and print(parse(text)) is a fixpoint.
+
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/schedule.hpp"
+
+namespace indulgence {
+
+/// Malformed `.sched` input; what() names the line number and the problem.
+class ScheduleParseError : public std::runtime_error {
+ public:
+  explicit ScheduleParseError(int line, const std::string& what)
+      : std::runtime_error(".sched line " + std::to_string(line) + ": " +
+                           what),
+        line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_ = 0;
+};
+
+/// Canonical text form of `schedule` (see the grammar above).
+std::string print_schedule(const RunSchedule& schedule);
+
+/// Parses a full `.sched` document.  Throws ScheduleParseError on any
+/// malformed, duplicate, or out-of-range directive.
+RunSchedule parse_schedule(std::string_view text);
+
+}  // namespace indulgence

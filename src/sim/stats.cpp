@@ -56,24 +56,24 @@ TraceStats compute_stats(const RunTrace& trace, Round until_round) {
     delivered.insert({d.sender, d.send_round, d.receiver});
   }
 
-  std::set<std::pair<ProcessId, Round>> pending;
+  // Pending messages are per-copy: one sender/round message may be delayed
+  // to one receiver while another copy of it is lost outright.
+  std::set<std::tuple<ProcessId, Round, ProcessId>> pending;
   for (const PendingRecord& p : trace.pending()) {
-    pending.insert({p.sender, p.send_round});
+    pending.insert({p.sender, p.send_round, p.receiver});
   }
 
   for (const SendRecord& s : trace.sends()) {
     if (s.round > horizon) continue;
     for (ProcessId rec = 0; rec < n; ++rec) {
       if (rec == s.sender) continue;
-      if (!delivered.count({s.sender, s.round, rec}) &&
-          !pending.count({s.sender, s.round}) && !completes(rec, horizon)) {
-        // receiver dead: copy neither delivered nor counted lost
-        continue;
-      }
-      if (!delivered.count({s.sender, s.round, rec}) &&
-          !pending.count({s.sender, s.round}) && completes(rec, horizon)) {
-        ++stats.lost_messages;
-      }
+      if (delivered.count({s.sender, s.round, rec})) continue;
+      if (pending.count({s.sender, s.round, rec})) continue;
+      // A copy counts as lost only if its receiver was still alive in the
+      // send round; a receiver already crashed by then never expected it.
+      // (Liveness at the horizon is the wrong test: a receiver crashing
+      // mid-window used to hide every loss it suffered before crashing.)
+      if (completes(rec, s.round)) ++stats.lost_messages;
     }
   }
 

@@ -1,0 +1,75 @@
+// The checked-in repro corpus: every tests/corpus/*.sched entry must parse,
+// round-trip, and replay to exactly the verdict it claims — at any job
+// count.  A bug once captured here can never silently regress.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/targets.hpp"
+
+namespace indulgence {
+namespace {
+
+std::vector<std::pair<std::string, ReproCase>> corpus() {
+  static const auto entries = load_corpus_dir(INDULGENCE_CORPUS_DIR);
+  return entries;
+}
+
+TEST(Corpus, DirectoryIsNotEmpty) {
+  // The permanent entries: E2's counterexamples, E9's laggard attack, the
+  // minimized X1 ablation repros, and the satellite-bug boundary runs.
+  EXPECT_GE(corpus().size(), 8u);
+}
+
+TEST(Corpus, EveryEntryNamesAKnownTarget) {
+  for (const auto& [name, repro] : corpus()) {
+    EXPECT_NE(find_fuzz_target(repro.algo), nullptr)
+        << name << " references unknown target '" << repro.algo << "'";
+  }
+}
+
+TEST(Corpus, EveryEntryRoundTripsThroughItsTextForm) {
+  for (const auto& [name, repro] : corpus()) {
+    const ReproCase reparsed = parse_repro(print_repro(repro));
+    EXPECT_EQ(reparsed.schedule, repro.schedule) << name;
+    EXPECT_EQ(reparsed.algo, repro.algo) << name;
+    EXPECT_EQ(reparsed.expect_violation, repro.expect_violation) << name;
+    EXPECT_EQ(reparsed.proposals, repro.proposals) << name;
+  }
+}
+
+TEST(Corpus, EveryEntryReplaysToItsClaimedVerdict) {
+  for (const ReplayVerdict& v : replay_corpus(corpus())) {
+    EXPECT_TRUE(v.model_valid) << v.name << ": run left the model";
+    EXPECT_EQ(v.violation, v.expect_violation) << v.name << " " << v.detail;
+  }
+}
+
+TEST(Corpus, ReplayVerdictsAreIdenticalAtAnyJobCount) {
+  CampaignOptions serial;
+  serial.jobs = 1;
+  CampaignOptions parallel_default;  // INDULGENCE_JOBS or hardware
+  const auto a = replay_corpus(corpus(), serial);
+  const auto b = replay_corpus(corpus(), parallel_default);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Corpus, KnownBugsStayDiscoverable) {
+  // The three X1 ablations and the E2 truncation each have at least one
+  // violating entry — losing one would mean the corpus no longer witnesses
+  // that the mechanism is load-bearing.
+  for (const std::string required :
+       {"at2-fscheck", "at2-haltxchg", "at2-haltfilter", "at2-trunc"}) {
+    bool witnessed = false;
+    for (const auto& [name, repro] : corpus()) {
+      witnessed |= repro.algo == required && repro.expect_violation;
+    }
+    EXPECT_TRUE(witnessed) << "no violating corpus entry for " << required;
+  }
+}
+
+}  // namespace
+}  // namespace indulgence

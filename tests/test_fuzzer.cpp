@@ -1,0 +1,95 @@
+// The fuzzing campaign: determinism across job counts, rediscovery of the
+// known-broken variants, and the safe/broken verdict split.
+
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/targets.hpp"
+#include "sim/validator.hpp"
+
+namespace indulgence {
+namespace {
+
+TEST(FuzzCampaign, FindsTheTruncatedAt2QuicklyAndShrinksIt) {
+  const FuzzTarget* target = find_fuzz_target("at2-trunc");
+  ASSERT_NE(target, nullptr);
+  FuzzOptions options;
+  options.budget = 200;
+  const FuzzReport report =
+      fuzz_target(*target, SystemConfig{.n = 3, .t = 1}, options);
+  EXPECT_EQ(report.invalid_runs, 0) << "generator left the model";
+  ASSERT_GT(report.violations, 0);
+  ASSERT_TRUE(report.first.has_value());
+  EXPECT_LE(report.first->planned_rounds, 4);
+  EXPECT_FALSE(report.as_expected() && target->expect_safe);
+}
+
+TEST(FuzzCampaign, ReportIsIdenticalAtAnyJobCount) {
+  const FuzzTarget* target = find_fuzz_target("at2-haltfilter");
+  ASSERT_NE(target, nullptr);
+  const SystemConfig cfg{.n = 3, .t = 1};
+  FuzzOptions serial;
+  serial.budget = 300;
+  serial.campaign.jobs = 1;
+  FuzzOptions wide = serial;
+  wide.campaign.jobs = 4;
+  wide.campaign.chunk = 7;  // ragged chunking must not change the verdict
+  const FuzzReport a = fuzz_target(*target, cfg, serial);
+  const FuzzReport b = fuzz_target(*target, cfg, wide);
+  EXPECT_EQ(a.violations, b.violations);
+  ASSERT_EQ(a.first.has_value(), b.first.has_value());
+  if (a.first) {
+    EXPECT_EQ(a.first->run_index, b.first->run_index);
+    EXPECT_EQ(a.first->schedule, b.first->schedule);
+    EXPECT_EQ(a.first->original, b.first->original);
+    EXPECT_EQ(a.first->proposals, b.first->proposals);
+  }
+}
+
+TEST(FuzzCampaign, SafeTargetsSurviveASmokeBudget) {
+  const SystemConfig cfg{.n = 3, .t = 1};
+  FuzzOptions options;
+  options.budget = 150;
+  for (const char* name : {"floodset", "hr", "at2"}) {
+    const FuzzTarget* target = find_fuzz_target(name);
+    ASSERT_NE(target, nullptr) << name;
+    const FuzzReport report = fuzz_target(*target, cfg, options);
+    EXPECT_EQ(report.violations, 0) << name;
+    EXPECT_EQ(report.invalid_runs, 0) << name;
+    EXPECT_TRUE(report.as_expected()) << name;
+  }
+}
+
+TEST(FuzzCampaign, EveryGeneratedScheduleIsModelValid) {
+  // The generator's core promise, checked directly against the validator:
+  // random schedules never blame the algorithm for an out-of-model run.
+  const FuzzTarget* target = find_fuzz_target("at2");
+  ASSERT_NE(target, nullptr);
+  const SystemConfig cfg{.n = 4, .t = 1};
+  FuzzOptions options;
+  options.budget = 300;
+  const FuzzReport report = fuzz_target(*target, cfg, options);
+  EXPECT_EQ(report.invalid_runs, 0);
+  EXPECT_EQ(report.runs, 300);
+}
+
+TEST(FuzzCampaign, AnySingleRunRegeneratesInIsolation) {
+  // (seed, target, config, index) alone reproduces a run's schedule — the
+  // property repro files and --out depend on.
+  const FuzzTarget* target = find_fuzz_target("at2-trunc");
+  ASSERT_NE(target, nullptr);
+  const SystemConfig cfg{.n = 3, .t = 1};
+  std::vector<Value> p1, p2;
+  const RunSchedule a =
+      fuzz_run_schedule(*target, cfg, /*seed=*/1, /*run_index=*/14, {}, &p1);
+  const RunSchedule b =
+      fuzz_run_schedule(*target, cfg, /*seed=*/1, /*run_index=*/14, {}, &p2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(p1, p2);
+  const RunSchedule c =
+      fuzz_run_schedule(*target, cfg, /*seed=*/1, /*run_index=*/15, {});
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace indulgence

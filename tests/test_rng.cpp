@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <set>
 
@@ -47,6 +48,50 @@ TEST(Rng, NextIntCoversInclusiveRange) {
   for (int i = 0; i < 2000; ++i) seen.insert(rng.next_int(3, 7));
   EXPECT_EQ(seen, (std::set<int>{3, 4, 5, 6, 7}));
   EXPECT_THROW(rng.next_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, NextIntHandlesNegativeBounds) {
+  // Regression: the range width used to be computed as uint64_t(hi) - lo,
+  // which turned an all-negative range like [-3, -1] into a 2^64-sized one
+  // (and then returned values far outside the bounds).
+  Rng rng(31);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(-3, -1);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, -1);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen, (std::set<int>{-3, -2, -1}));
+}
+
+TEST(Rng, NextIntHandlesMixedSignBounds) {
+  Rng rng(37);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen, (std::set<int>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Rng, NextIntExtremeRangeStaysInBounds) {
+  // The full int range: width is 2^32, which only fits in 64-bit math.
+  Rng rng(41);
+  bool below_zero = false, above_zero = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.next_int(std::numeric_limits<int>::min(),
+                               std::numeric_limits<int>::max());
+    below_zero |= v < 0;
+    above_zero |= v > 0;
+  }
+  EXPECT_TRUE(below_zero);
+  EXPECT_TRUE(above_zero);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_int(-5, -5), -5);
+  }
 }
 
 TEST(Rng, ChanceEdgeCases) {

@@ -113,6 +113,44 @@ TEST(HarnessSchedules, AsyncPrefixRespectsResilience) {
                std::invalid_argument);
 }
 
+TEST(HarnessSchedules, AsyncPrefixFullCrashBudgetBoundary) {
+  // f == t with a late GST is legal: crashes occupy rounds gst..gst+t-1.
+  const Round gst = 6;
+  const RunSchedule s =
+      async_prefix_schedule(kCfg, gst, ProcessSet{4}, /*f=*/kCfg.t);
+  EXPECT_EQ(s.crashed_processes().size(), kCfg.t);
+  EXPECT_TRUE(s.plan(gst).crashes_before_send(0));
+  EXPECT_TRUE(s.plan(gst + 1).crashes_before_send(1));
+  // One past the budget must throw (this guard read `f > t - 0` for a
+  // while — keep the boundary pinned).
+  EXPECT_THROW(async_prefix_schedule(kCfg, gst, ProcessSet{4}, kCfg.t + 1),
+               std::invalid_argument);
+}
+
+TEST(HarnessSchedules, AsyncPrefixValidatesCrashHorizon) {
+  // With a horizon, the last crash round gst + f - 1 must fit within it —
+  // otherwise the schedule quietly promises crashes the run never executes.
+  EXPECT_NO_THROW(
+      async_prefix_schedule(kCfg, /*gst=*/4, {}, /*f=*/2, /*horizon=*/5));
+  EXPECT_THROW(
+      async_prefix_schedule(kCfg, /*gst=*/5, {}, /*f=*/2, /*horizon=*/5),
+      std::invalid_argument);
+  // No horizon given: unchecked, as before.
+  EXPECT_NO_THROW(async_prefix_schedule(kCfg, /*gst=*/50, {}, /*f=*/2));
+}
+
+TEST(HarnessSchedules, AsyncPrefixNeedsEnoughNonLaggards) {
+  // Crashes skip the laggards, so f + |laggards| must fit inside n; the
+  // old code silently injected fewer crashes than requested.
+  const SystemConfig tight{.n = 4, .t = 3};
+  EXPECT_THROW(
+      async_prefix_schedule(tight, /*gst=*/3, ProcessSet{0, 1}, /*f=*/3),
+      std::invalid_argument);
+  const RunSchedule ok =
+      async_prefix_schedule(tight, /*gst=*/3, ProcessSet{0}, /*f=*/3);
+  EXPECT_EQ(ok.crashed_processes().size(), 3);
+}
+
 TEST(HarnessSchedules, HostileLibraryIsNonTrivial) {
   const auto schedules = hostile_sync_schedules(kCfg, kCfg.t);
   EXPECT_GE(schedules.size(), 6u);

@@ -1,0 +1,137 @@
+// `.sched` serialization: print/parse round-trips, canonical-form fixpoint,
+// and parse-error reporting.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fuzz/generator.hpp"
+#include "sim/harness.hpp"
+#include "sim/schedule_io.hpp"
+
+namespace indulgence {
+namespace {
+
+TEST(ScheduleIo, EmptyScheduleRoundTrips) {
+  const RunSchedule s(SystemConfig{.n = 3, .t = 1});
+  const std::string text = print_schedule(s);
+  EXPECT_EQ(parse_schedule(text), s);
+}
+
+TEST(ScheduleIo, AllDirectiveKindsRoundTrip) {
+  ScheduleBuilder b(SystemConfig{.n = 5, .t = 2});
+  b.crash(0, 1, /*before_send=*/true);
+  b.crash(1, 3, /*before_send=*/false);
+  b.lose(2, 3, 1);
+  b.delay(3, 4, 2, 7);
+  b.gst(4);
+  const RunSchedule s = b.build();
+  const std::string text = print_schedule(s);
+  const RunSchedule parsed = parse_schedule(text);
+  EXPECT_EQ(parsed, s);
+  EXPECT_EQ(parsed.gst(), 4);
+  EXPECT_TRUE(parsed.plan(1).crashes_before_send(0));
+  EXPECT_FALSE(parsed.plan(3).crashes_before_send(1));
+  EXPECT_EQ(parsed.plan(1).fate(2, 3), Fate::lose());
+  EXPECT_EQ(parsed.plan(2).fate(3, 4), Fate::delay_to(7));
+}
+
+TEST(ScheduleIo, PrintIsAFixpoint) {
+  ScheduleBuilder b(SystemConfig{.n = 4, .t = 1});
+  b.crash(2, 2).losing_to(2, 2, ProcessSet{0, 3}).gst(3);
+  b.delay(0, 1, 1, 3);
+  const std::string once = print_schedule(b.build());
+  EXPECT_EQ(print_schedule(parse_schedule(once)), once);
+}
+
+TEST(ScheduleIo, ParserAcceptsCommentsAndLooseWhitespace) {
+  const RunSchedule s = parse_schedule(
+      "# a comment\n"
+      "sched v1\n"
+      "\n"
+      "system n=3 t=1   # trailing comment\n"
+      "gst 2\n"
+      "round 1\n"
+      "      crash p0 after-send\n"
+      "\tlose p0 -> p2\n");
+  EXPECT_EQ(s.config().n, 3);
+  EXPECT_EQ(s.gst(), 2);
+  EXPECT_TRUE(s.plan(1).crashes_process(0));
+  EXPECT_EQ(s.plan(1).fate(0, 2), Fate::lose());
+}
+
+TEST(ScheduleIo, DeliverOverridesVanishInCanonicalForm) {
+  // An explicit Deliver override is semantically a no-op; the printer drops
+  // it so structural equality matches behavioural equality after a trip.
+  RunSchedule s(SystemConfig{.n = 3, .t = 1});
+  s.plan(2).set_fate(0, 1, Fate::deliver());
+  const std::string text = print_schedule(s);
+  EXPECT_EQ(text.find("round"), std::string::npos);
+  EXPECT_EQ(parse_schedule(text).last_planned_round(), 0);
+}
+
+TEST(ScheduleIo, RandomSchedulesRoundTripBothModels) {
+  // Property check over the fuzzer's own generator: whatever it can emit,
+  // the serializer must reproduce exactly.
+  const SystemConfig cfg{.n = 4, .t = 1};
+  for (const Model model : {Model::ES, Model::SCS}) {
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+      Rng rng = Rng::for_stream(99, seed);
+      const RunSchedule s = random_run_schedule(cfg, model, rng);
+      const std::string text = print_schedule(s);
+      ASSERT_EQ(parse_schedule(text), s)
+          << "model=" << (model == Model::ES ? "ES" : "SCS")
+          << " seed=" << seed << "\n" << text;
+      ASSERT_EQ(print_schedule(parse_schedule(text)), text);
+    }
+  }
+}
+
+TEST(ScheduleIo, ParseErrorsNameTheLine) {
+  const auto line_of = [](const std::string& text) {
+    try {
+      parse_schedule(text);
+    } catch (const ScheduleParseError& e) {
+      return e.line();
+    }
+    return -1;
+  };
+  EXPECT_EQ(line_of("bogus v1\n"), 1);
+  EXPECT_EQ(line_of("sched v1\nround 1\n"), 2) << "round before system";
+  EXPECT_EQ(line_of("sched v1\nsystem n=3 t=1\nsystem n=4 t=1\n"), 3)
+      << "duplicate system directive";
+  EXPECT_EQ(line_of("sched v1\nsystem n=3 t=1\nround 2\nround 1\n"), 4)
+      << "rounds must ascend";
+  EXPECT_EQ(line_of("sched v1\nsystem n=3 t=1\nround 1\ncrash p7 after-send\n"),
+            4)
+      << "pid out of range";
+  EXPECT_EQ(
+      line_of("sched v1\nsystem n=3 t=1\nround 2\ndelay p0 -> p1 @2\n"), 4)
+      << "delay must deliver strictly after its send round";
+  EXPECT_EQ(line_of("sched v1\nsystem n=3 t=1\ngst 0\n"), 3);
+  EXPECT_EQ(line_of("sched v1\nsystem n=3 t=1\nlose p0 -> p1\n"), 3)
+      << "event outside any round block";
+}
+
+TEST(ScheduleIo, ParserRejectsInvalidSystem) {
+  EXPECT_THROW(parse_schedule("sched v1\nsystem n=2 t=0\n"),
+               ScheduleParseError);
+  EXPECT_THROW(parse_schedule("sched v1\nsystem n=3 t=3\n"),
+               ScheduleParseError);
+}
+
+TEST(ScheduleIo, CanonicalCorpusEntriesStayCanonical) {
+  // The canonical printer must not reorder what the builder created: rounds
+  // ascending, crashes before overrides within a round.
+  ScheduleBuilder b(SystemConfig{.n = 3, .t = 1});
+  b.lose(1, 2, 2);
+  b.crash(2, 2);
+  const std::string text = print_schedule(b.build());
+  const auto crash_pos = text.find("crash p2");
+  const auto lose_pos = text.find("lose p1");
+  ASSERT_NE(crash_pos, std::string::npos);
+  ASSERT_NE(lose_pos, std::string::npos);
+  EXPECT_LT(crash_pos, lose_pos);
+}
+
+}  // namespace
+}  // namespace indulgence

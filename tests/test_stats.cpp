@@ -69,6 +69,38 @@ TEST(Stats, DelayedDeliveriesAreCounted) {
   EXPECT_EQ(s.suspicions, 1) << "p1 suspected p0 in round 1";
 }
 
+TEST(Stats, ReceiverCrashingMidWindowStillCountsEarlierLosses) {
+  // p1 loses a copy in round 1 while alive, then crashes in round 2.  The
+  // lost-message accounting used to test receiver liveness at the window
+  // horizon, so a receiver that crashed anywhere in the window retroactively
+  // hid every loss it had suffered while still alive.
+  const SystemConfig cfg{.n = 4, .t = 2};
+  ScheduleBuilder b(cfg);
+  b.crash(0, 1);
+  b.lose(0, 1, 1);
+  b.lose(0, 2, 1);
+  b.crash(1, 2);
+  RunResult r = run_and_check(cfg, es_options(), floodset_factory(),
+                              distinct_proposals(cfg.n), b.build());
+  ASSERT_TRUE(r.validation.ok());
+  const TraceStats s = compute_stats(r.trace);
+  // Both round-1 losses count: p1 and p2 were alive in the send round.
+  EXPECT_EQ(s.lost_messages, 2);
+}
+
+TEST(Stats, CopiesToAlreadyCrashedReceiversAreNotLost) {
+  // The complementary direction: once p0 has crashed, undelivered copies
+  // addressed to it are not "lost" — nobody was there to receive them.
+  const SystemConfig cfg{.n = 4, .t = 1};
+  ScheduleBuilder b(cfg);
+  b.crash(0, 1, /*before_send=*/true);
+  RunResult r = run_and_check(cfg, es_options(), floodset_factory(),
+                              distinct_proposals(cfg.n), b.build());
+  ASSERT_TRUE(r.validation.ok());
+  const TraceStats s = compute_stats(r.trace);
+  EXPECT_EQ(s.lost_messages, 0);
+}
+
 TEST(Stats, WindowLimitsTheAccounting) {
   const SystemConfig cfg{.n = 5, .t = 2};
   KernelOptions opt = es_options();
