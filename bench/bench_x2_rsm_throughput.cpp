@@ -12,6 +12,9 @@
 //   * plain A_{t+2}: t+2-round latency, still 1/round pipelined;
 //   * Hurfin-Raynal: 2-round latency in good runs, degrades with crashed
 //     coordinators.
+//
+// The (algorithm, scenario) grid runs on the campaign engine; the table is
+// identical at any job count, and timing goes to stderr.
 
 #include "bench_util.hpp"
 #include "rsm/rsm.hpp"
@@ -80,7 +83,6 @@ int main() {
 
   const SystemConfig cfg{.n = 5, .t = 2};
   const int slots = 20;
-  bool ok = true;
 
   At2Options ff;
   ff.failure_free_opt = true;
@@ -98,35 +100,54 @@ int main() {
        static_cast<Round>(cfg.t + 3)},
       {"HurfinRaynal, window 2", hurfin_raynal_factory(), 2},
   };
+  const std::vector<std::string> scenarios = {"failure-free", "crash p0 @ r3",
+                                              "async until r6"};
 
+  const CampaignOptions campaign = bench::bench_campaign();
+  const long total =
+      static_cast<long>(configs.size() * scenarios.size());
+  std::vector<Measure> results(static_cast<std::size_t>(total));
+  bench::Stopwatch watch;
+  parallel_for_chunked(
+      total, campaign.resolved_chunk(1), campaign.resolved_jobs(),
+      [&](long, long begin, long end) {
+        for (long i = begin; i < end; ++i) {
+          const Config& c =
+              configs[static_cast<std::size_t>(i) / scenarios.size()];
+          auto& out = results[static_cast<std::size_t>(i)];
+          switch (static_cast<std::size_t>(i) % scenarios.size()) {
+            case 0: {
+              ScheduleAdversary adv(failure_free_schedule(cfg));
+              out = measure(cfg, c.factory, c.window, slots, adv, 256);
+              break;
+            }
+            case 1: {
+              ScheduleBuilder b(cfg);
+              b.crash(0, 3);
+              ScheduleAdversary adv(b.build());
+              out = measure(cfg, c.factory, c.window, slots, adv, 256);
+              break;
+            }
+            case 2: {
+              RandomEsOptions aopt;
+              aopt.gst = 6;
+              RandomEsAdversary adv(cfg, aopt, 4242);
+              out = measure(cfg, c.factory, c.window, slots, adv, 512);
+              break;
+            }
+          }
+        }
+      });
+
+  bool ok = true;
   Table table({"slot algorithm", "scenario", "last commit round",
                "rounds/command"});
-  for (const Config& c : configs) {
-    {
-      ScheduleAdversary adv(failure_free_schedule(cfg));
-      const Measure m = measure(cfg, c.factory, c.window, slots, adv, 256);
-      ok &= m.ok;
-      table.add(c.name, "failure-free", m.last_commit,
-                std::to_string(m.rounds_per_command).substr(0, 4));
-    }
-    {
-      ScheduleBuilder b(cfg);
-      b.crash(0, 3);
-      ScheduleAdversary adv(b.build());
-      const Measure m = measure(cfg, c.factory, c.window, slots, adv, 256);
-      ok &= m.ok;
-      table.add(c.name, "crash p0 @ r3", m.last_commit,
-                std::to_string(m.rounds_per_command).substr(0, 4));
-    }
-    {
-      RandomEsOptions aopt;
-      aopt.gst = 6;
-      RandomEsAdversary adv(cfg, aopt, 4242);
-      const Measure m = measure(cfg, c.factory, c.window, slots, adv, 512);
-      ok &= m.ok;
-      table.add(c.name, "async until r6", m.last_commit,
-                std::to_string(m.rounds_per_command).substr(0, 4));
-    }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measure& m = results[i];
+    ok &= m.ok;
+    table.add(configs[i / scenarios.size()].name,
+              scenarios[i % scenarios.size()], m.last_commit,
+              std::to_string(m.rounds_per_command).substr(0, 4));
   }
   table.print(std::cout, "X2: 20-command log, n = 5, t = 2");
   std::cout
@@ -135,5 +156,6 @@ int main() {
          "t+2 price (E1) is only paid when failures or asynchrony actually\n"
          "occur.\n\n";
   std::cout << (ok ? "X2 OK.\n" : "X2 FAILED.\n");
+  watch.report("X2", total, campaign.resolved_jobs());
   return ok ? 0 : 1;
 }

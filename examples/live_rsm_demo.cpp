@@ -1,0 +1,124 @@
+// The live runtime in one screen: an indulgent replicated log running as a
+// real concurrent service — one thread per replica, messages through the
+// fault-injecting router — committing commands before GST, through a
+// replica crash, and under wall-clock asynchrony.
+//
+//   $ ./live_rsm_demo [n]      (default n = 5, t = (n-1)/2)
+//
+// Each scenario prints the committed log (identical at every live replica,
+// by agreement), the rounds the service actually executed, the derived GST
+// round, and the model validator's verdict on the merged trace.
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/at2.hpp"
+#include "net/runtime.hpp"
+#include "rsm/rsm.hpp"
+#include "sim/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace indulgence;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 5;
+  if (n < 3 || n > 13 || n % 2 == 0) {
+    std::cerr << "usage: " << argv[0] << " [odd n in 3..13]\n";
+    return 2;
+  }
+  const SystemConfig config{.n = n, .t = (n - 1) / 2};
+  constexpr int kSlots = 6;
+
+  std::cout << "Indulgent RSM as a live service: n = " << config.n
+            << " replica threads, t = " << config.t
+            << ", a " << kSlots << "-command log\n"
+            << "(slot consensus: A_{t+2} over Hurfin-Raynal, failure-free "
+               "optimization on)\n\n";
+
+  RsmOptions rsm;
+  rsm.num_slots = kSlots;
+  rsm.slot_window = 2;
+  At2Options ff;
+  ff.failure_free_opt = true;
+  const AlgorithmFactory factory = rsm_factory(
+      at2_factory(hurfin_raynal_factory(), ff),
+      [](ProcessId id) {
+        std::vector<Value> cmds;
+        for (int i = 0; i < kSlots; ++i) cmds.push_back(100 * (id + 1) + i);
+        return cmds;
+      },
+      rsm);
+
+  struct Scenario {
+    std::string name;
+    LiveOptions options;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"synchronous from the start", LiveOptions{}});
+  {
+    LiveOptions late_gst;  // 2 ms of lossy-free but slow, jittery network
+    late_gst.gst = std::chrono::microseconds{2000};
+    scenarios.push_back({"GST only after 2 ms", late_gst});
+  }
+  {
+    LiveOptions crash;
+    crash.crashes.push_back(CrashInjection{0, 3, false});
+    scenarios.push_back({"replica 0 crashes in round 3", crash});
+  }
+
+  bool ok = true;
+  Table table({"scenario", "rounds", "gst round", "trace", "log agrees"});
+  for (const Scenario& scenario : scenarios) {
+    LiveRuntime runtime(config, scenario.options);
+    runtime.set_done_predicate([](const RoundAlgorithm& algorithm) {
+      const auto* rep = dynamic_cast<const RsmReplica*>(&algorithm);
+      return rep && rep->all_slots_committed();
+    });
+    const RunResult result =
+        runtime.run(factory, distinct_proposals(config.n));
+
+    // The committed log must be identical at every live replica.
+    std::vector<Value> log;
+    bool agrees = true;
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      if (result.trace.crashed().contains(pid)) continue;
+      const auto* rep = dynamic_cast<const RsmReplica*>(
+          runtime.algorithms()[static_cast<std::size_t>(pid)].get());
+      if (!rep || !rep->all_slots_committed()) {
+        agrees = false;
+        continue;
+      }
+      std::vector<Value> mine;
+      for (int s = 0; s < kSlots; ++s) {
+        mine.push_back(rep->log()[static_cast<std::size_t>(s)].value_or(
+            kNoOpCommand));
+      }
+      if (log.empty()) {
+        log = mine;
+      } else if (log != mine) {
+        agrees = false;
+      }
+    }
+
+    ok &= agrees && result.validation.ok();
+    table.add(scenario.name, result.trace.rounds_executed(),
+              result.trace.gst(),
+              result.validation.ok() ? "valid" : "INVALID",
+              agrees ? "yes" : "NO");
+
+    std::cout << scenario.name << ": committed log =";
+    for (Value v : log) std::cout << " " << v;
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+  table.print(std::cout, "live RSM over real threads");
+
+  std::cout << "\nEvery run above really happened — threads, mailboxes,\n"
+               "router-injected latency and faults — and every merged trace\n"
+               "was re-checked by the same model validator that audits the\n"
+               "lockstep kernel.  Indulgence in one table: asynchrony and\n"
+               "crashes stretch the rounds, but the log never forks.\n";
+  return ok ? 0 : 1;
+}

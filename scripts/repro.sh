@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-command reproduction: build, run the full test suite, regenerate every
-# experiment table (E1..E10, X1..X4), and leave the outputs in
-# test_output.txt / bench_output.txt at the repository root.
+# experiment table (E1..E10, X1..X5 — X5 runs the live-runtime RSM service
+# over real threads), and leave the outputs in test_output.txt /
+# bench_output.txt at the repository root.
 #
 # INDULGENCE_JOBS controls the campaign engine's worker count (default: all
 # cores).  The tables are bit-identical at any setting; INDULGENCE_JOBS=1 is
@@ -31,6 +32,11 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 # fixed default seed, and every checked-in repro must still reproduce.
 ./build/fuzz/fuzz_consensus --corpus tests/corpus 2>> bench_timing.txt
 ./build/fuzz/fuzz_consensus 2>> bench_timing.txt
+
+# The live-runtime smoke: the RSM demo runs the replicated log as a real
+# threaded service and re-validates every merged trace (X5 ran in the bench
+# loop above; this exercises the example entry point too).
+./build/examples/live_rsm_demo 2>> bench_timing.txt
 
 echo "Reproduction complete: see test_output.txt and bench_output.txt" \
      "(campaign timing: bench_timing.txt)."

@@ -1,22 +1,57 @@
 #include "common/thread_pool.hpp"
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <utility>
 
 namespace indulgence {
 
 namespace {
 
-int auto_jobs() {
-  if (const char* env = std::getenv("INDULGENCE_JOBS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
-  }
+int hardware_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+int auto_jobs() {
+  const char* env = std::getenv("INDULGENCE_JOBS");
+  if (!env) return hardware_jobs();
+  const std::optional<int> parsed = parse_jobs_env(env);
+  if (!parsed) {
+    // Warn once: a typo'd job count silently falling back to all cores is
+    // exactly the kind of surprise a determinism knob must not spring.
+    static const bool warned = [env] {
+      std::fprintf(stderr,
+                   "indulgence: ignoring invalid INDULGENCE_JOBS=\"%s\" "
+                   "(want a plain job count); using auto\n",
+                   env);
+      return true;
+    }();
+    (void)warned;
+    return hardware_jobs();
+  }
+  return *parsed > 0 ? *parsed : hardware_jobs();
+}
+
 }  // namespace
+
+std::optional<int> parse_jobs_env(const char* text) {
+  if (!text) return std::nullopt;
+  const char* p = text;
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p == '\0') return 0;  // empty: explicit auto
+  if (!std::isdigit(static_cast<unsigned char>(*p))) return std::nullopt;
+  long value = 0;
+  for (; std::isdigit(static_cast<unsigned char>(*p)); ++p) {
+    value = value * 10 + (*p - '0');
+    if (value > std::numeric_limits<int>::max()) return std::nullopt;
+  }
+  while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+  if (*p != '\0') return std::nullopt;  // trailing junk
+  return static_cast<int>(value);
+}
 
 int CampaignOptions::resolved_jobs() const {
   return jobs > 0 ? jobs : auto_jobs();

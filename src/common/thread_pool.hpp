@@ -26,6 +26,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <thread>
@@ -61,6 +62,12 @@ struct CampaignOptions {
 /// The process-wide default campaign: auto jobs (INDULGENCE_JOBS honoured),
 /// auto chunking.
 CampaignOptions default_campaign();
+
+/// Strict parse of an INDULGENCE_JOBS value: a plain decimal job count.
+/// Returns the count (>= 1), 0 for "0"/"" (explicit auto), or nullopt for
+/// anything malformed — garbage, trailing junk, negatives, overflow.
+/// Callers treat nullopt as auto after warning; exposed for unit tests.
+std::optional<int> parse_jobs_env(const char* text);
 
 /// Cooperative cancellation shared by the chunks of one campaign: a found
 /// violation or an exhausted run budget flips it and outstanding chunks

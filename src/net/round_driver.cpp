@@ -1,0 +1,337 @@
+#include "net/round_driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "net/router.hpp"
+
+namespace indulgence {
+
+// ---------------------------------------------------------------------------
+// RunControl
+
+RunControl::RunControl(SystemConfig config)
+    : config_(config),
+      done_(static_cast<std::size_t>(config.n), 0),
+      crashed_(static_cast<std::size_t>(config.n), 0),
+      armed_(static_cast<std::size_t>(config.n), 0) {}
+
+void RunControl::request_stop_locked(bool completed, bool& fire) {
+  if (!completed) aborted_.store(true, std::memory_order_release);
+  if (!stopped_) {
+    stopped_ = true;
+    completed_ = completed;
+    stop_.store(true, std::memory_order_release);
+    fire = true;
+  } else if (!completed) {
+    completed_ = false;  // an abort downgrades a normal stop
+  }
+}
+
+bool RunControl::all_live_armed_locked() const {
+  for (std::size_t i = 0; i < armed_.size(); ++i) {
+    if (!crashed_[i] && !armed_[i]) return false;
+  }
+  return true;
+}
+
+void RunControl::report_done(ProcessId pid) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_[static_cast<std::size_t>(pid)] = 1;
+    bool all = true;
+    for (std::size_t i = 0; i < done_.size(); ++i) {
+      if (!crashed_[i] && !done_[i]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) request_stop_locked(true, fire);
+  }
+  if (fire && on_stop) on_stop();
+}
+
+void RunControl::report_crash(ProcessId pid) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!crashed_[static_cast<std::size_t>(pid)]) {
+      crashed_[static_cast<std::size_t>(pid)] = 1;
+      crashed_n_.fetch_add(1, std::memory_order_acq_rel);
+      bool all = true;
+      for (std::size_t i = 0; i < done_.size(); ++i) {
+        if (!crashed_[i] && !done_[i]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) request_stop_locked(true, fire);
+    }
+  }
+  if (fire && on_stop) on_stop();
+}
+
+void RunControl::force_stop(bool completed) {
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    request_stop_locked(completed, fire);
+  }
+  if (fire && on_stop) on_stop();
+}
+
+bool RunControl::boundary(ProcessId pid, Round next_round) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_[static_cast<std::size_t>(pid)] = 1;
+  stop_round_ = std::max(stop_round_, next_round - 1);
+  if (all_live_armed_locked() && next_round > stop_round_) return true;
+  // Can't exit yet: commit the round about to be sent, so every live peer
+  // must complete it too before it may exit.
+  stop_round_ = std::max(stop_round_, next_round);
+  return false;
+}
+
+bool RunControl::completed_normally() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopped_ && completed_;
+}
+
+// ---------------------------------------------------------------------------
+// RoundDriver
+
+RoundDriver::RoundDriver(DriverContext ctx) : ctx_(std::move(ctx)) {}
+
+void RoundDriver::run() noexcept {
+  try {
+    run_impl();
+  } catch (...) {
+    error_ = std::current_exception();
+    // Unblock the peers: without these reports their gates would wait for
+    // this process' messages until their own timeouts.
+    if (ctx_.router) ctx_.router->mark_dead(ctx_.self);
+    ctx_.control->report_crash(ctx_.self);
+    ctx_.control->force_stop(false);
+  }
+}
+
+bool RoundDriver::is_done() const {
+  if (ctx_.done) return ctx_.done(*algorithm_);
+  return algorithm_->decision().has_value();
+}
+
+void RoundDriver::route(NetEnvelope env, Round k) {
+  const Round slot = env.target_round > 0 ? env.target_round : env.send_round;
+  if (slot > k) {
+    future_[slot].push_back(
+        Envelope{env.sender, env.send_round, std::move(env.payload)});
+    return;
+  }
+  if (env.send_round == k) {
+    ++in_round_count_;
+  } else {
+    ++delayed_count_;
+  }
+  batch_.push_back(Envelope{env.sender, env.send_round, std::move(env.payload)});
+}
+
+void RoundDriver::adopt_future(Round k) {
+  auto it = future_.find(k);
+  if (it == future_.end()) return;
+  for (Envelope& e : it->second) {
+    if (e.send_round == k) {
+      ++in_round_count_;
+    } else {
+      ++delayed_count_;
+    }
+    batch_.push_back(std::move(e));
+  }
+  future_.erase(it);
+}
+
+void RoundDriver::collect_scripted(Round k) {
+  const int want_in = ctx_.script->expected_in_round(ctx_.self, k);
+  const int want_delayed = ctx_.script->expected_delayed(ctx_.self, k);
+  const Clock::time_point deadline = Clock::now() + ctx_.options->scripted_wait;
+  while (in_round_count_ < want_in || delayed_count_ < want_delayed) {
+    if (auto env = ctx_.mailbox->pop_for(std::chrono::microseconds{2000})) {
+      route(std::move(*env), k);
+      continue;
+    }
+    if (ctx_.control->aborted()) {
+      throw std::runtime_error("scripted replay aborted by peer failure");
+    }
+    if (Clock::now() >= deadline) {
+      throw std::runtime_error(
+          "scripted replay stalled: p" + std::to_string(ctx_.self) +
+          " round " + std::to_string(k) + " got " +
+          std::to_string(in_round_count_) + "/" + std::to_string(want_in) +
+          " in-round and " + std::to_string(delayed_count_) + "/" +
+          std::to_string(want_delayed) + " delayed envelopes");
+    }
+  }
+}
+
+void RoundDriver::collect_live(Round k) {
+  const LiveOptions& opt = *ctx_.options;
+  const Clock::time_point round_start = Clock::now();
+  std::optional<Clock::time_point> quorum_since;
+  std::optional<Clock::time_point> drain_since;
+  for (;;) {
+    // Everyone who could still send has: close immediately.  Senders not
+    // counted here are crashed, and their round-k copies (if any) arriving
+    // later are crash-round deliveries the synchrony check exempts.
+    const int possible = ctx_.config.n - ctx_.control->crashed_count();
+    if (in_round_count_ >= possible) break;
+
+    const Clock::time_point now = Clock::now();
+    if (ctx_.control->stop_requested()) {
+      if (!drain_since) {
+        drain_since = now;
+      } else if (now - *drain_since >= opt.drain_wait) {
+        break;  // scheduling-jitter valve; expedited copies land in microseconds
+      }
+    } else {
+      if (in_round_count_ >= ctx_.config.n - ctx_.config.t) {
+        if (!quorum_since) {
+          quorum_since = now;
+        } else if (now - *quorum_since >= opt.quorum_grace) {
+          break;  // quorum held through the grace window; suspect the rest
+        }
+      }
+      if (opt.round_cap.count() > 0 && now - round_start >= opt.round_cap) {
+        break;  // model-violating escape valve (lossy runs); validator flags it
+      }
+    }
+    if (auto env = ctx_.mailbox->pop_for(std::chrono::microseconds{100})) {
+      route(std::move(*env), k);
+    }
+  }
+}
+
+void RoundDriver::finish_round(Round k) {
+  // The kernel presents each round's batch ordered by (send_round, sender);
+  // matching that order makes replay batches bit-identical inputs.
+  std::sort(batch_.begin(), batch_.end(),
+            [](const Envelope& a, const Envelope& b) {
+              return a.send_round != b.send_round ? a.send_round < b.send_round
+                                                  : a.sender < b.sender;
+            });
+  for (const Envelope& e : batch_) {
+    log_.deliveries.push_back(
+        DeliveryRecord{k, ctx_.self, e.sender, e.send_round, e.payload});
+  }
+  if (!halted_) {
+    algorithm_->on_round(k, batch_);
+    if (!decided_) {
+      if (auto d = algorithm_->decision()) {
+        decided_ = true;
+        log_.decisions.push_back(DecisionRecord{k, ctx_.self, *d});
+      }
+    }
+    if (algorithm_->halted()) {
+      if (!decided_) {
+        throw std::logic_error(algorithm_->name() +
+                               " halted without deciding");
+      }
+      halted_ = true;
+      log_.halt_round = k;
+    }
+  }
+  if (!reported_done_ && is_done()) {
+    reported_done_ = true;
+    log_.done = true;
+    ctx_.control->report_done(ctx_.self);
+  }
+  if (ctx_.observer) {
+    ctx_.observer(ctx_.self, k, *algorithm_,
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - ctx_.epoch));
+  }
+  log_.completed = k;
+}
+
+void RoundDriver::run_impl() {
+  algorithm_ = ctx_.factory(ctx_.self, ctx_.config);
+  algorithm_->propose(ctx_.proposal);
+  log_.proposal = ctx_.proposal;
+
+  std::optional<CrashInjection> crash;
+  if (ctx_.script) {
+    crash = ctx_.script->crash_of(ctx_.self);
+  } else {
+    for (const CrashInjection& c : ctx_.options->crashes) {
+      if (c.pid == ctx_.self) {
+        crash = c;
+        break;
+      }
+    }
+  }
+
+  RunControl& control = *ctx_.control;
+  for (Round k = 1;; ++k) {
+    if (!control.stop_requested() && k > ctx_.options->max_rounds) {
+      control.force_stop(false);
+    }
+    if (control.stop_requested() && control.boundary(ctx_.self, k)) break;
+
+    // Injected (wall-clock-mode) crashes are suppressed once the stop is
+    // requested so the drain stays live; scripted crashes always execute,
+    // because every peer's expected envelope counts account for them.
+    const bool crash_now =
+        crash && crash->round == k &&
+        !(ctx_.script == nullptr && control.stop_requested());
+    if (crash_now && crash->before_send) {
+      log_.crash = CrashRecord{k, ctx_.self, true};
+      if (ctx_.router) ctx_.router->mark_dead(ctx_.self);
+      control.report_crash(ctx_.self);
+      return;
+    }
+
+    // Send phase; the self-copy is delivered inline and unconditionally
+    // in-round, mirroring the kernel.
+    MessagePtr payload =
+        halted_ ? MessagePtr(std::make_shared<HaltedMessage>(
+                      *algorithm_->decision()))
+                : algorithm_->message_for_round(k);
+    if (!payload) {
+      throw std::logic_error(algorithm_->name() +
+                             " returned a null round message");
+    }
+    log_.sends.push_back(SendRecord{k, ctx_.self, halted_});
+    batch_.clear();
+    in_round_count_ = 0;
+    delayed_count_ = 0;
+    route(NetEnvelope{ctx_.self, k, k, payload}, k);
+    ctx_.transport->dispatch(ctx_.self, k, payload);
+
+    if (crash_now) {
+      log_.crash = CrashRecord{k, ctx_.self, false};
+      if (ctx_.router) ctx_.router->mark_dead(ctx_.self);
+      control.report_crash(ctx_.self);
+      return;
+    }
+
+    // Receive phase.
+    adopt_future(k);
+    if (ctx_.script) {
+      collect_scripted(k);
+    } else {
+      collect_live(k);
+    }
+    finish_round(k);
+  }
+
+  // Reorder-buffer leftovers are copies scheduled past the stop round:
+  // still pending, never received.
+  for (const auto& [slot, envelopes] : future_) {
+    for (const Envelope& e : envelopes) {
+      log_.leftovers.push_back(
+          UndeliveredCopy{e.sender, ctx_.self, e.send_round, slot});
+    }
+  }
+}
+
+}  // namespace indulgence

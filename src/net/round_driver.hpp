@@ -1,0 +1,182 @@
+// The round synchronizer: one RoundDriver per process, each on its own
+// thread, adapting the lockstep RoundAlgorithm interface (propose /
+// message_for_round / on_round) to an asynchronous network of mailboxes.
+//
+// Each driver executes the paper's two-phase round structure against real
+// time: broadcast the round-k message (self-delivery inline, like the
+// kernel's), then gate on the mailbox until the round can close —
+// scripted mode waits for the exact envelope counts the schedule implies,
+// live mode waits for every possibly-live sender, or a quorum of n - t
+// plus a grace window.  Early envelopes (from rounds the receiver has not
+// reached) are buffered and adopted when their round starts, so a fast
+// peer can never make a slow one mis-classify an in-round message as
+// delayed: "in round" is a property of the receiver's own round counter,
+// exactly as the validator defines it.
+//
+// Shutdown is the armed-stop protocol.  Once every live process reports
+// done (or a round cap fires), RunControl requests a stop; each driver,
+// at its next round boundary, arms once with the last round it completed,
+// and the stop round S becomes the maximum over all live processes'
+// candidates.  A driver may exit only when every live process has armed
+// and its own next round exceeds S — so every live process sends and
+// completes exactly rounds 1..S, which is precisely the shape the
+// validator's synchrony and reliable-channel checks assume of a finished
+// run.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/options.hpp"
+#include "net/script.hpp"
+#include "net/transport.hpp"
+#include "sim/message.hpp"
+#include "sim/process.hpp"
+#include "sim/trace.hpp"
+
+namespace indulgence {
+
+class LiveRouter;
+
+/// Everything one process thread observed, recorded lock-free on that
+/// thread and merged into a RunTrace after all threads join.
+struct ProcessLog {
+  Value proposal = kBottom;
+  std::vector<SendRecord> sends;
+  std::vector<DeliveryRecord> deliveries;
+  std::vector<DecisionRecord> decisions;
+  std::optional<CrashRecord> crash;
+  Round halt_round = 0;  ///< 0 = never halted
+  Round completed = 0;   ///< last fully executed round
+  bool done = false;     ///< done-predicate held at exit
+  /// Reorder-buffer leftovers at exit: scripted delays targeting rounds
+  /// beyond the stop round.  They become the trace's pending records.
+  std::vector<UndeliveredCopy> leftovers;
+};
+
+/// Shared coordination between driver threads: done/crash accounting and
+/// the armed-stop shutdown protocol.  All methods are thread-safe.
+class RunControl {
+ public:
+  explicit RunControl(SystemConfig config);
+
+  /// Optional hook fired exactly once when the stop is first requested
+  /// (the live runtime plugs the router's expedite() in here).  Set before
+  /// the driver threads start.
+  std::function<void()> on_stop;
+
+  void report_done(ProcessId pid);
+  void report_crash(ProcessId pid);
+
+  /// Requests a stop regardless of done accounting; `completed` says
+  /// whether the run counts as terminated (false for round-cap aborts).
+  void force_stop(bool completed);
+
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// True when the run is stopping abnormally (round cap, peer failure);
+  /// scripted gates bail out instead of waiting for envelopes that will
+  /// never be sent.
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// The atomic round-boundary decision after a stop was requested: driver
+  /// `pid` stands at the start of round `next_round`, having completed
+  /// next_round - 1.  Returns true when the driver may exit — every live
+  /// driver has reached a boundary (armed) and no live driver has committed
+  /// to a round >= next_round.  Returns false when the driver must execute
+  /// round next_round, in which case that round is committed as part of the
+  /// stop round S *before* the lock is released — so no peer can exit
+  /// without completing it, and all live processes finish on the same S.
+  bool boundary(ProcessId pid, Round next_round);
+
+  int crashed_count() const {
+    return crashed_n_.load(std::memory_order_acquire);
+  }
+
+  /// True when the run stopped because every live process was done (as
+  /// opposed to a round-cap abort).
+  bool completed_normally() const;
+
+ private:
+  void request_stop_locked(bool completed, bool& fire);
+  bool all_live_armed_locked() const;
+
+  SystemConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<char> done_;
+  std::vector<char> crashed_;
+  std::vector<char> armed_;
+  bool stopped_ = false;
+  bool completed_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> aborted_{false};
+  Round stop_round_ = 0;
+  std::atomic<int> crashed_n_{0};
+};
+
+struct DriverContext {
+  ProcessId self = -1;
+  SystemConfig config;
+  const LiveOptions* options = nullptr;
+  Transport* transport = nullptr;
+  Mailbox* mailbox = nullptr;
+  RunControl* control = nullptr;
+  const ScriptView* script = nullptr;  ///< null = live mode
+  LiveRouter* router = nullptr;        ///< live mode: mark_dead on crash
+  AlgorithmFactory factory;
+  Value proposal = kBottom;
+  DonePredicate done;       ///< null = "has decided"
+  RoundObserver observer;   ///< may be null
+  std::chrono::steady_clock::time_point epoch;
+};
+
+class RoundDriver {
+ public:
+  explicit RoundDriver(DriverContext ctx);
+
+  /// Thread body.  Never throws; failures are captured in error().
+  void run() noexcept;
+
+  ProcessLog& log() { return log_; }
+  std::exception_ptr error() const { return error_; }
+  std::unique_ptr<RoundAlgorithm> take_algorithm() {
+    return std::move(algorithm_);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void run_impl();
+  void collect_scripted(Round k);
+  void collect_live(Round k);
+  void adopt_future(Round k);
+  void route(NetEnvelope env, Round k);
+  void finish_round(Round k);
+  bool is_done() const;
+
+  DriverContext ctx_;
+  std::unique_ptr<RoundAlgorithm> algorithm_;
+  ProcessLog log_;
+  std::exception_ptr error_;
+
+  Delivery batch_;              ///< envelopes delivered in the current round
+  int in_round_count_ = 0;      ///< batch_ members with send_round == k
+  int delayed_count_ = 0;       ///< batch_ members with send_round < k
+  std::map<Round, Delivery> future_;  ///< early arrivals, keyed by round
+  bool decided_ = false;
+  bool halted_ = false;
+  bool reported_done_ = false;
+};
+
+}  // namespace indulgence

@@ -1,0 +1,190 @@
+#include "net/runtime.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/live_trace.hpp"
+#include "net/round_driver.hpp"
+#include "net/router.hpp"
+#include "net/script.hpp"
+#include "sim/validator.hpp"
+
+namespace indulgence {
+
+namespace {
+
+/// Prefer a root-cause error over the cascade of "replay aborted by peer
+/// failure" errors the abort fans out to the other drivers.
+std::exception_ptr pick_error(
+    const std::vector<std::unique_ptr<RoundDriver>>& drivers) {
+  std::exception_ptr fallback;
+  for (const auto& driver : drivers) {
+    std::exception_ptr error = driver->error();
+    if (!error) continue;
+    if (!fallback) fallback = error;
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& ex) {
+      if (std::string(ex.what()).find("aborted") == std::string::npos) {
+        return error;
+      }
+    } catch (...) {
+      return error;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+LiveRuntime::LiveRuntime(SystemConfig config, LiveOptions options)
+    : config_(config), options_(std::move(options)) {
+  config_.validate();
+}
+
+RunResult LiveRuntime::run(const AlgorithmFactory& factory,
+                           const std::vector<Value>& proposals) {
+  return execute(nullptr, Model::ES, factory, proposals);
+}
+
+RunResult LiveRuntime::replay(Model model, const RunSchedule& schedule,
+                              const AlgorithmFactory& factory,
+                              const std::vector<Value>& proposals) {
+  return execute(&schedule, model, factory, proposals);
+}
+
+RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
+                               const AlgorithmFactory& factory,
+                               const std::vector<Value>& proposals) {
+  if (static_cast<int>(proposals.size()) != config_.n) {
+    throw std::invalid_argument("live runtime: need one proposal per process");
+  }
+
+  // Size mailboxes so that a whole run fits: a process can be sent at most
+  // n - 1 copies per round, so producers never block on a consumer that
+  // already exited.
+  const std::size_t capacity =
+      std::max(options_.mailbox_capacity,
+               static_cast<std::size_t>(config_.n) *
+                   (static_cast<std::size_t>(options_.max_rounds) + 8));
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  mailboxes.reserve(static_cast<std::size_t>(config_.n));
+  for (int i = 0; i < config_.n; ++i) {
+    mailboxes.push_back(std::make_unique<Mailbox>(capacity));
+  }
+
+  std::optional<ScriptView> script;
+  std::unique_ptr<ScriptTransport> script_transport;
+  std::unique_ptr<LiveRouter> router;
+  Transport* transport = nullptr;
+  if (schedule) {
+    script.emplace(config_, *schedule);
+    script_transport =
+        std::make_unique<ScriptTransport>(config_, *schedule, mailboxes);
+    transport = script_transport.get();
+  } else {
+    router = std::make_unique<LiveRouter>(config_, options_, mailboxes);
+    transport = router.get();
+  }
+
+  RunControl control(config_);
+  if (router) {
+    LiveRouter* raw = router.get();
+    control.on_stop = [raw] { raw->expedite(); };
+  }
+
+  const auto epoch = std::chrono::steady_clock::now();
+  if (router) router->start(epoch);
+
+  std::vector<std::unique_ptr<RoundDriver>> drivers;
+  drivers.reserve(static_cast<std::size_t>(config_.n));
+  for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    DriverContext ctx;
+    ctx.self = pid;
+    ctx.config = config_;
+    ctx.options = &options_;
+    ctx.transport = transport;
+    ctx.mailbox = mailboxes[static_cast<std::size_t>(pid)].get();
+    ctx.control = &control;
+    ctx.script = script ? &*script : nullptr;
+    ctx.router = router.get();
+    ctx.factory = factory;
+    ctx.proposal = proposals[static_cast<std::size_t>(pid)];
+    ctx.done = done_;
+    ctx.observer = observer_;
+    ctx.epoch = epoch;
+    drivers.push_back(std::make_unique<RoundDriver>(std::move(ctx)));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(drivers.size());
+  for (auto& driver : drivers) {
+    threads.emplace_back([d = driver.get()] { d->run(); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<UndeliveredCopy> undelivered =
+      router ? router->stop_and_flush() : std::vector<UndeliveredCopy>{};
+  for (ProcessId pid = 0; pid < config_.n; ++pid) {
+    for (NetEnvelope& env :
+         mailboxes[static_cast<std::size_t>(pid)]->drain()) {
+      undelivered.push_back(
+          UndeliveredCopy{env.sender, pid, env.send_round, env.target_round});
+    }
+  }
+
+  if (std::exception_ptr error = pick_error(drivers)) {
+    std::rethrow_exception(error);
+  }
+
+  std::vector<ProcessLog> logs;
+  logs.reserve(drivers.size());
+  algorithms_.clear();
+  for (auto& driver : drivers) {
+    logs.push_back(std::move(driver->log()));
+    algorithms_.push_back(driver->take_algorithm());
+  }
+  dropped_ = router ? router->dropped_copies()
+                    : script_transport->dropped_copies();
+
+  LiveMergeInput merge;
+  merge.config = config_;
+  merge.model = model;
+  merge.gst_hint = schedule ? schedule->gst() : 0;
+  merge.terminated = control.completed_normally();
+  merge.logs = &logs;
+  merge.undelivered = std::move(undelivered);
+
+  RunResult result;
+  result.trace = merge_process_logs(merge);
+  result.validation = validate_trace(result.trace);
+  result.global_decision_round = result.trace.global_decision_round();
+  result.agreement = result.trace.agreement_ok();
+  result.validity = result.trace.validity_ok();
+  result.termination =
+      result.trace.terminated() && result.trace.all_correct_decided();
+  return result;
+}
+
+RunResult run_live(SystemConfig config, const LiveOptions& options,
+                   const AlgorithmFactory& factory,
+                   const std::vector<Value>& proposals) {
+  LiveRuntime runtime(config, options);
+  return runtime.run(factory, proposals);
+}
+
+RunResult replay_schedule_live(SystemConfig config, Model model,
+                               const RunSchedule& schedule,
+                               const AlgorithmFactory& factory,
+                               const std::vector<Value>& proposals,
+                               LiveOptions options) {
+  LiveRuntime runtime(config, std::move(options));
+  return runtime.replay(model, schedule, factory, proposals);
+}
+
+}  // namespace indulgence

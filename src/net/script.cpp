@@ -1,0 +1,95 @@
+#include "net/script.hpp"
+
+#include <stdexcept>
+
+namespace indulgence {
+
+ScriptView::ScriptView(SystemConfig config, const RunSchedule& schedule)
+    : config_(config),
+      schedule_(&schedule),
+      crash_round_(static_cast<std::size_t>(config.n), 0),
+      crash_before_send_(static_cast<std::size_t>(config.n), 0),
+      last_planned_(schedule.last_planned_round()) {
+  config_.validate();
+  for (Round k = 1; k <= last_planned_; ++k) {
+    for (const CrashEvent& e : schedule.plan(k).crashes()) {
+      if (e.pid < 0 || e.pid >= config_.n) {
+        throw std::invalid_argument("scripted crash of unknown process");
+      }
+      auto idx = static_cast<std::size_t>(e.pid);
+      if (crash_round_[idx] != 0) continue;  // kernel ignores re-crashes
+      crash_round_[idx] = k;
+      crash_before_send_[idx] = e.before_send ? 1 : 0;
+    }
+  }
+}
+
+bool ScriptView::sends_in_round(ProcessId pid, Round k) const {
+  const Round c = crash_round_[static_cast<std::size_t>(pid)];
+  if (c == 0 || c > k) return true;
+  if (c < k) return false;
+  return crash_before_send_[static_cast<std::size_t>(pid)] == 0;
+}
+
+int ScriptView::expected_in_round(ProcessId receiver, Round k) const {
+  int count = 1;  // unconditional self-delivery
+  const RoundPlan& plan = schedule_->plan(k);
+  for (ProcessId sender = 0; sender < config_.n; ++sender) {
+    if (sender == receiver) continue;
+    if (!sends_in_round(sender, k)) continue;
+    if (plan.fate(sender, receiver).kind == FateKind::Deliver) ++count;
+  }
+  return count;
+}
+
+int ScriptView::expected_delayed(ProcessId receiver, Round k) const {
+  int count = 0;
+  const Round last = std::min<Round>(k - 1, last_planned_);
+  for (Round s = 1; s <= last; ++s) {
+    for (const RoundPlan::Override& o : schedule_->plan(s).overrides()) {
+      if (o.receiver != receiver) continue;
+      if (o.fate.kind != FateKind::Delay || o.fate.deliver_round != k) continue;
+      if (o.sender == receiver) continue;  // self fates are ignored, as in
+                                           // the kernel
+      if (!sends_in_round(o.sender, s)) continue;
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::optional<CrashInjection> ScriptView::crash_of(ProcessId pid) const {
+  const Round c = crash_round_[static_cast<std::size_t>(pid)];
+  if (c == 0) return std::nullopt;
+  return CrashInjection{
+      pid, c, crash_before_send_[static_cast<std::size_t>(pid)] != 0};
+}
+
+ScriptTransport::ScriptTransport(SystemConfig config,
+                                 const RunSchedule& schedule,
+                                 std::vector<std::unique_ptr<Mailbox>>& boxes)
+    : config_(config), schedule_(&schedule), mailboxes_(&boxes) {}
+
+void ScriptTransport::dispatch(ProcessId sender, Round round,
+                               MessagePtr payload) {
+  const RoundPlan& plan = schedule_->plan(round);
+  for (ProcessId receiver = 0; receiver < config_.n; ++receiver) {
+    if (receiver == sender) continue;
+    const Fate fate = plan.fate(sender, receiver);
+    Round target = round;
+    switch (fate.kind) {
+      case FateKind::Deliver:
+        break;
+      case FateKind::Delay:
+        target = fate.deliver_round;
+        break;
+      case FateKind::Lose:
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+    }
+    (*mailboxes_)[static_cast<std::size_t>(receiver)]->push(
+        NetEnvelope{sender, round, target, payload});
+  }
+}
+
+}  // namespace indulgence

@@ -1,0 +1,72 @@
+#include "net/trace_export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "sim/schedule_io.hpp"
+
+namespace indulgence {
+
+RunSchedule schedule_from_trace(const RunTrace& trace) {
+  RunSchedule schedule(trace.config());
+  schedule.set_gst(std::max<Round>(trace.gst(), 1));
+
+  std::map<ProcessId, Round> crash_round;
+  for (const CrashRecord& c : trace.crashes()) {
+    if (crash_round.count(c.pid)) continue;
+    crash_round[c.pid] = c.round;
+    schedule.plan(c.round).add_crash(CrashEvent{c.pid, c.before_send});
+  }
+
+  // A copy either arrived (in-round: default Deliver; later: Delay), is
+  // still pending (Delay past the horizon), or never reached its receiver.
+  std::set<std::tuple<ProcessId, Round, ProcessId>> reached;
+  for (const DeliveryRecord& d : trace.deliveries()) {
+    reached.insert({d.sender, d.send_round, d.receiver});
+    if (d.sender == d.receiver) continue;
+    if (d.recv_round > d.send_round) {
+      schedule.plan(d.send_round)
+          .set_fate(d.sender, d.receiver, Fate::delay_to(d.recv_round));
+    }
+  }
+  for (const PendingRecord& p : trace.pending()) {
+    if (!reached.insert({p.sender, p.send_round, p.receiver}).second) {
+      continue;
+    }
+    if (p.sender == p.receiver) continue;
+    schedule.plan(p.send_round)
+        .set_fate(p.sender, p.receiver,
+                  Fate::delay_to(std::max(p.deliver_round, p.send_round + 1)));
+  }
+
+  // What remains never reached its receiver.  Receivers already crashed by
+  // the send round need no override — the kernel drops those copies on its
+  // own.  Receivers that crash LATER swallowed the copy by crashing while
+  // it was in flight; export that as a Delay stretched to the crash round,
+  // which the kernel likewise drops at the crash (and leaves harmlessly
+  // pending if the replay decides earlier and never executes the crash).
+  // Only copies to never-crashing receivers are true losses.
+  for (const SendRecord& s : trace.sends()) {
+    for (ProcessId receiver = 0; receiver < trace.config().n; ++receiver) {
+      if (receiver == s.sender) continue;
+      if (reached.count({s.sender, s.round, receiver})) continue;
+      auto it = crash_round.find(receiver);
+      if (it != crash_round.end()) {
+        if (it->second <= s.round) continue;
+        schedule.plan(s.round).set_fate(s.sender, receiver,
+                                        Fate::delay_to(it->second));
+        continue;
+      }
+      schedule.plan(s.round).set_fate(s.sender, receiver, Fate::lose());
+    }
+  }
+  return schedule;
+}
+
+std::string sched_text_from_trace(const RunTrace& trace) {
+  return print_schedule(schedule_from_trace(trace));
+}
+
+}  // namespace indulgence

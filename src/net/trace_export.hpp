@@ -1,0 +1,32 @@
+// Trace -> schedule exporter: turns any finished RunTrace — in particular
+// a live-runtime trace shaped by real latency, loss, and partitions — into
+// the equivalent adversarial RunSchedule.
+//
+// The exported schedule reproduces the run's observable fault pattern:
+// crashes at their rounds, out-of-round deliveries as Delay fates,
+// still-pending copies as Delays beyond the horizon, and copies that never
+// reached a live completing receiver as Lose fates.  Replaying it through
+// the lockstep kernel (or the scripted live transport) therefore presents
+// every process with the same per-round delivery pattern the live run saw.
+//
+// This is the bridge from the live runtime into the PR-2 fuzz workflow: a
+// divergent or invalid live run exports to a `.sched` repro that the
+// shrinker can minimize and the corpus can archive.
+
+#pragma once
+
+#include <string>
+
+#include "sim/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace indulgence {
+
+/// The adversarial schedule equivalent to `trace`'s observable history.
+RunSchedule schedule_from_trace(const RunTrace& trace);
+
+/// schedule_from_trace rendered in the canonical `.sched` v1 text form,
+/// ready for tests/corpus/.
+std::string sched_text_from_trace(const RunTrace& trace);
+
+}  // namespace indulgence

@@ -1,0 +1,49 @@
+// The wire format and send-side interface of the live runtime.
+//
+// A driver broadcasts by handing (sender, round, payload) to a Transport;
+// fated copies come back to each process through its Mailbox as
+// NetEnvelopes.  Two transports exist: the fault-injecting LiveRouter
+// (router.hpp) and the schedule-replaying ScriptTransport (script.hpp).
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/channel.hpp"
+#include "sim/message.hpp"
+
+namespace indulgence {
+
+/// One message copy on the wire.  `target_round` > 0 pins the receive round
+/// (scripted replay: the schedule's Deliver/Delay fate); 0 means the
+/// receiver's synchronizer classifies the copy by arrival time (live mode).
+struct NetEnvelope {
+  ProcessId sender = -1;
+  Round send_round = 0;
+  Round target_round = 0;
+  MessagePtr payload;
+};
+
+using Mailbox = Channel<NetEnvelope>;
+
+/// A copy still in flight (router queues, mailboxes, reorder buffers) when
+/// the run stopped; becomes a PendingRecord in the merged trace.
+struct UndeliveredCopy {
+  ProcessId sender = -1;
+  ProcessId receiver = -1;
+  Round send_round = 0;
+  Round target_round = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Broadcast `payload` as `sender`'s round-`round` message to every other
+  /// process (self-delivery is the driver's, mirroring the kernel's
+  /// unconditional in-round self-delivery).  Thread-safe.
+  virtual void dispatch(ProcessId sender, Round round, MessagePtr payload) = 0;
+};
+
+}  // namespace indulgence

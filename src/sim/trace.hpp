@@ -91,6 +91,12 @@ class RunTrace {
   void set_rounds_executed(Round k) { rounds_executed_ = k; }
   void set_terminated(bool ok) { terminated_ = ok; }
 
+  /// Rebinds the eventual-synchrony round after recording.  The live runtime
+  /// (src/net) derives a run's GST from the finished trace — the smallest
+  /// round from which synchrony held — because a wall-clock GST has no
+  /// a-priori round number.
+  void set_gst(Round k) { gst_ = k; }
+
   // --- raw access -------------------------------------------------------
 
   const SystemConfig& config() const { return config_; }

@@ -1,0 +1,121 @@
+// The bounded MPSC channel under the live runtime: FIFO order,
+// backpressure, close semantics, and multi-producer correctness.
+
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace indulgence {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(NetChannel, PopsInPushOrder) {
+  Channel<int> ch(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.push(i));
+  EXPECT_EQ(ch.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = ch.try_pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(ch.try_pop().has_value());
+}
+
+TEST(NetChannel, PushBlocksWhileFullAndResumesOnPop) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.push(1));
+  EXPECT_TRUE(ch.push(2));
+
+  std::atomic<bool> third_landed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(ch.push(3));  // must block until the consumer makes room
+    third_landed.store(true);
+  });
+
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(third_landed.load());
+
+  EXPECT_EQ(ch.try_pop().value_or(-1), 1);
+  producer.join();
+  EXPECT_TRUE(third_landed.load());
+  EXPECT_EQ(ch.try_pop().value_or(-1), 2);
+  EXPECT_EQ(ch.try_pop().value_or(-1), 3);
+}
+
+TEST(NetChannel, PopForTimesOutWhenEmpty) {
+  Channel<int> ch(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.pop_for(5ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 4ms);
+}
+
+TEST(NetChannel, CloseKeepsPendingItemsPoppableAndRefusesPushes) {
+  Channel<int> ch(4);
+  EXPECT_TRUE(ch.push(7));
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_FALSE(ch.push(8));  // dropped, not queued
+  EXPECT_EQ(ch.try_pop().value_or(-1), 7);
+  EXPECT_FALSE(ch.pop_for(1ms).has_value());  // closed and drained
+}
+
+TEST(NetChannel, CloseUnblocksAWaitingProducer) {
+  Channel<int> ch(1);
+  EXPECT_TRUE(ch.push(1));
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] {
+    rejected.store(!ch.push(2));  // blocked on full, woken by close
+  });
+  std::this_thread::sleep_for(10ms);
+  ch.close();
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(NetChannel, DrainReturnsLeftoversInOrder) {
+  Channel<int> ch(8);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.push(i));
+  ch.close();
+  const std::vector<int> rest = ch.drain();
+  ASSERT_EQ(rest.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rest[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(NetChannel, ManyProducersOneConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1000;
+  Channel<int> ch(16);  // small: forces backpressure
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ch.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen;
+  while (seen.size() < kProducers * kPerProducer) {
+    if (auto item = ch.pop_for(100ms)) seen.push_back(*item);
+  }
+  for (auto& t : producers) t.join();
+  // Every item exactly once, and each producer's stream stays in order.
+  std::vector<int> next(kProducers, 0);
+  for (int item : seen) {
+    const int p = item / kPerProducer;
+    EXPECT_EQ(item % kPerProducer, next[static_cast<std::size_t>(p)]);
+    ++next[static_cast<std::size_t>(p)];
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[static_cast<std::size_t>(p)], kPerProducer);
+  }
+}
+
+}  // namespace
+}  // namespace indulgence

@@ -181,5 +181,31 @@ TEST(ThreadPool, CancelTokenFlipsOnce) {
   EXPECT_TRUE(token.cancelled());
 }
 
+TEST(ParseJobsEnv, AcceptsPlainCounts) {
+  EXPECT_EQ(parse_jobs_env("1"), 1);
+  EXPECT_EQ(parse_jobs_env("4"), 4);
+  EXPECT_EQ(parse_jobs_env("128"), 128);
+  EXPECT_EQ(parse_jobs_env(" 8 "), 8);  // surrounding whitespace is fine
+}
+
+TEST(ParseJobsEnv, ZeroAndEmptyMeanExplicitAuto) {
+  EXPECT_EQ(parse_jobs_env("0"), 0);
+  EXPECT_EQ(parse_jobs_env(""), 0);
+  EXPECT_EQ(parse_jobs_env("   "), 0);
+}
+
+TEST(ParseJobsEnv, RejectsGarbage) {
+  // Malformed values must be detectably invalid (nullopt), so auto_jobs
+  // can warn instead of silently running on all cores.
+  EXPECT_EQ(parse_jobs_env("abc"), std::nullopt);
+  EXPECT_EQ(parse_jobs_env("-3"), std::nullopt);
+  EXPECT_EQ(parse_jobs_env("+4"), std::nullopt);
+  EXPECT_EQ(parse_jobs_env("4x"), std::nullopt);
+  EXPECT_EQ(parse_jobs_env("4 2"), std::nullopt);
+  EXPECT_EQ(parse_jobs_env("3.5"), std::nullopt);
+  EXPECT_EQ(parse_jobs_env("99999999999999999999"), std::nullopt);
+  EXPECT_EQ(parse_jobs_env(nullptr), std::nullopt);
+}
+
 }  // namespace
 }  // namespace indulgence

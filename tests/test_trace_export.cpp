@@ -1,0 +1,123 @@
+// The trace -> schedule exporter: any finished trace — live or scripted —
+// exports to a RunSchedule whose kernel replay shows every process the
+// same delivery pattern, so live divergence feeds straight into the PR-2
+// fuzz / shrink / corpus workflow.
+
+#include "net/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fuzz/targets.hpp"
+#include "net/runtime.hpp"
+#include "sim/harness.hpp"
+#include "sim/schedule_io.hpp"
+
+namespace indulgence {
+namespace {
+
+std::map<ProcessId, Round> decision_rounds(const RunTrace& trace) {
+  std::map<ProcessId, Round> out;
+  for (const DecisionRecord& d : trace.decisions()) {
+    out.emplace(d.pid, d.round);
+  }
+  return out;
+}
+
+KernelOptions es_options() {
+  KernelOptions o;
+  o.model = Model::ES;
+  return o;
+}
+
+TEST(TraceExport, LiveRunExportsToAKernelReplayableSchedule) {
+  // A live run with a crash: exporting its trace and replaying the export
+  // through the lockstep kernel must reproduce the decisions exactly.
+  const SystemConfig cfg{.n = 5, .t = 2};
+  LiveOptions options;
+  options.crashes.push_back(CrashInjection{1, 2, false});
+  const FuzzTarget* at2 = find_fuzz_target("at2");
+  ASSERT_NE(at2, nullptr);
+  const std::vector<Value> proposals = distinct_proposals(cfg.n);
+  const RunResult live = run_live(cfg, options, at2->factory, proposals);
+  ASSERT_TRUE(live.ok()) << live.summary() << "\n"
+                         << live.validation.to_string();
+
+  const RunSchedule exported = schedule_from_trace(live.trace);
+  EXPECT_EQ(exported.gst(), live.trace.gst());
+  EXPECT_TRUE(exported.crashed_processes().contains(1));
+
+  const RunResult replay =
+      run_and_check(cfg, es_options(), at2->factory, proposals, exported);
+  ASSERT_TRUE(replay.ok()) << replay.summary() << "\n"
+                           << replay.validation.to_string();
+  EXPECT_EQ(decision_rounds(live.trace), decision_rounds(replay.trace))
+      << "live:\n" << live.trace.to_string() << "\nreplay:\n"
+      << replay.trace.to_string();
+}
+
+TEST(TraceExport, ScriptedReplayExportRoundTripsThroughTheKernel) {
+  // kernel(schedule) -> live scripted replay -> export -> kernel must keep
+  // the decision rounds fixed across all three executions.
+  const SystemConfig cfg{.n = 5, .t = 2};
+  const RunSchedule schedule = async_prefix_schedule(cfg, /*gst=*/3,
+                                                     /*laggards=*/{4},
+                                                     /*f=*/1);
+  const FuzzTarget* hr = find_fuzz_target("hr");
+  ASSERT_NE(hr, nullptr);
+  const std::vector<Value> proposals = distinct_proposals(cfg.n);
+
+  const RunResult direct =
+      run_and_check(cfg, es_options(), hr->factory, proposals, schedule);
+  ASSERT_TRUE(direct.ok()) << direct.summary();
+
+  const RunResult live =
+      replay_schedule_live(cfg, Model::ES, schedule, hr->factory, proposals);
+  ASSERT_TRUE(live.ok()) << live.summary();
+
+  const RunResult again = run_and_check(cfg, es_options(), hr->factory,
+                                        proposals,
+                                        schedule_from_trace(live.trace));
+  ASSERT_TRUE(again.ok()) << again.summary();
+  EXPECT_EQ(decision_rounds(direct.trace), decision_rounds(again.trace));
+}
+
+TEST(TraceExport, PendingCopiesExportAsDelayFates) {
+  // A delay scheduled far past the decision round never lands; the export
+  // must keep it as a Delay (still in flight), not silently drop it.
+  const SystemConfig cfg{.n = 4, .t = 1};
+  ScheduleBuilder b(cfg);
+  b.delay(0, 1, /*send_round=*/1, /*deliver_round=*/40).gst(2);
+  const FuzzTarget* at2 = find_fuzz_target("at2");
+  ASSERT_NE(at2, nullptr);
+  const RunResult live = replay_schedule_live(cfg, Model::ES, b.build(),
+                                              at2->factory,
+                                              distinct_proposals(cfg.n));
+  ASSERT_TRUE(live.validation.ok()) << live.validation.to_string();
+
+  const RunSchedule exported = schedule_from_trace(live.trace);
+  const Fate fate = exported.plan(1).fate(0, 1);
+  EXPECT_EQ(fate.kind, FateKind::Delay);
+  EXPECT_GT(fate.deliver_round, live.trace.rounds_executed());
+}
+
+TEST(TraceExport, SchedTextIsTheCanonicalPrintOfTheExport) {
+  const SystemConfig cfg{.n = 3, .t = 1};
+  LiveOptions options;
+  options.crashes.push_back(CrashInjection{2, 1, true});
+  const FuzzTarget* hr = find_fuzz_target("hr");
+  ASSERT_NE(hr, nullptr);
+  const RunResult live =
+      run_live(cfg, options, hr->factory, distinct_proposals(cfg.n));
+  ASSERT_TRUE(live.validation.ok()) << live.validation.to_string();
+
+  const std::string text = sched_text_from_trace(live.trace);
+  EXPECT_EQ(text, print_schedule(schedule_from_trace(live.trace)));
+  // The text form parses back to the same structure: a live repro can be
+  // checked into tests/corpus/ like any fuzzer find.
+  EXPECT_EQ(parse_schedule(text), schedule_from_trace(live.trace));
+}
+
+}  // namespace
+}  // namespace indulgence
