@@ -16,9 +16,12 @@
 //       re-judges a single repro file (exit 0 iff it still reproduces)
 //   fuzz_consensus --corpus tests/corpus
 //       replays every *.sched in a directory (the regression corpus)
+//   fuzz_consensus --live --seed 7 --budget 25
+//       randomized LiveOptions sweeps over real threads (see --help)
 //
-// Table output goes to stdout in a stable, diffable format; timing goes to
-// stderr (same convention as the bench binaries).
+// Table output goes to stdout in a stable, diffable format; timing and
+// timing-dependent detail go to stderr (same convention as the bench
+// binaries) — in live mode the stdout table is bit-identical per seed.
 
 #include <chrono>
 #include <cstdint>
@@ -31,93 +34,16 @@
 
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "fuzz/cli.hpp"
 #include "fuzz/corpus.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "fuzz/live_fuzzer.hpp"
 #include "fuzz/targets.hpp"
 #include "sim/schedule_io.hpp"
 
 namespace {
 
 using namespace indulgence;
-
-struct DriverOptions {
-  std::uint64_t seed = 1;
-  long budget = 2000;
-  std::string algo = "all";
-  int n = 3;
-  int t = 1;
-  bool shrink = true;
-  bool list = false;
-  std::optional<std::string> out_dir;
-  std::optional<std::string> replay_file;
-  std::optional<std::string> corpus_dir;
-};
-
-void usage(std::ostream& os) {
-  os << "usage: fuzz_consensus [options]\n"
-        "  --seed S       base seed for schedule generation (default 1)\n"
-        "  --budget N     random schedules per target (default 2000)\n"
-        "  --algo NAME    fuzz one target only (default: all; see --list)\n"
-        "  --n N --t T    system size (default n=3 t=1)\n"
-        "  --no-shrink    keep the first find as generated\n"
-        "  --out DIR      write each minimized find to DIR/<target>.sched\n"
-        "  --replay FILE  re-judge one .sched repro file and exit\n"
-        "  --corpus DIR   replay every *.sched in DIR and exit\n"
-        "  --list         list registered targets and exit\n"
-        "Exit status 0 iff every verdict matched expectations.\n";
-}
-
-std::optional<DriverOptions> parse_args(int argc, char** argv) {
-  DriverOptions opts;
-  auto value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::cerr << "fuzz_consensus: " << argv[i] << " needs a value\n";
-      return nullptr;
-    }
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const char* v = nullptr;
-    if (arg == "--help" || arg == "-h") {
-      usage(std::cout);
-      std::exit(0);
-    } else if (arg == "--list") {
-      opts.list = true;
-    } else if (arg == "--no-shrink") {
-      opts.shrink = false;
-    } else if (arg == "--seed") {
-      if (!(v = value(i))) return std::nullopt;
-      opts.seed = std::stoull(v);
-    } else if (arg == "--budget") {
-      if (!(v = value(i))) return std::nullopt;
-      opts.budget = std::stol(v);
-    } else if (arg == "--algo") {
-      if (!(v = value(i))) return std::nullopt;
-      opts.algo = v;
-    } else if (arg == "--n") {
-      if (!(v = value(i))) return std::nullopt;
-      opts.n = std::stoi(v);
-    } else if (arg == "--t") {
-      if (!(v = value(i))) return std::nullopt;
-      opts.t = std::stoi(v);
-    } else if (arg == "--out") {
-      if (!(v = value(i))) return std::nullopt;
-      opts.out_dir = v;
-    } else if (arg == "--replay") {
-      if (!(v = value(i))) return std::nullopt;
-      opts.replay_file = v;
-    } else if (arg == "--corpus") {
-      if (!(v = value(i))) return std::nullopt;
-      opts.corpus_dir = v;
-    } else {
-      std::cerr << "fuzz_consensus: unknown option " << arg << "\n";
-      usage(std::cerr);
-      return std::nullopt;
-    }
-  }
-  return opts;
-}
 
 int list_targets() {
   Table table({"target", "model", "expect", "check", "summary"});
@@ -133,8 +59,12 @@ void print_verdicts(const std::vector<ReplayVerdict>& verdicts,
                     const std::string& title) {
   Table table({"entry", "expected", "observed", "valid", "ok", "detail"});
   for (const ReplayVerdict& v : verdicts) {
-    table.add(v.name, v.expect_violation ? "violation" : "ok",
-              v.violation ? "violation" : "ok", v.model_valid, v.matches(),
+    table.add(v.name,
+              v.expect_invalid ? "invalid"
+                               : v.expect_violation ? "violation" : "ok",
+              !v.model_valid ? "invalid"
+                             : v.violation ? "violation" : "ok",
+              v.model_valid, v.matches(),
               v.detail.empty() ? "-" : v.detail);
   }
   table.print(std::cout, title);
@@ -180,10 +110,10 @@ ReproCase to_repro(const FuzzTarget& target, const FuzzFinding& find,
   return repro;
 }
 
-void write_repro(const std::string& dir, const FuzzTarget& target,
+void write_repro(const std::string& dir, const std::string& file_name,
                  const ReproCase& repro) {
   std::filesystem::create_directories(dir);
-  const std::string path = dir + "/" + target.name + ".sched";
+  const std::string path = dir + "/" + file_name;
   std::ofstream out(path);
   out << print_repro(repro);
   if (!out) {
@@ -249,7 +179,7 @@ int fuzz(const DriverOptions& opts) {
                 << report.first->shrink_stats.accepted << "/"
                 << report.first->shrink_stats.attempts << " reductions)\n";
       if (opts.out_dir) {
-        write_repro(*opts.out_dir, *target,
+        write_repro(*opts.out_dir, target->name + ".sched",
                     to_repro(*target, *report.first, opts.seed));
       }
     }
@@ -272,15 +202,135 @@ int fuzz(const DriverOptions& opts) {
   return all_ok ? 0 : 1;
 }
 
+/// Writes the two deterministic live-corpus seed repros (tests/corpus/
+/// regeneration recipe; the loss sample is byte-stable per machine class).
+int write_samples(const std::string& dir) {
+  for (const auto& [name, repro] :
+       {live_loss_sample(), live_crash_partition_sample()}) {
+    const ReplayVerdict verdict = replay_repro(name, repro);
+    if (!verdict.matches()) {
+      std::cerr << "fuzz_consensus: sample " << name
+                << " does not replay to its own claim\n";
+      return 1;
+    }
+    write_repro(dir, name, repro);
+  }
+  return 0;
+}
+
+int live_fuzz(const DriverOptions& opts) {
+  std::vector<const FuzzTarget*> targets;
+  if (opts.algo == "all") {
+    for (const FuzzTarget& t : fuzz_targets()) targets.push_back(&t);
+  } else {
+    const FuzzTarget* t = find_fuzz_target(opts.algo);
+    if (!t) {
+      std::cerr << "fuzz_consensus: unknown target '" << opts.algo
+                << "' (see --list)\n";
+      return 1;
+    }
+    targets.push_back(t);
+  }
+
+  LiveFuzzOptions live_options;
+  live_options.seed = opts.seed;
+  live_options.budget = opts.budget_set ? opts.budget : 25;
+  live_options.shrink = opts.shrink;
+  live_options.campaign = default_campaign();
+  if (opts.wall_secs > 0) {
+    live_options.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds{
+            static_cast<long long>(opts.wall_secs * 1e6)};
+  }
+
+  const SystemConfig config{.n = opts.n, .t = opts.t};
+  // Only seed-derived and guaranteed-outcome columns: the stdout table is
+  // bit-identical per (seed, budget) unless the wall clock cut the sweep
+  // short.  Timing-dependent detail ("caught" counts, shrink stats) goes
+  // to stderr.
+  Table table({"target", "model", "expect", "runs", "lossy", "invalid",
+               "findings", "first", "verdict"});
+  bool all_ok = true;
+  bool any_cutoff = false;
+  const auto start = std::chrono::steady_clock::now();
+  long total_runs = 0;
+  long total_caught = 0;
+  for (const FuzzTarget* target : targets) {
+    LiveFuzzReport report;
+    try {
+      report = live_fuzz_target(*target, config, live_options);
+    } catch (const std::exception& e) {
+      // Same skip rule as schedule mode: algorithms may reject the system
+      // size outright (A_{f+2} needs t < n/3).
+      if (opts.algo != "all") throw;
+      table.add(target->name, target->model == Model::ES ? "ES" : "SCS",
+                target->expect_safe ? "safe" : "broken", 0L, 0L, 0L, 0L, "-",
+                std::string("skipped: ") + e.what());
+      continue;
+    }
+    total_runs += report.runs;
+    total_caught += report.caught;
+    const bool ok = report.as_expected();
+    all_ok = all_ok && ok;
+    any_cutoff = any_cutoff || report.wall_cutoff;
+    table.add(report.target, report.model == Model::ES ? "ES" : "SCS",
+              report.expect_safe ? "safe" : "broken", report.runs,
+              report.lossy_runs, report.flagged_invalid, report.findings,
+              report.first ? std::to_string(report.first->run_index) : "-",
+              ok ? "as expected" : "UNEXPECTED");
+    if (report.caught > 0) {
+      std::cerr << report.target << ": " << report.caught
+                << " expected violations under live timing (caught)\n";
+    }
+    if (report.first) {
+      std::cerr << report.target << ": run " << report.first->run_index
+                << " -> [" << to_string(report.first->kind) << "] "
+                << report.first->description << " (shrink "
+                << report.first->shrink_stats.accepted << "/"
+                << report.first->shrink_stats.attempts << " reductions)\n";
+      if (opts.out_dir) {
+        write_repro(*opts.out_dir, "live-" + target->name + ".sched",
+                    live_finding_to_repro(*target, *report.first, opts.seed));
+      }
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  table.print(std::cout,
+              "Live fuzz: n=" + std::to_string(opts.n) +
+                  " t=" + std::to_string(opts.t) +
+                  " seed=" + std::to_string(opts.seed) +
+                  " budget=" + std::to_string(live_options.budget));
+  std::cout << "\n"
+            << (all_ok ? "all live runs matched expectations"
+                       : "UNEXPECTED LIVE RESULTS — see table")
+            << (any_cutoff ? " (wall-clock budget cut the sweep short)" : "")
+            << "\n";
+  std::cerr << "live fuzz: " << total_runs << " runs (" << total_caught
+            << " caught) in " << secs << " s (jobs="
+            << live_options.campaign.resolved_jobs() << ")\n";
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::optional<DriverOptions> opts = parse_args(argc, argv);
+  const std::optional<DriverOptions> opts =
+      parse_driver_args(argc, argv, std::cerr);
   if (!opts) return 2;
+  if (opts->help) {
+    driver_usage(std::cout);
+    return 0;
+  }
   try {
     if (opts->list) return list_targets();
     if (opts->replay_file) return replay_one(*opts->replay_file);
     if (opts->corpus_dir) return replay_directory(*opts->corpus_dir);
+    if (opts->samples_dir) return write_samples(*opts->samples_dir);
+    if (opts->live) return live_fuzz(*opts);
     return fuzz(*opts);
   } catch (const std::exception& e) {
     std::cerr << "fuzz_consensus: " << e.what() << "\n";

@@ -33,6 +33,11 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 ./build/fuzz/fuzz_consensus --corpus tests/corpus 2>> bench_timing.txt
 ./build/fuzz/fuzz_consensus 2>> bench_timing.txt
 
+# The live fuzz smoke: randomized LiveOptions over real threads — every
+# lossy draw must be flagged invalid, no target may produce a finding, and
+# the stdout table is bit-identical per seed.
+./build/fuzz/fuzz_consensus --live --seed 1 --budget 8 2>> bench_timing.txt
+
 # The live-runtime smoke: the RSM demo runs the replicated log as a real
 # threaded service and re-validates every merged trace (X5 ran in the bench
 # loop above; this exercises the example entry point too).

@@ -38,7 +38,10 @@ std::string print_repro(const ReproCase& repro) {
   }
   os << "algo " << repro.algo << "\n";
   if (repro.check) os << "check " << *repro.check << "\n";
-  os << "expect " << (repro.expect_violation ? "violation" : "ok") << "\n";
+  os << "expect "
+     << (repro.expect_invalid ? "invalid"
+                              : repro.expect_violation ? "violation" : "ok")
+     << "\n";
   if (repro.model) os << "model " << to_string(*repro.model) << "\n";
   if (repro.max_rounds != 64) os << "max-rounds " << repro.max_rounds << "\n";
   if (!repro.proposals.empty()) {
@@ -104,8 +107,11 @@ ReproCase parse_repro(std::string_view text) {
         repro.expect_violation = true;
       } else if (v == "ok") {
         repro.expect_violation = false;
+      } else if (v == "invalid") {
+        repro.expect_invalid = true;
       } else {
-        meta_fail(line_number, "expect must be 'violation' or 'ok'");
+        meta_fail(line_number,
+                  "expect must be 'violation', 'ok', or 'invalid'");
       }
     } else if (first == "model") {
       const std::string v = meta_value(line, line.find("model") + 5);
@@ -198,6 +204,7 @@ ReplayVerdict replay_repro(const std::string& name, const ReproCase& repro) {
   ReplayVerdict verdict;
   verdict.name = name;
   verdict.expect_violation = repro.expect_violation;
+  verdict.expect_invalid = repro.expect_invalid;
   verdict.model_valid = result.validation.ok();
   if (auto what = violated(result, ctx.algorithms())) {
     verdict.violation = true;

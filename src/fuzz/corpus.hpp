@@ -13,7 +13,7 @@
 //   # free-form commentary
 //   algo at2-fscheck
 //   check consensus          (optional; default: the target's check)
-//   expect violation         ('violation' or 'ok')
+//   expect violation         ('violation', 'ok', or 'invalid')
 //   model ES                 (optional; default: the target's model)
 //   max-rounds 64            (optional; default 64)
 //   proposals 0 1 2          (optional; default: distinct 0..n-1)
@@ -38,6 +38,9 @@ struct ReproCase {
   std::string algo;                   ///< fuzz target name
   std::optional<std::string> check;   ///< predicate override
   bool expect_violation = false;
+  /// 'expect invalid': the schedule itself is out of model (live loss
+  /// exports) and the entry reproduces iff the validator rejects it.
+  bool expect_invalid = false;
   std::optional<Model> model;         ///< model override
   Round max_rounds = 64;
   std::vector<Value> proposals;       ///< empty: distinct 0..n-1
@@ -66,13 +69,16 @@ std::vector<std::pair<std::string, ReproCase>> load_corpus_dir(
 struct ReplayVerdict {
   std::string name;             ///< file name (or target name for fuzz finds)
   bool expect_violation = false;
+  bool expect_invalid = false;
   bool model_valid = false;
   bool violation = false;
   std::string detail;           ///< the predicate's description, if violated
 
-  /// The entry still reproduces: the run is model-valid and the verdict is
-  /// exactly what the entry claims.
+  /// The entry still reproduces: an expect-invalid entry must be rejected
+  /// by the validator; any other entry must be model-valid with exactly the
+  /// claimed violation verdict.
   bool matches() const {
+    if (expect_invalid) return !model_valid;
     return model_valid && violation == expect_violation;
   }
 

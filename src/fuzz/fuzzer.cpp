@@ -27,27 +27,6 @@ std::uint64_t cell_seed(const FuzzTarget& target, const SystemConfig& config,
          static_cast<std::uint64_t>(config.t);
 }
 
-std::vector<Value> draw_proposals(const SystemConfig& config, Rng& rng) {
-  switch (rng.next_below(4)) {
-    case 0:
-    case 1:
-      return distinct_proposals(config.n);
-    case 2: {
-      std::vector<Value> reversed(config.n);
-      for (int i = 0; i < config.n; ++i) reversed[i] = config.n - 1 - i;
-      return reversed;
-    }
-    default: {
-      std::vector<Value> shuffled = distinct_proposals(config.n);
-      for (int i = config.n - 1; i > 0; --i) {
-        const int j = rng.next_int(0, i);
-        std::swap(shuffled[i], shuffled[j]);
-      }
-      return shuffled;
-    }
-  }
-}
-
 /// Lowest-run-index-wins monoid for the campaign reduce.
 struct CellResult {
   long runs = 0;
@@ -76,7 +55,7 @@ RunSchedule fuzz_run_schedule(const FuzzTarget& target, SystemConfig config,
                               std::vector<Value>* proposals_out) {
   Rng rng = Rng::for_stream(cell_seed(target, config, seed),
                             static_cast<std::uint64_t>(run_index));
-  std::vector<Value> proposals = draw_proposals(config, rng);
+  std::vector<Value> proposals = random_proposals(config, rng);
   RunSchedule schedule = random_run_schedule(config, target.model, rng, gen);
   if (proposals_out) *proposals_out = std::move(proposals);
   return schedule;

@@ -1,5 +1,9 @@
 #include "fuzz/generator.hpp"
 
+#include <utility>
+
+#include "sim/harness.hpp"
+
 namespace indulgence {
 
 RunSchedule record_adversary(const SystemConfig& config, Adversary& adversary,
@@ -41,6 +45,27 @@ RunSchedule random_run_schedule(const SystemConfig& config, Model model,
   RandomEsAdversary adversary(config, es, rng.next_u64());
   const Round horizon = es.gst + rng.next_int(0, options.extra_rounds);
   return record_adversary(config, adversary, horizon);
+}
+
+std::vector<Value> random_proposals(const SystemConfig& config, Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0:
+    case 1:
+      return distinct_proposals(config.n);
+    case 2: {
+      std::vector<Value> reversed(config.n);
+      for (int i = 0; i < config.n; ++i) reversed[i] = config.n - 1 - i;
+      return reversed;
+    }
+    default: {
+      std::vector<Value> shuffled = distinct_proposals(config.n);
+      for (int i = config.n - 1; i > 0; --i) {
+        const int j = rng.next_int(0, i);
+        std::swap(shuffled[i], shuffled[j]);
+      }
+      return shuffled;
+    }
+  }
 }
 
 }  // namespace indulgence

@@ -40,4 +40,11 @@ RunSchedule record_adversary(const SystemConfig& config, Adversary& adversary,
 RunSchedule random_run_schedule(const SystemConfig& config, Model model,
                                 Rng& rng, const FuzzGenOptions& options = {});
 
+/// A random proposal vector (shared by the schedule and live fuzzers):
+/// half the draws are the canonical distinct 0..n-1, a quarter reversed, a
+/// quarter a Fisher-Yates shuffle.  Always a permutation, so validity keeps
+/// a meaningful bite.  The draw sequence is part of the per-run determinism
+/// contract — changing it renumbers every historical (seed, index) find.
+std::vector<Value> random_proposals(const SystemConfig& config, Rng& rng);
+
 }  // namespace indulgence

@@ -1,0 +1,86 @@
+#include "net/options_rand.hpp"
+
+#include <algorithm>
+
+namespace indulgence {
+
+namespace {
+
+std::chrono::microseconds us(long n) { return std::chrono::microseconds{n}; }
+
+std::chrono::microseconds draw_us(Rng& rng, long lo, long hi) {
+  return us(lo + static_cast<long>(
+                     rng.next_below(static_cast<std::uint64_t>(hi - lo) + 1)));
+}
+
+/// A random nonempty proper subset of {0..n-1}: every cut leaves somebody
+/// on each side, so held messages always have a live complement to rejoin.
+ProcessSet draw_group(const SystemConfig& config, Rng& rng) {
+  const std::uint64_t full = (std::uint64_t{1} << config.n) - 1;
+  return ProcessSet::from_mask(1 + rng.next_below(full - 1));
+}
+
+}  // namespace
+
+LiveOptions random_valid_live_options(const SystemConfig& config, Rng& rng,
+                                      const LiveGenOptions& gen) {
+  LiveOptions o;
+  // A third of the runs are synchronous from the first instant (gst = 0);
+  // the rest get an asynchronous wall-clock prefix.
+  o.gst = rng.chance(1, 3) ? us(0) : draw_us(rng, 1, gen.max_gst_us);
+  o.pre_gst.floor = draw_us(rng, 0, 200);
+  o.pre_gst.jitter = draw_us(rng, 0, 800);
+  o.post_gst.floor = draw_us(rng, 10, 60);
+  o.post_gst.jitter = draw_us(rng, 0, 120);
+  // Grace stays small: a partitioned-away straggler costs one full grace
+  // window per round until the cut heals.
+  o.quorum_grace = draw_us(rng, 100, 1000);
+  o.max_rounds = 64;
+  o.seed = rng.next_u64();
+
+  const int partitions =
+      config.n >= 3 ? rng.next_int(0, gen.max_partitions) : 0;
+  for (int i = 0; i < partitions; ++i) {
+    PartitionSpec p;
+    p.from = draw_us(rng, 0, std::max<long>(gen.max_gst_us - 500, 1));
+    p.until = p.from + draw_us(rng, 200, 2000);
+    p.group = draw_group(config, rng);
+    o.partitions.push_back(p);
+  }
+
+  const int crashes = rng.next_int(0, config.t);
+  std::vector<ProcessId> pids;
+  for (ProcessId pid = 0; pid < config.n; ++pid) pids.push_back(pid);
+  for (int i = 0; i < crashes; ++i) {
+    // Partial Fisher-Yates: position i gets a uniformly drawn distinct pid.
+    const int j = rng.next_int(i, config.n - 1);
+    std::swap(pids[static_cast<std::size_t>(i)],
+              pids[static_cast<std::size_t>(j)]);
+    o.crashes.push_back(
+        CrashInjection{pids[static_cast<std::size_t>(i)],
+                       1 + static_cast<Round>(
+                               rng.next_below(static_cast<std::uint64_t>(
+                                   gen.max_crash_round))),
+                       rng.chance(1, 2)});
+  }
+  return o;
+}
+
+LiveOptions random_lossy_live_options(const SystemConfig& config, Rng& rng,
+                                      const LiveGenOptions& gen) {
+  (void)config;
+  LiveOptions o;
+  o.gst = std::chrono::hours{1};
+  o.loss_prob = 0.75 + 0.25 * rng.next_double();
+  o.pre_gst.floor = draw_us(rng, 0, 100);
+  o.pre_gst.jitter = draw_us(rng, 0, 200);
+  o.round_cap = draw_us(rng, gen.min_round_cap_us, gen.max_round_cap_us);
+  o.max_rounds = 2 + static_cast<Round>(rng.next_below(3));
+  // The final expedited round's surviving copies land in microseconds; the
+  // copies loss already ate will never come, so a long drain buys nothing.
+  o.drain_wait = us(20'000);
+  o.seed = rng.next_u64();
+  return o;
+}
+
+}  // namespace indulgence

@@ -13,11 +13,30 @@ RunSchedule schedule_from_trace(const RunTrace& trace) {
   RunSchedule schedule(trace.config());
   schedule.set_gst(std::max<Round>(trace.gst(), 1));
 
-  std::map<ProcessId, Round> crash_round;
+  // The replay horizon: a kernel replay of the export runs with
+  // max_rounds == rounds_executed(), so any delay target beyond horizon + 1
+  // behaves exactly like horizon + 1 (never delivered during the recorded
+  // run).  Clamping to that canonical form keeps exports of
+  // max_rounds-truncated runs round-trip-stable and gives the shrinker
+  // nothing meaningless to minimize.
+  const Round horizon = std::max<Round>(trace.rounds_executed(), 1);
+  const auto clamp_delay = [horizon](Round send_round, Round target) {
+    return std::clamp(target, send_round + 1, horizon + 1);
+  };
+
+  // A trace is only well-formed with one crash per process, but defensive
+  // callers (and the fuzzer's synthetic traces) may record duplicates in
+  // any order: the process is crashed from its EARLIEST recorded round on,
+  // so that record — not the first one encountered — must win.
+  std::map<ProcessId, CrashRecord> first_crash;
   for (const CrashRecord& c : trace.crashes()) {
-    if (crash_round.count(c.pid)) continue;
-    crash_round[c.pid] = c.round;
-    schedule.plan(c.round).add_crash(CrashEvent{c.pid, c.before_send});
+    auto [it, inserted] = first_crash.try_emplace(c.pid, c);
+    if (!inserted && c.round < it->second.round) it->second = c;
+  }
+  std::map<ProcessId, Round> crash_round;
+  for (const auto& [pid, c] : first_crash) {
+    crash_round[pid] = c.round;
+    schedule.plan(c.round).add_crash(CrashEvent{pid, c.before_send});
   }
 
   // A copy either arrived (in-round: default Deliver; later: Delay), is
@@ -38,7 +57,7 @@ RunSchedule schedule_from_trace(const RunTrace& trace) {
     if (p.sender == p.receiver) continue;
     schedule.plan(p.send_round)
         .set_fate(p.sender, p.receiver,
-                  Fate::delay_to(std::max(p.deliver_round, p.send_round + 1)));
+                  Fate::delay_to(clamp_delay(p.send_round, p.deliver_round)));
   }
 
   // What remains never reached its receiver.  Receivers already crashed by
@@ -55,8 +74,9 @@ RunSchedule schedule_from_trace(const RunTrace& trace) {
       auto it = crash_round.find(receiver);
       if (it != crash_round.end()) {
         if (it->second <= s.round) continue;
-        schedule.plan(s.round).set_fate(s.sender, receiver,
-                                        Fate::delay_to(it->second));
+        schedule.plan(s.round).set_fate(
+            s.sender, receiver,
+            Fate::delay_to(clamp_delay(s.round, it->second)));
         continue;
       }
       schedule.plan(s.round).set_fate(s.sender, receiver, Fate::lose());

@@ -20,8 +20,9 @@ std::vector<std::pair<std::string, ReproCase>> corpus() {
 
 TEST(Corpus, DirectoryIsNotEmpty) {
   // The permanent entries: E2's counterexamples, E9's laggard attack, the
-  // minimized X1 ablation repros, and the satellite-bug boundary runs.
-  EXPECT_GE(corpus().size(), 8u);
+  // minimized X1 ablation repros, the satellite-bug boundary runs, and the
+  // live-fuzz seeds.
+  EXPECT_GE(corpus().size(), 10u);
 }
 
 TEST(Corpus, EveryEntryNamesAKnownTarget) {
@@ -37,14 +38,22 @@ TEST(Corpus, EveryEntryRoundTripsThroughItsTextForm) {
     EXPECT_EQ(reparsed.schedule, repro.schedule) << name;
     EXPECT_EQ(reparsed.algo, repro.algo) << name;
     EXPECT_EQ(reparsed.expect_violation, repro.expect_violation) << name;
+    EXPECT_EQ(reparsed.expect_invalid, repro.expect_invalid) << name;
     EXPECT_EQ(reparsed.proposals, repro.proposals) << name;
   }
 }
 
 TEST(Corpus, EveryEntryReplaysToItsClaimedVerdict) {
   for (const ReplayVerdict& v : replay_corpus(corpus())) {
-    EXPECT_TRUE(v.model_valid) << v.name << ": run left the model";
-    EXPECT_EQ(v.violation, v.expect_violation) << v.name << " " << v.detail;
+    EXPECT_TRUE(v.matches()) << v.name << " " << v.detail;
+    if (v.expect_invalid) {
+      // Live-found loss exports: the whole claim is that the validator
+      // rejects them (a run that dropped copies left the model).
+      EXPECT_FALSE(v.model_valid) << v.name << ": loss export passed";
+    } else {
+      EXPECT_TRUE(v.model_valid) << v.name << ": run left the model";
+      EXPECT_EQ(v.violation, v.expect_violation) << v.name << " " << v.detail;
+    }
   }
 }
 
@@ -69,6 +78,20 @@ TEST(Corpus, KnownBugsStayDiscoverable) {
     }
     EXPECT_TRUE(witnessed) << "no violating corpus entry for " << required;
   }
+}
+
+TEST(Corpus, LiveFoundSeedsArePresent) {
+  // The live fuzz campaign's two seed entries: a loss run the validator
+  // must reject, and a crash/partition-boundary run that decides cleanly.
+  bool loss = false;
+  bool boundary = false;
+  for (const auto& [name, repro] : corpus()) {
+    loss |= name == "live-loss-hr.sched" && repro.expect_invalid;
+    boundary |= name == "live-crash-partition-at2.sched" &&
+                !repro.expect_invalid && !repro.expect_violation;
+  }
+  EXPECT_TRUE(loss) << "missing the live loss seed (expect invalid)";
+  EXPECT_TRUE(boundary) << "missing the live crash/partition seed";
 }
 
 }  // namespace

@@ -1,0 +1,117 @@
+// The fuzz_consensus CLI: malformed numeric flags are usage errors with a
+// diagnostic on the error stream, never uncaught std::invalid_argument /
+// std::out_of_range terminations (the pre-hardening parser used std::stoul
+// and friends, which throw).
+
+#include "fuzz/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace indulgence {
+namespace {
+
+std::optional<DriverOptions> parse(std::vector<const char*> args,
+                                   std::string* diag = nullptr) {
+  args.insert(args.begin(), "fuzz_consensus");
+  std::ostringstream err;
+  const auto opts =
+      parse_driver_args(static_cast<int>(args.size()), args.data(), err);
+  if (diag) *diag = err.str();
+  return opts;
+}
+
+TEST(FuzzCli, DefaultsWhenNoFlagsGiven) {
+  const auto opts = parse({});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->seed, 1u);
+  EXPECT_EQ(opts->budget, 2000);
+  EXPECT_EQ(opts->algo, "all");
+  EXPECT_EQ(opts->n, 3);
+  EXPECT_EQ(opts->t, 1);
+  EXPECT_TRUE(opts->shrink);
+  EXPECT_FALSE(opts->live);
+  EXPECT_FALSE(opts->budget_set);
+}
+
+TEST(FuzzCli, ParsesAFullLiveInvocation) {
+  const auto opts = parse({"--live", "--seed", "7", "--budget", "25",
+                           "--algo", "hr", "--n", "5", "--t", "2", "--wall",
+                           "0.5", "--out", "repros", "--no-shrink"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_TRUE(opts->live);
+  EXPECT_EQ(opts->seed, 7u);
+  EXPECT_EQ(opts->budget, 25);
+  EXPECT_TRUE(opts->budget_set);
+  EXPECT_EQ(opts->algo, "hr");
+  EXPECT_EQ(opts->n, 5);
+  EXPECT_EQ(opts->t, 2);
+  EXPECT_DOUBLE_EQ(opts->wall_secs, 0.5);
+  ASSERT_TRUE(opts->out_dir.has_value());
+  EXPECT_EQ(*opts->out_dir, "repros");
+  EXPECT_FALSE(opts->shrink);
+}
+
+TEST(FuzzCli, RejectsNonNumericValuesWithADiagnostic) {
+  // The original driver died with an uncaught std::invalid_argument here.
+  for (const char* flag : {"--seed", "--budget", "--n", "--t"}) {
+    std::string diag;
+    EXPECT_FALSE(parse({flag, "abc"}, &diag).has_value()) << flag;
+    EXPECT_NE(diag.find(flag), std::string::npos) << diag;
+  }
+}
+
+TEST(FuzzCli, RejectsTrailingJunkAndOverflow) {
+  EXPECT_FALSE(parse({"--budget", "5x"}).has_value());
+  EXPECT_FALSE(parse({"--seed", "1e5"}).has_value());
+  EXPECT_FALSE(parse({"--n", ""}).has_value());
+  // 2^80: overflows every integer flag (std::out_of_range before the fix).
+  EXPECT_FALSE(parse({"--seed", "1208925819614629174706176"}).has_value());
+  EXPECT_FALSE(parse({"--budget", "1208925819614629174706176"}).has_value());
+  EXPECT_FALSE(parse({"--wall", "0.5s"}).has_value());
+  EXPECT_FALSE(parse({"--wall", "-1"}).has_value());
+}
+
+TEST(FuzzCli, RejectsMissingValuesAndUnknownFlags) {
+  EXPECT_FALSE(parse({"--seed"}).has_value());
+  EXPECT_FALSE(parse({"--algo"}).has_value());
+  EXPECT_FALSE(parse({"--frobnicate"}).has_value());
+}
+
+TEST(FuzzCli, ValidatesSystemShapeAndModeCombinations) {
+  EXPECT_FALSE(parse({"--n", "0"}).has_value());
+  EXPECT_FALSE(parse({"--n", "3", "--t", "3"}).has_value());
+  EXPECT_FALSE(parse({"--budget", "-1"}).has_value());
+  // --samples and --wall are live-mode flags.
+  EXPECT_FALSE(parse({"--samples", "dir"}).has_value());
+  EXPECT_FALSE(parse({"--wall", "1"}).has_value());
+  EXPECT_TRUE(parse({"--live", "--samples", "dir"}).has_value());
+  EXPECT_TRUE(parse({"--live", "--wall", "1"}).has_value());
+}
+
+TEST(FuzzCli, ParseNumberIsStrict) {
+  EXPECT_EQ(parse_number<int>("42"), 42);
+  EXPECT_EQ(parse_number<int>("-3"), -3);
+  EXPECT_FALSE(parse_number<int>("42 ").has_value());
+  EXPECT_FALSE(parse_number<int>(" 42").has_value());
+  EXPECT_FALSE(parse_number<int>("0x10").has_value());
+  EXPECT_FALSE(parse_number<int>("").has_value());
+  EXPECT_FALSE(parse_number<std::uint8_t>("256").has_value());
+  EXPECT_EQ(parse_double("2.5"), 2.5);
+  EXPECT_FALSE(parse_double("2.5ms").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(FuzzCli, HelpIsNotAUsageError) {
+  const auto opts = parse({"--help"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_TRUE(opts->help);
+  std::ostringstream usage;
+  driver_usage(usage);
+  EXPECT_NE(usage.str().find("--live"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace indulgence

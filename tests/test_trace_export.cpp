@@ -102,6 +102,68 @@ TEST(TraceExport, PendingCopiesExportAsDelayFates) {
   EXPECT_GT(fate.deliver_round, live.trace.rounds_executed());
 }
 
+TEST(TraceExport, DuplicateCrashRecordsResolveToTheEarliestRound) {
+  // Regression: the exporter used to keep the FIRST crash record seen per
+  // process.  A trace listing duplicate records out of order then planned
+  // the crash too late — and stretched copies the crash swallowed toward
+  // the wrong round.  The process is crashed from its EARLIEST recorded
+  // round on; that record must win regardless of position.
+  const SystemConfig cfg{.n = 3, .t = 1};
+  RunTrace trace(cfg, Model::ES, /*gst=*/1);
+  trace.set_rounds_executed(3);
+  trace.record_crash(CrashRecord{3, 2, false});  // later duplicate first
+  trace.record_crash(CrashRecord{1, 2, true});   // the real crash
+  trace.record_send(SendRecord{1, 0, false});
+  trace.record_send(SendRecord{1, 1, false});
+  trace.record_delivery(DeliveryRecord{1, 1, 0, 1, nullptr});
+  trace.record_delivery(DeliveryRecord{1, 0, 1, 1, nullptr});
+
+  const RunSchedule exported = schedule_from_trace(trace);
+  ASSERT_EQ(exported.plan(1).crashes().size(), 1u);
+  EXPECT_EQ(exported.plan(1).crashes().front().pid, 2);
+  EXPECT_TRUE(exported.plan(1).crashes().front().before_send);
+  EXPECT_TRUE(exported.plan(3).crashes().empty());
+  // p0's round-1 copy to p2 needs no fate override: p2 is down from round 1
+  // on, so the kernel drops the copy by itself.  (The first-record bug put
+  // the crash at round 3 and exported this copy as a delay stretched to it.)
+  EXPECT_EQ(exported.plan(1).fate(0, 2).kind, FateKind::Deliver);
+}
+
+TEST(TraceExport, DelayTargetsClampToTheReplayHorizonOnTruncatedRuns) {
+  // Regression: a run stopped by max_rounds exports with a replay horizon
+  // of rounds_executed().  A delay target far beyond that horizon used to
+  // export verbatim, so the export was not a fixed point of
+  // export -> replay -> export (the replay re-records the copy as pending
+  // at a different round).  Clamping to horizon + 1 canonicalizes every
+  // never-lands delay.
+  const SystemConfig cfg{.n = 4, .t = 1};
+  ScheduleBuilder b(cfg);
+  b.delay(0, 1, /*send_round=*/1, /*deliver_round=*/40).gst(50);
+  const FuzzTarget* at2 = find_fuzz_target("at2");
+  ASSERT_NE(at2, nullptr);
+  KernelOptions o = es_options();
+  o.max_rounds = 2;  // stop before both the delivery and the decision
+  const std::vector<Value> proposals = distinct_proposals(cfg.n);
+  const RunResult run =
+      run_and_check(cfg, o, at2->factory, proposals, b.build());
+  ASSERT_FALSE(run.trace.terminated());
+  const Round horizon = run.trace.rounds_executed();
+  ASSERT_EQ(horizon, 2);
+
+  const RunSchedule exported = schedule_from_trace(run.trace);
+  const Fate fate = exported.plan(1).fate(0, 1);
+  EXPECT_EQ(fate.kind, FateKind::Delay);
+  EXPECT_EQ(fate.deliver_round, horizon + 1);
+
+  // The canonical form is a fixed point: replaying the export at the same
+  // horizon re-exports to the identical schedule, and the text form
+  // round-trips — a truncated live find can live in tests/corpus/.
+  const RunResult replay =
+      run_and_check(cfg, o, at2->factory, proposals, exported);
+  EXPECT_EQ(schedule_from_trace(replay.trace), exported);
+  EXPECT_EQ(parse_schedule(print_schedule(exported)), exported);
+}
+
 TEST(TraceExport, SchedTextIsTheCanonicalPrintOfTheExport) {
   const SystemConfig cfg{.n = 3, .t = 1};
   LiveOptions options;
