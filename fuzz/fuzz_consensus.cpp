@@ -142,11 +142,18 @@ int fuzz(const DriverOptions& opts) {
   fuzz_options.budget = opts.budget;
   fuzz_options.shrink = opts.shrink;
   fuzz_options.campaign = default_campaign();
+  if (opts.wall_secs > 0) {
+    fuzz_options.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds{
+            static_cast<long long>(opts.wall_secs * 1e6)};
+  }
 
   const SystemConfig config{.n = opts.n, .t = opts.t};
   Table table({"target", "model", "expect", "runs", "violations", "first",
                "shrunk-rounds", "verdict"});
   bool all_ok = true;
+  bool any_cutoff = false;
   const auto start = std::chrono::steady_clock::now();
   long total_runs = 0;
   for (const FuzzTarget* target : targets) {
@@ -166,6 +173,7 @@ int fuzz(const DriverOptions& opts) {
     total_runs += report.runs;
     const bool ok = report.as_expected();
     all_ok = all_ok && ok;
+    any_cutoff = any_cutoff || report.wall_cutoff;
     table.add(report.target, target->model == Model::ES ? "ES" : "SCS",
               report.expect_safe ? "safe" : "broken", report.runs,
               report.violations,
@@ -196,6 +204,7 @@ int fuzz(const DriverOptions& opts) {
   std::cout << "\n"
             << (all_ok ? "all targets matched the paper's verdict"
                        : "VERDICT MISMATCH — see table")
+            << (any_cutoff ? " (wall-clock budget cut the sweep short)" : "")
             << "\n";
   std::cerr << "fuzz: " << total_runs << " runs in " << secs << " s (jobs="
             << fuzz_options.campaign.resolved_jobs() << ")\n";
@@ -234,9 +243,12 @@ int live_fuzz(const DriverOptions& opts) {
 
   LiveFuzzOptions live_options;
   live_options.seed = opts.seed;
-  live_options.budget = opts.budget_set ? opts.budget : 25;
+  // Socket runs pay for real connect/reconnect cycles, so the default
+  // budget is lower than the in-memory router's.
+  live_options.budget = opts.budget_set ? opts.budget : (opts.socket ? 10 : 25);
   live_options.shrink = opts.shrink;
   live_options.campaign = default_campaign();
+  live_options.socket = opts.socket;
   if (opts.wall_secs > 0) {
     live_options.deadline =
         std::chrono::steady_clock::now() +
@@ -256,6 +268,7 @@ int live_fuzz(const DriverOptions& opts) {
   const auto start = std::chrono::steady_clock::now();
   long total_runs = 0;
   long total_caught = 0;
+  SocketCounters total_socket;
   for (const FuzzTarget* target : targets) {
     LiveFuzzReport report;
     try {
@@ -271,6 +284,7 @@ int live_fuzz(const DriverOptions& opts) {
     }
     total_runs += report.runs;
     total_caught += report.caught;
+    total_socket += report.socket_counters;
     const bool ok = report.as_expected();
     all_ok = all_ok && ok;
     any_cutoff = any_cutoff || report.wall_cutoff;
@@ -300,7 +314,8 @@ int live_fuzz(const DriverOptions& opts) {
           .count();
 
   table.print(std::cout,
-              "Live fuzz: n=" + std::to_string(opts.n) +
+              std::string(opts.socket ? "Socket fuzz" : "Live fuzz") +
+                  ": n=" + std::to_string(opts.n) +
                   " t=" + std::to_string(opts.t) +
                   " seed=" + std::to_string(opts.seed) +
                   " budget=" + std::to_string(live_options.budget));
@@ -312,6 +327,18 @@ int live_fuzz(const DriverOptions& opts) {
   std::cerr << "live fuzz: " << total_runs << " runs (" << total_caught
             << " caught) in " << secs << " s (jobs="
             << live_options.campaign.resolved_jobs() << ")\n";
+  if (opts.socket) {
+    // Timing-dependent (how much chaos actually fired varies run to run),
+    // so stderr, like every other nondeterministic detail.
+    std::cerr << "socket: " << total_socket.reconnects << " reconnects, "
+              << total_socket.envelopes_resent << " resends, "
+              << total_socket.injected_resets << " injected resets, "
+              << total_socket.injected_stalls << " stalls, "
+              << total_socket.injected_short_writes << " short writes, "
+              << total_socket.injected_connect_failures
+              << " connect failures, " << total_socket.injected_accept_closes
+              << " accept closes\n";
+  }
   return all_ok ? 0 : 1;
 }
 

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # One-command reproduction: build, run the full test suite, regenerate every
-# experiment table (E1..E10, X1..X5 — X5 runs the live-runtime RSM service
-# over real threads), and leave the outputs in test_output.txt /
-# bench_output.txt at the repository root.
+# experiment table (E1..E10, X1..X5 plus X5-socket — the live-runtime RSM
+# service over real threads and over real sockets), and leave the outputs in
+# test_output.txt / bench_output.txt at the repository root.
 #
 # INDULGENCE_JOBS controls the campaign engine's worker count (default: all
 # cores).  The tables are bit-identical at any setting; INDULGENCE_JOBS=1 is
@@ -38,10 +38,22 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 # the stdout table is bit-identical per seed.
 ./build/fuzz/fuzz_consensus --live --seed 1 --budget 8 2>> bench_timing.txt
 
+# The socket fuzz smoke: randomized runs over Unix-domain sockets with
+# seeded wire chaos; every run must merge into a validator-clean trace and
+# match the lockstep kernel replay.
+./build/fuzz/fuzz_consensus --socket --seed 1 --budget 6 2>> bench_timing.txt
+
 # The live-runtime smoke: the RSM demo runs the replicated log as a real
 # threaded service and re-validates every merged trace (X5 ran in the bench
 # loop above; this exercises the example entry point too).
 ./build/examples/live_rsm_demo 2>> bench_timing.txt
+
+# The multi-process smoke: one OS process per replica over Unix-domain
+# sockets, per-process trace logs shipped back and merged; the chaos
+# variant (seeded resets / stalls / short writes before "GST") must not
+# change the verdict.
+./build/examples/socket_rsm_demo 2>> bench_timing.txt
+./build/examples/socket_rsm_demo --chaos 2>> bench_timing.txt
 
 echo "Reproduction complete: see test_output.txt and bench_output.txt" \
      "(campaign timing: bench_timing.txt)."

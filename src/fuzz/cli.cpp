@@ -25,7 +25,9 @@ void driver_usage(std::ostream& os) {
         "  --no-shrink    keep the first find as generated\n"
         "  --live         fuzz randomized LiveOptions over real threads\n"
         "                 (default budget 25 runs per target)\n"
-        "  --wall SECS    live mode: stop after SECS wall-clock seconds\n"
+        "  --socket       like --live, but over real Unix-domain sockets\n"
+        "                 with seeded wire chaos (default budget 10)\n"
+        "  --wall SECS    stop after SECS wall-clock seconds (any mode)\n"
         "  --samples DIR  live mode: write the deterministic corpus-seed\n"
         "                 repros (loss, crash/partition) to DIR and exit\n"
         "  --out DIR      write each minimized find to DIR/<target>.sched\n"
@@ -71,6 +73,9 @@ std::optional<DriverOptions> parse_driver_args(int argc,
       opts.shrink = false;
     } else if (arg == "--live") {
       opts.live = true;
+    } else if (arg == "--socket") {
+      opts.socket = true;
+      opts.live = true;  // the socket campaign is a live campaign
     } else if (arg == "--seed") {
       if (!(v = value(i)) || !numeric("--seed", v, opts.seed)) {
         return std::nullopt;
@@ -123,8 +128,8 @@ std::optional<DriverOptions> parse_driver_args(int argc,
         << " t=" << opts.t << ")\n";
     return std::nullopt;
   }
-  if ((opts.samples_dir || opts.wall_secs > 0) && !opts.live) {
-    err << "fuzz_consensus: --samples and --wall need --live\n";
+  if (opts.samples_dir && !opts.live) {
+    err << "fuzz_consensus: --samples needs --live\n";
     return std::nullopt;
   }
   return opts;

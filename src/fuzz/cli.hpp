@@ -28,7 +28,8 @@ struct DriverOptions {
   bool list = false;
   bool help = false;
   bool live = false;             ///< fuzz LiveOptions over real threads
-  double wall_secs = 0;          ///< live mode: wall-clock cap (0 = none)
+  bool socket = false;           ///< live sweep over Unix-domain sockets
+  double wall_secs = 0;          ///< wall-clock cap, any mode (0 = none)
   bool budget_set = false;       ///< --budget given (live mode defaults lower)
   std::optional<std::string> out_dir;
   std::optional<std::string> replay_file;

@@ -32,6 +32,7 @@ struct CellResult {
   long runs = 0;
   long invalid_runs = 0;
   long violations = 0;
+  bool wall_cutoff = false;
   long first_index = -1;
   std::string first_description;
 
@@ -39,6 +40,7 @@ struct CellResult {
     runs += other.runs;
     invalid_runs += other.invalid_runs;
     violations += other.violations;
+    wall_cutoff = wall_cutoff || other.wall_cutoff;
     if (other.first_index >= 0 &&
         (first_index < 0 || other.first_index < first_index)) {
       first_index = other.first_index;
@@ -76,6 +78,11 @@ FuzzReport fuzz_target(const FuzzTarget& target, SystemConfig config,
         CellResult partial;
         RunContext ctx(config, kernel_options);
         for (long i = begin; i < end; ++i) {
+          if (options.deadline &&
+              std::chrono::steady_clock::now() >= *options.deadline) {
+            partial.wall_cutoff = true;
+            break;
+          }
           std::vector<Value> proposals;
           const RunSchedule schedule = fuzz_run_schedule(
               target, config, options.seed, i, options.gen, &proposals);
@@ -105,6 +112,7 @@ FuzzReport fuzz_target(const FuzzTarget& target, SystemConfig config,
   report.runs = cell.runs;
   report.invalid_runs = cell.invalid_runs;
   report.violations = cell.violations;
+  report.wall_cutoff = cell.wall_cutoff;
   if (cell.first_index < 0) return report;
 
   FuzzFinding finding{cell.first_index,

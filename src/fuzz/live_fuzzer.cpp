@@ -33,6 +33,14 @@ std::uint64_t live_cell_seed(const FuzzTarget& target,
          static_cast<std::uint64_t>(config.t);
 }
 
+std::uint64_t socket_cell_seed(const FuzzTarget& target,
+                               const SystemConfig& config,
+                               std::uint64_t seed) {
+  return seed ^ fnv1a("socket:" + target.name) ^
+         (static_cast<std::uint64_t>(config.n) << 32) ^
+         static_cast<std::uint64_t>(config.t);
+}
+
 std::map<ProcessId, Round> decision_rounds(const RunTrace& trace) {
   std::map<ProcessId, Round> out;
   for (const DecisionRecord& d : trace.decisions()) {
@@ -51,19 +59,28 @@ struct RunOutcome {
   bool lossy = false;
   bool flagged_invalid = false;
   bool caught = false;
+  SocketCounters counters;
   std::optional<LiveFinding> finding;
 };
 
 RunOutcome judge_run(const FuzzTarget& target, const SystemConfig& config,
                      const ViolationPredicate& violated, std::uint64_t seed,
-                     long run_index, const LiveGenOptions& gen) {
+                     long run_index, const LiveGenOptions& gen, bool socket) {
   LiveRunPlan plan =
-      live_fuzz_run_plan(target, config, seed, run_index, gen);
+      socket ? live_socket_run_plan(target, config, seed, run_index, gen)
+             : live_fuzz_run_plan(target, config, seed, run_index, gen);
   RunOutcome outcome;
   outcome.lossy = plan.lossy;
 
   LiveRuntime runtime(config, plan.options);
+  if (socket) {
+    SocketTransportOptions socket_options;
+    socket_options.seed = plan.options.seed;
+    socket_options.chaos = plan.chaos;
+    runtime.use_socket_transport(SocketAddress::Kind::Unix, socket_options);
+  }
   const RunResult live = runtime.run(target.factory, plan.proposals);
+  if (socket) outcome.counters = runtime.socket_counters();
 
   // Export the trace and replay it through the lockstep kernel, capped at
   // the rounds the live run actually executed: the parity oracle.
@@ -141,6 +158,7 @@ struct LiveCell {
   long caught = 0;
   long findings = 0;
   bool wall_cutoff = false;
+  SocketCounters counters;
   std::optional<LiveFinding> first;
 
   void merge(const LiveCell& other) {
@@ -150,6 +168,7 @@ struct LiveCell {
     caught += other.caught;
     findings += other.findings;
     wall_cutoff = wall_cutoff || other.wall_cutoff;
+    counters += other.counters;
     if (other.first &&
         (!first || other.first->run_index < first->run_index)) {
       first = other.first;
@@ -182,6 +201,19 @@ LiveRunPlan live_fuzz_run_plan(const FuzzTarget& target, SystemConfig config,
   return plan;
 }
 
+LiveRunPlan live_socket_run_plan(const FuzzTarget& target, SystemConfig config,
+                                 std::uint64_t seed, long run_index,
+                                 const LiveGenOptions& gen) {
+  Rng rng = Rng::for_stream(socket_cell_seed(target, config, seed),
+                            static_cast<std::uint64_t>(run_index));
+  LiveRunPlan plan;
+  plan.lossy = false;  // the supervisor holds copies; it never drops them
+  plan.proposals = random_proposals(config, rng);
+  plan.options = random_socket_live_options(config, rng, gen);
+  plan.chaos = random_wire_chaos(rng, gen);
+  return plan;
+}
+
 LiveFuzzReport live_fuzz_target(const FuzzTarget& target, SystemConfig config,
                                 const LiveFuzzOptions& options) {
   config.validate();
@@ -197,12 +229,14 @@ LiveFuzzReport live_fuzz_target(const FuzzTarget& target, SystemConfig config,
             partial.wall_cutoff = true;
             break;
           }
-          const RunOutcome outcome = judge_run(target, config, violated,
-                                               options.seed, i, options.gen);
+          const RunOutcome outcome =
+              judge_run(target, config, violated, options.seed, i,
+                        options.gen, options.socket);
           ++partial.runs;
           if (outcome.lossy) ++partial.lossy_runs;
           if (outcome.flagged_invalid) ++partial.flagged_invalid;
           if (outcome.caught) ++partial.caught;
+          partial.counters += outcome.counters;
           if (outcome.finding) {
             ++partial.findings;
             if (!partial.first ||
@@ -225,6 +259,7 @@ LiveFuzzReport live_fuzz_target(const FuzzTarget& target, SystemConfig config,
   report.caught = cell.caught;
   report.findings = cell.findings;
   report.wall_cutoff = cell.wall_cutoff;
+  report.socket_counters = cell.counters;
   if (!cell.first) return report;
 
   LiveFinding finding = *cell.first;

@@ -58,6 +58,11 @@ struct LiveFuzzOptions {
   /// Wall-clock budget: no new run starts past this point (checked between
   /// runs, never mid-run).  nullopt = runs budget only.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Run over real Unix-domain sockets (SocketHub) instead of the in-memory
+  /// router: every draw is a valid profile (sockets never drop copies) plus
+  /// a seeded wire-chaos window; the oracle is unchanged.  Uses a distinct
+  /// seed stream so --live and --socket sweeps do not shadow each other.
+  bool socket = false;
 };
 
 enum class LiveFindingKind {
@@ -95,6 +100,9 @@ struct LiveFuzzReport {
   long caught = 0;           ///< expected violations (SCS / broken targets)
   long findings = 0;
   bool wall_cutoff = false;  ///< the deadline stopped the sweep early
+  /// Socket campaign only: supervisor counters summed over every run, so
+  /// the driver can report how much chaos the sweep actually survived.
+  SocketCounters socket_counters;
   std::optional<LiveFinding> first;  ///< lowest-index finding, minimized
 
   /// Healthy: no findings, and every lossy run was flagged invalid.
@@ -117,10 +125,18 @@ struct LiveRunPlan {
   bool lossy = false;
   LiveOptions options;
   std::vector<Value> proposals;
+  WireChaosOptions chaos;  ///< socket plans only; all-zero probs otherwise
 };
 LiveRunPlan live_fuzz_run_plan(const FuzzTarget& target, SystemConfig config,
                                std::uint64_t seed, long run_index,
                                const LiveGenOptions& gen = {});
+
+/// The socket campaign's per-run draw: always a valid profile (partitions
+/// cleared — sockets hold, they never cut) plus a wire-chaos window, from a
+/// "socket:"-prefixed seed stream decorrelated from live_fuzz_run_plan's.
+LiveRunPlan live_socket_run_plan(const FuzzTarget& target, SystemConfig config,
+                                 std::uint64_t seed, long run_index,
+                                 const LiveGenOptions& gen = {});
 
 /// Wraps a live finding as a corpus document (expect 'invalid' for
 /// InvalidTrace/UnflaggedLoss exports, 'violation' for Violation).

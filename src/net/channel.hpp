@@ -53,11 +53,17 @@ class Channel {
   }
 
   /// Blocks up to `timeout` for an item; nullopt on timeout or when the
-  /// channel is closed and drained.
+  /// channel is closed and drained.  A zero (or negative) timeout is an
+  /// exact synonym for try_pop: one locked check, no condvar wait — pollers
+  /// spinning with pop_for(0us) must not pay a futex round trip, and a
+  /// negative duration must not be handed to wait_for (whose behaviour on
+  /// negative timeouts varies by implementation).
   std::optional<T> pop_for(std::chrono::microseconds timeout) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait_for(lock, timeout,
-                        [this] { return closed_ || !items_.empty(); });
+    if (timeout > std::chrono::microseconds::zero()) {
+      not_empty_.wait_for(lock, timeout,
+                          [this] { return closed_ || !items_.empty(); });
+    }
     return pop_locked();
   }
 

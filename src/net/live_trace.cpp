@@ -77,8 +77,16 @@ RunTrace merge_process_logs(const LiveMergeInput& input) {
   // Still-in-flight copies become pending records, like the kernel's
   // delayed-beyond-horizon messages.  Copies addressed to crashed processes
   // are dropped (the kernel never keeps pending deliveries to the dead),
-  // and deliver rounds are clamped past the executed horizon.
+  // and deliver rounds are clamped past the executed horizon.  A copy the
+  // receiver already logged as delivered is not pending either: a socket
+  // sender still holds a copy whose acknowledgement was lost in a reset or
+  // at teardown, and delivered-and-pending would double-count it.
   std::set<std::tuple<ProcessId, Round, ProcessId>> seen;
+  for (const ProcessLog& log : logs) {
+    for (const DeliveryRecord& d : log.deliveries) {
+      seen.insert({d.sender, d.send_round, d.receiver});
+    }
+  }
   auto add_pending = [&](const UndeliveredCopy& copy) {
     if (crashed.count(copy.receiver)) return;
     if (!seen.insert({copy.sender, copy.send_round, copy.receiver}).second) {

@@ -66,6 +66,26 @@ LiveOptions random_valid_live_options(const SystemConfig& config, Rng& rng,
   return o;
 }
 
+LiveOptions random_socket_live_options(const SystemConfig& config, Rng& rng,
+                                       const LiveGenOptions& gen) {
+  LiveOptions o = random_valid_live_options(config, rng, gen);
+  o.partitions.clear();
+  return o;
+}
+
+WireChaosOptions random_wire_chaos(Rng& rng, const LiveGenOptions& gen) {
+  WireChaosOptions chaos;
+  chaos.seed = rng.next_u64();
+  chaos.until = draw_us(rng, 0, gen.max_gst_us);
+  chaos.connect_fail_prob = 0.4 * rng.next_double();
+  chaos.accept_close_prob = 0.3 * rng.next_double();
+  chaos.reset_prob = 0.25 * rng.next_double();
+  chaos.stall_prob = 0.3 * rng.next_double();
+  chaos.stall = draw_us(rng, 200, 2000);
+  chaos.short_write_prob = 0.4 * rng.next_double();
+  return chaos;
+}
+
 LiveOptions random_lossy_live_options(const SystemConfig& config, Rng& rng,
                                       const LiveGenOptions& gen) {
   (void)config;

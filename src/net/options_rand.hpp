@@ -23,6 +23,7 @@
 
 #include "common/rng.hpp"
 #include "net/options.hpp"
+#include "net/socket_transport.hpp"
 #include "sim/process.hpp"
 
 namespace indulgence {
@@ -51,5 +52,21 @@ LiveOptions random_valid_live_options(const SystemConfig& config, Rng& rng,
 /// short drain so a run costs milliseconds, not drain timeouts.
 LiveOptions random_lossy_live_options(const SystemConfig& config, Rng& rng,
                                       const LiveGenOptions& gen = {});
+
+/// A LiveOptions draw for the SOCKET campaign: the valid profile minus the
+/// router-only fields (partitions are a LiveRouter feature the socket hub
+/// would silently ignore, so they are cleared rather than misleadingly
+/// carried along).  Crashes stay — the round driver injects those above the
+/// transport.  The wire replaces loss with chaos: see random_wire_chaos.
+LiveOptions random_socket_live_options(const SystemConfig& config, Rng& rng,
+                                       const LiveGenOptions& gen = {});
+
+/// A seeded wire-chaos draw, the socket campaign's pre-GST adversary: a
+/// wall-clock window of up to max_gst_us during which connects abort,
+/// accepted connections close, writes become resets, stalls, or
+/// byte-at-a-time dribbles.  A window of 0 (about 1 draw in max_gst_us) is
+/// a clean run.  The supervisor must absorb all of it: the merged trace
+/// still has to satisfy the unchanged validator.
+WireChaosOptions random_wire_chaos(Rng& rng, const LiveGenOptions& gen = {});
 
 }  // namespace indulgence

@@ -5,8 +5,6 @@
 #include <string>
 #include <utility>
 
-#include "net/router.hpp"
-
 namespace indulgence {
 
 // ---------------------------------------------------------------------------
@@ -111,7 +109,7 @@ void RoundDriver::run() noexcept {
     error_ = std::current_exception();
     // Unblock the peers: without these reports their gates would wait for
     // this process' messages until their own timeouts.
-    if (ctx_.router) ctx_.router->mark_dead(ctx_.self);
+    if (ctx_.supervision) ctx_.supervision->mark_dead(ctx_.self);
     ctx_.control->report_crash(ctx_.self);
     ctx_.control->force_stop(false);
   }
@@ -272,10 +270,16 @@ void RoundDriver::run_impl() {
 
   RunControl& control = *ctx_.control;
   for (Round k = 1;; ++k) {
-    if (!control.stop_requested() && k > ctx_.options->max_rounds) {
-      control.force_stop(false);
+    if (ctx_.fixed_rounds > 0) {
+      // Multi-process mode: the round count is agreed a priori; the only
+      // stop signal is a local failure abort (no shared-memory armed-stop).
+      if (k > ctx_.fixed_rounds || control.stop_requested()) break;
+    } else {
+      if (!control.stop_requested() && k > ctx_.options->max_rounds) {
+        control.force_stop(false);
+      }
+      if (control.stop_requested() && control.boundary(ctx_.self, k)) break;
     }
-    if (control.stop_requested() && control.boundary(ctx_.self, k)) break;
 
     // Injected (wall-clock-mode) crashes are suppressed once the stop is
     // requested so the drain stays live; scripted crashes always execute,
@@ -285,7 +289,7 @@ void RoundDriver::run_impl() {
         !(ctx_.script == nullptr && control.stop_requested());
     if (crash_now && crash->before_send) {
       log_.crash = CrashRecord{k, ctx_.self, true};
-      if (ctx_.router) ctx_.router->mark_dead(ctx_.self);
+      if (ctx_.supervision) ctx_.supervision->mark_dead(ctx_.self);
       control.report_crash(ctx_.self);
       return;
     }
@@ -309,7 +313,7 @@ void RoundDriver::run_impl() {
 
     if (crash_now) {
       log_.crash = CrashRecord{k, ctx_.self, false};
-      if (ctx_.router) ctx_.router->mark_dead(ctx_.self);
+      if (ctx_.supervision) ctx_.supervision->mark_dead(ctx_.self);
       control.report_crash(ctx_.self);
       return;
     }

@@ -45,8 +45,6 @@
 
 namespace indulgence {
 
-class LiveRouter;
-
 /// Everything one process thread observed, recorded lock-free on that
 /// thread and merged into a RunTrace after all threads join.
 struct ProcessLog {
@@ -133,7 +131,14 @@ struct DriverContext {
   Mailbox* mailbox = nullptr;
   RunControl* control = nullptr;
   const ScriptView* script = nullptr;  ///< null = live mode
-  LiveRouter* router = nullptr;        ///< live mode: mark_dead on crash
+  /// Live mode: the transport's control plane (mark_dead on crash).  Null in
+  /// scripted mode, where the transport needs no supervision.
+  SupervisedTransport* supervision = nullptr;
+  /// > 0: run exactly rounds 1..fixed_rounds and exit — the multi-process
+  /// mode, where no shared-memory RunControl can run the armed-stop
+  /// protocol across address spaces, so every process agrees on the round
+  /// count a priori instead.  0 = armed-stop shutdown (single-process).
+  Round fixed_rounds = 0;
   AlgorithmFactory factory;
   Value proposal = kBottom;
   DonePredicate done;       ///< null = "has decided"

@@ -31,7 +31,7 @@
 
 namespace indulgence {
 
-class LiveRouter final : public Transport {
+class LiveRouter final : public SupervisedTransport {
  public:
   using Clock = std::chrono::steady_clock;
 
@@ -41,25 +41,22 @@ class LiveRouter final : public Transport {
 
   /// Starts the router thread; `epoch` is the run's t=0 for GST and
   /// partition windows.
-  void start(Clock::time_point epoch);
+  void start(Clock::time_point epoch) override;
 
   void dispatch(ProcessId sender, Round round, MessagePtr payload) override;
 
-  /// Crashed processes stop receiving; copies addressed to them are dropped
-  /// silently (the kernel does the same, and the validator never asks for
-  /// deliveries to the dead).
-  void mark_dead(ProcessId pid);
+  void mark_dead(ProcessId pid) override;
 
   /// Shutdown-drain accelerator: release every queued copy immediately and
   /// stop injecting loss, so the final rounds settle fast.
-  void expedite();
+  void expedite() override;
 
   /// Stops the router thread and returns the copies that never reached a
   /// mailbox (they become the trace's pending records).  Idempotent.
-  std::vector<UndeliveredCopy> stop_and_flush();
+  std::vector<UndeliveredCopy> stop_and_flush() override;
 
   /// Copies dropped by loss injection (not by dead-receiver filtering).
-  long dropped_copies() const {
+  long dropped_copies() const override {
     return dropped_.load(std::memory_order_relaxed);
   }
 

@@ -47,6 +47,12 @@ LiveRuntime::LiveRuntime(SystemConfig config, LiveOptions options)
   config_.validate();
 }
 
+void LiveRuntime::use_socket_transport(SocketAddress::Kind kind,
+                                       SocketTransportOptions socket_options) {
+  socket_kind_ = kind;
+  socket_options_ = std::move(socket_options);
+}
+
 RunResult LiveRuntime::run(const AlgorithmFactory& factory,
                            const std::vector<Value>& proposals) {
   return execute(nullptr, Model::ES, factory, proposals);
@@ -80,26 +86,30 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
 
   std::optional<ScriptView> script;
   std::unique_ptr<ScriptTransport> script_transport;
-  std::unique_ptr<LiveRouter> router;
+  std::unique_ptr<SupervisedTransport> supervised;
   Transport* transport = nullptr;
   if (schedule) {
     script.emplace(config_, *schedule);
     script_transport =
         std::make_unique<ScriptTransport>(config_, *schedule, mailboxes);
     transport = script_transport.get();
+  } else if (socket_kind_) {
+    supervised = std::make_unique<SocketHub>(config_, *socket_kind_,
+                                             socket_options_, mailboxes);
+    transport = supervised.get();
   } else {
-    router = std::make_unique<LiveRouter>(config_, options_, mailboxes);
-    transport = router.get();
+    supervised = std::make_unique<LiveRouter>(config_, options_, mailboxes);
+    transport = supervised.get();
   }
 
   RunControl control(config_);
-  if (router) {
-    LiveRouter* raw = router.get();
+  if (supervised) {
+    SupervisedTransport* raw = supervised.get();
     control.on_stop = [raw] { raw->expedite(); };
   }
 
   const auto epoch = std::chrono::steady_clock::now();
-  if (router) router->start(epoch);
+  if (supervised) supervised->start(epoch);
 
   std::vector<std::unique_ptr<RoundDriver>> drivers;
   drivers.reserve(static_cast<std::size_t>(config_.n));
@@ -112,7 +122,7 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
     ctx.mailbox = mailboxes[static_cast<std::size_t>(pid)].get();
     ctx.control = &control;
     ctx.script = script ? &*script : nullptr;
-    ctx.router = router.get();
+    ctx.supervision = supervised.get();
     ctx.factory = factory;
     ctx.proposal = proposals[static_cast<std::size_t>(pid)];
     ctx.done = done_;
@@ -129,7 +139,11 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
   for (std::thread& t : threads) t.join();
 
   std::vector<UndeliveredCopy> undelivered =
-      router ? router->stop_and_flush() : std::vector<UndeliveredCopy>{};
+      supervised ? supervised->stop_and_flush()
+                 : std::vector<UndeliveredCopy>{};
+  if (auto* hub = dynamic_cast<SocketHub*>(supervised.get())) {
+    socket_counters_ = hub->counters();
+  }
   for (ProcessId pid = 0; pid < config_.n; ++pid) {
     for (NetEnvelope& env :
          mailboxes[static_cast<std::size_t>(pid)]->drain()) {
@@ -149,8 +163,8 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
     logs.push_back(std::move(driver->log()));
     algorithms_.push_back(driver->take_algorithm());
   }
-  dropped_ = router ? router->dropped_copies()
-                    : script_transport->dropped_copies();
+  dropped_ = supervised ? supervised->dropped_copies()
+                        : script_transport->dropped_copies();
 
   LiveMergeInput merge;
   merge.config = config_;

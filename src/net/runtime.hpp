@@ -11,9 +11,11 @@
 
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "net/options.hpp"
+#include "net/socket_transport.hpp"
 #include "sim/harness.hpp"
 #include "sim/process.hpp"
 #include "sim/schedule.hpp"
@@ -29,6 +31,17 @@ class LiveRuntime {
 
   /// Benches hang per-round latency probes here.
   void set_observer(RoundObserver observer) { observer_ = std::move(observer); }
+
+  /// Routes live runs over real sockets (a SocketHub — one endpoint per
+  /// process, UDS or TCP loopback) instead of the fault-injecting router.
+  /// The router's latency/loss/partition knobs do not apply; wire chaos in
+  /// `socket_options.chaos` takes their place.  Scripted replays are
+  /// unaffected.
+  void use_socket_transport(SocketAddress::Kind kind,
+                            SocketTransportOptions socket_options = {});
+
+  /// Supervisor counters aggregated over the last socket-transport run.
+  const SocketCounters& socket_counters() const { return socket_counters_; }
 
   /// Live mode: wall-clock GST, router-injected latency / loss / partitions
   /// / crashes, post-hoc minimal conforming GST round in the trace.
@@ -59,6 +72,9 @@ class LiveRuntime {
   RoundObserver observer_;
   AlgorithmInstances algorithms_;
   long dropped_ = 0;
+  std::optional<SocketAddress::Kind> socket_kind_;
+  SocketTransportOptions socket_options_;
+  SocketCounters socket_counters_;
 };
 
 /// One-shot live run with default predicates.

@@ -1,0 +1,834 @@
+#include "net/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace indulgence {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// poll() one fd for `events`, tolerating EINTR.  Returns revents, 0 on
+/// timeout, -1 on error.
+int poll_one(int fd, short events, std::chrono::microseconds timeout) {
+  pollfd p{fd, events, 0};
+  const int ms = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(timeout).count());
+  for (;;) {
+    const int r = ::poll(&p, 1, std::max(ms, 0));
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return r;
+    return p.revents;
+  }
+}
+
+/// Writes the whole buffer, polling for writability up to `timeout` per
+/// stall.  Returns false on error or timeout (connection considered dead).
+bool write_all(int fd, const std::uint8_t* data, std::size_t len,
+               std::chrono::microseconds timeout) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int ev = poll_one(fd, POLLOUT, timeout);
+      if (ev <= 0 || (ev & (POLLERR | POLLHUP))) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+void configure_stream(int fd, SocketAddress::Kind kind) {
+  set_cloexec(fd);
+  set_nonblocking(fd);
+  if (kind == SocketAddress::Kind::Tcp) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+}
+
+bool fill_sockaddr(const SocketAddress& addr, sockaddr_storage& storage,
+                   socklen_t& len) {
+  std::memset(&storage, 0, sizeof(storage));
+  if (addr.kind == SocketAddress::Kind::Unix) {
+    auto* un = reinterpret_cast<sockaddr_un*>(&storage);
+    if (addr.path.size() + 1 > sizeof(un->sun_path)) return false;
+    un->sun_family = AF_UNIX;
+    std::memcpy(un->sun_path, addr.path.c_str(), addr.path.size() + 1);
+    len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                 addr.path.size() + 1);
+  } else {
+    auto* in = reinterpret_cast<sockaddr_in*>(&storage);
+    in->sin_family = AF_INET;
+    in->sin_port = htons(addr.port);
+    in->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    len = sizeof(sockaddr_in);
+  }
+  return true;
+}
+
+int open_listener(SocketAddress& addr) {
+  const int domain =
+      addr.kind == SocketAddress::Kind::Unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket transport: socket(): ") +
+                             std::strerror(errno));
+  }
+  set_cloexec(fd);
+  if (addr.kind == SocketAddress::Kind::Unix) {
+    ::unlink(addr.path.c_str());  // stale socket file from a previous run
+  } else {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  sockaddr_storage storage;
+  socklen_t len = 0;
+  if (!fill_sockaddr(addr, storage, len)) {
+    ::close(fd);
+    throw std::runtime_error("socket transport: listen path too long: " +
+                             addr.path);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&storage), len) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("socket transport: bind/listen " +
+                             addr.to_string() + ": " + what);
+  }
+  if (addr.kind == SocketAddress::Kind::Tcp && addr.port == 0) {
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+    addr.port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace
+
+std::string SocketAddress::to_string() const {
+  return kind == Kind::Unix ? "unix:" + path
+                            : "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+std::chrono::microseconds next_backoff(const BackoffPolicy& policy,
+                                       std::chrono::microseconds prev,
+                                       Rng& rng) {
+  const std::int64_t base = policy.base.count();
+  const std::int64_t cap = policy.cap.count();
+  // Decorrelated jitter: uniform in [base, 3 * prev], clamped to the cap;
+  // from a cold start (prev == 0) the first delay is exactly `base`.
+  const std::int64_t hi = std::max(base, std::min(cap, 3 * prev.count()));
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - base) + 1;
+  const std::int64_t draw =
+      base + static_cast<std::int64_t>(rng.next_below(span));
+  return std::chrono::microseconds{std::min(draw, cap)};
+}
+
+SocketCounters& SocketCounters::operator+=(const SocketCounters& o) {
+  connect_attempts += o.connect_attempts;
+  connect_failures += o.connect_failures;
+  reconnects += o.reconnects;
+  envelopes_sent += o.envelopes_sent;
+  envelopes_resent += o.envelopes_resent;
+  envelopes_delivered += o.envelopes_delivered;
+  duplicates_dropped += o.duplicates_dropped;
+  heartbeats_sent += o.heartbeats_sent;
+  peer_timeouts += o.peer_timeouts;
+  injected_resets += o.injected_resets;
+  injected_stalls += o.injected_stalls;
+  injected_short_writes += o.injected_short_writes;
+  injected_connect_failures += o.injected_connect_failures;
+  injected_accept_closes += o.injected_accept_closes;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// SocketEndpoint internals
+
+/// One queued-but-unacknowledged copy on a link.
+struct HoldItem {
+  std::uint64_t seq = 0;
+  Round send_round = 0;
+  MessagePtr payload;
+  bool ever_sent = false;
+};
+
+/// One outbound peer link, owned by its supervisor thread except where
+/// noted.  `mutex` guards the hold queue and `next_seq`; everything else is
+/// supervisor-thread-only.
+struct SocketEndpoint::Link {
+  Link(ProcessId peer, const SocketTransportOptions& options,
+       std::uint64_t chaos_stream)
+      : peer(peer),
+        schedule(options.backoff, options.seed ^ (0x5eedUL + chaos_stream)),
+        chaos_rng(Rng::for_stream(options.chaos.seed, chaos_stream)) {}
+
+  ProcessId peer;
+  std::thread thread;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<HoldItem> hold;
+  std::uint64_t next_seq = 1;
+
+  // Supervisor-thread-only state.
+  int fd = -1;
+  std::uint64_t acked = 0;        ///< cumulative ack from the peer
+  std::uint64_t sent_up_to = 0;   ///< highest seq written on the current fd
+  bool connected_once = false;
+  ReconnectSchedule schedule;
+  Rng chaos_rng;
+  FrameParser ack_parser;
+  Clock::time_point last_rx{};
+  Clock::time_point last_tx{};
+};
+
+/// One accepted inbound connection and its reader thread.
+struct SocketEndpoint::Inbound {
+  int fd = -1;
+  std::thread thread;
+};
+
+SocketEndpoint::SocketEndpoint(ProcessId self, SystemConfig config,
+                               std::vector<SocketAddress> peers,
+                               SocketTransportOptions options, Mailbox* inbox)
+    : self_(self),
+      config_(config),
+      options_(std::move(options)),
+      inbox_(inbox),
+      listen_address_(peers.at(static_cast<std::size_t>(self))),
+      delivered_seq_(static_cast<std::size_t>(config.n), 0) {
+  auto table =
+      std::make_shared<std::vector<SocketAddress>>(std::move(peers));
+  resolver_ = [table](ProcessId pid) -> std::optional<SocketAddress> {
+    return table->at(static_cast<std::size_t>(pid));
+  };
+  init_listener_and_links();
+}
+
+SocketEndpoint::SocketEndpoint(ProcessId self, SystemConfig config,
+                               SocketAddress listen, AddressResolver resolver,
+                               SocketTransportOptions options, Mailbox* inbox)
+    : self_(self),
+      config_(config),
+      options_(std::move(options)),
+      resolver_(std::move(resolver)),
+      inbox_(inbox),
+      listen_address_(std::move(listen)),
+      delivered_seq_(static_cast<std::size_t>(config.n), 0) {
+  init_listener_and_links();
+}
+
+void SocketEndpoint::init_listener_and_links() {
+  listen_fd_ = open_listener(listen_address_);
+  links_.reserve(static_cast<std::size_t>(config_.n) - 1);
+  for (ProcessId peer = 0; peer < config_.n; ++peer) {
+    if (peer == self_) continue;
+    links_.push_back(std::make_unique<Link>(
+        peer, options_,
+        (static_cast<std::uint64_t>(self_) << 8) |
+            static_cast<std::uint64_t>(peer)));
+  }
+}
+
+SocketEndpoint::~SocketEndpoint() {
+  stop_and_flush();
+  if (listen_address_.kind == SocketAddress::Kind::Unix) {
+    ::unlink(listen_address_.path.c_str());
+  }
+}
+
+bool SocketEndpoint::chaos_active(Clock::time_point now) const {
+  return options_.chaos.any() &&
+         !expedited_.load(std::memory_order_acquire) &&
+         now - epoch_ < options_.chaos.until;
+}
+
+void SocketEndpoint::start(Clock::time_point epoch) {
+  epoch_ = epoch;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  for (auto& link : links_) {
+    Link* raw = link.get();
+    raw->thread = std::thread([this, raw] { supervisor_loop(raw); });
+  }
+}
+
+void SocketEndpoint::dispatch(ProcessId sender, Round round,
+                              MessagePtr payload) {
+  if (sender != self_) {
+    throw std::logic_error("socket endpoint: dispatch for foreign sender p" +
+                           std::to_string(sender));
+  }
+  for (auto& link : links_) {
+    std::unique_lock<std::mutex> lock(link->mutex);
+    link->cv.wait(lock, [&] {
+      return link->hold.size() < options_.hold_queue_capacity ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (link->hold.size() >= options_.hold_queue_capacity) {
+      // Stop raced a full queue; the copy never even entered the fabric.
+      std::lock_guard<std::mutex> overflow_lock(overflow_mutex_);
+      overflow_.push_back(UndeliveredCopy{self_, link->peer, round, 0});
+      continue;
+    }
+    link->hold.push_back(HoldItem{link->next_seq++, round, payload, false});
+    lock.unlock();
+    link->cv.notify_all();
+  }
+}
+
+void SocketEndpoint::mark_dead(ProcessId pid) {
+  if (pid == self_) self_dead_.store(true, std::memory_order_release);
+  // A remote pid's death is deliberately ignored: indulgence means a
+  // suspected peer is retried forever, never dropped.
+}
+
+void SocketEndpoint::expedite() {
+  expedited_.store(true, std::memory_order_release);
+  for (auto& link : links_) link->cv.notify_all();
+}
+
+bool SocketEndpoint::connect_link(Link* link, Clock::time_point now) {
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.connect_attempts;
+  }
+  auto fail = [&](bool injected) {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.connect_failures;
+    if (injected) ++counters_.injected_connect_failures;
+    return false;
+  };
+  if (chaos_active(now) &&
+      link->chaos_rng.next_double() < options_.chaos.connect_fail_prob) {
+    return fail(true);
+  }
+  const std::optional<SocketAddress> addr = resolver_(link->peer);
+  if (!addr) return fail(false);
+
+  const int domain =
+      addr->kind == SocketAddress::Kind::Unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) return fail(false);
+  configure_stream(fd, addr->kind);
+  sockaddr_storage storage;
+  socklen_t len = 0;
+  if (!fill_sockaddr(*addr, storage, len)) {
+    ::close(fd);
+    return fail(false);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), len) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return fail(false);
+    }
+    const int ev = poll_one(fd, POLLOUT, options_.connect_timeout);
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (ev <= 0 || (ev & (POLLERR | POLLHUP)) ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      ::close(fd);
+      return fail(false);
+    }
+  }
+  const std::vector<std::uint8_t> hello = encode_hello(self_);
+  if (!write_all(fd, hello.data(), hello.size(), options_.send_timeout)) {
+    ::close(fd);
+    return fail(false);
+  }
+  link->fd = fd;
+  link->sent_up_to = link->acked;  // redeliver every unacknowledged copy
+  link->ack_parser = FrameParser{};
+  link->last_rx = now;
+  link->last_tx = now;
+  link->schedule.on_success();
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    if (link->connected_once) ++counters_.reconnects;
+  }
+  link->connected_once = true;
+  return true;
+}
+
+void SocketEndpoint::drop_connection(Link* link) {
+  if (link->fd >= 0) {
+    ::close(link->fd);
+    link->fd = -1;
+  }
+}
+
+/// Sends everything queued beyond sent_up_to, chaos applied per frame.
+/// Returns false when the connection broke (caller redials).
+bool SocketEndpoint::flush_link(Link* link, Clock::time_point now) {
+  for (;;) {
+    HoldItem item;
+    {
+      std::lock_guard<std::mutex> lock(link->mutex);
+      auto it = std::find_if(link->hold.begin(), link->hold.end(),
+                             [&](const HoldItem& h) {
+                               return h.seq > link->sent_up_to;
+                             });
+      if (it == link->hold.end()) return true;
+      item = *it;
+      it->ever_sent = true;
+    }
+
+    bool short_write = false;
+    if (chaos_active(now)) {
+      const WireChaosOptions& chaos = options_.chaos;
+      if (link->chaos_rng.next_double() < chaos.reset_prob) {
+        {
+          std::lock_guard<std::mutex> lock(counters_mutex_);
+          ++counters_.injected_resets;
+        }
+        drop_connection(link);
+        return false;
+      }
+      if (link->chaos_rng.next_double() < chaos.stall_prob) {
+        {
+          std::lock_guard<std::mutex> lock(counters_mutex_);
+          ++counters_.injected_stalls;
+        }
+        std::this_thread::sleep_for(chaos.stall);
+      }
+      short_write = link->chaos_rng.next_double() < chaos.short_write_prob;
+    }
+
+    const std::vector<std::uint8_t> frame = encode_envelope_frame(
+        item.seq, NetEnvelope{self_, item.send_round, 0, item.payload});
+    bool ok = true;
+    if (short_write) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.injected_short_writes;
+      }
+      // Dribble the frame byte by byte: the peer's FrameParser must
+      // reassemble it from n reads of 1 byte.
+      for (std::size_t i = 0; ok && i < frame.size(); ++i) {
+        ok = write_all(link->fd, frame.data() + i, 1, options_.send_timeout);
+      }
+    } else {
+      ok = write_all(link->fd, frame.data(), frame.size(),
+                     options_.send_timeout);
+    }
+    if (!ok) {
+      drop_connection(link);
+      return false;
+    }
+    link->last_tx = Clock::now();
+    link->sent_up_to = item.seq;
+    {
+      // `item.ever_sent` is the value *before* this write: true means the
+      // frame had already been transmitted on an earlier connection and
+      // this is a post-reconnect redelivery.
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      if (item.ever_sent) {
+        ++counters_.envelopes_resent;
+      } else {
+        ++counters_.envelopes_sent;
+      }
+    }
+  }
+}
+
+/// Drains acknowledgements from the connection.  Returns false when the
+/// peer closed or errored.
+bool SocketEndpoint::pump_acks(Link* link) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(link->fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      link->ack_parser.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  bool any = false;
+  while (std::optional<Frame> frame = link->ack_parser.next()) {
+    if (frame->type != FrameType::Ack) continue;
+    any = true;
+    if (frame->seq > link->acked) {
+      link->acked = frame->seq;
+      std::lock_guard<std::mutex> lock(link->mutex);
+      while (!link->hold.empty() && link->hold.front().seq <= link->acked) {
+        link->hold.pop_front();
+      }
+    }
+  }
+  if (any) {
+    link->last_rx = Clock::now();
+    link->cv.notify_all();  // wake hold-queue back-pressure waiters
+  }
+  return !link->ack_parser.poisoned();
+}
+
+void SocketEndpoint::supervisor_loop(Link* link) {
+  for (;;) {
+    const Clock::time_point now = Clock::now();
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping) {
+      bool empty;
+      {
+        std::lock_guard<std::mutex> lock(link->mutex);
+        empty = link->hold.empty();
+      }
+      if (empty || now >= halt_deadline_) break;
+    }
+
+    if (link->fd < 0) {
+      const bool expedited = expedited_.load(std::memory_order_acquire);
+      if (expedited || stopping || link->schedule.due(now)) {
+        if (!connect_link(link, now)) {
+          link->schedule.on_failure(now);
+          if (expedited || stopping) {
+            // No backoff while draining; just avoid a busy spin.
+            std::this_thread::sleep_for(std::chrono::microseconds{200});
+          }
+        }
+        continue;
+      }
+      // Sleep until the next allowed attempt, interruptible by expedite().
+      std::unique_lock<std::mutex> lock(link->mutex);
+      link->cv.wait_for(
+          lock, std::min<std::chrono::microseconds>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        link->schedule.current_delay()),
+                    std::chrono::microseconds{5'000}));
+      continue;
+    }
+
+    // Connected: push new frames, pump acks, keep the link warm.
+    if (!flush_link(link, now)) continue;
+    if (!pump_acks(link)) {
+      drop_connection(link);
+      continue;
+    }
+    if (now - link->last_rx > options_.peer_silence) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.peer_timeouts;
+      }
+      drop_connection(link);
+      continue;
+    }
+    if (now - link->last_tx > options_.heartbeat_every) {
+      const std::vector<std::uint8_t> hb = encode_heartbeat();
+      if (!write_all(link->fd, hb.data(), hb.size(), options_.send_timeout)) {
+        drop_connection(link);
+        continue;
+      }
+      link->last_tx = now;
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.heartbeats_sent;
+    }
+
+    std::unique_lock<std::mutex> lock(link->mutex);
+    const bool work_pending = std::any_of(
+        link->hold.begin(), link->hold.end(),
+        [&](const HoldItem& h) { return h.seq > link->sent_up_to; });
+    if (!work_pending && !stopping_.load(std::memory_order_acquire)) {
+      link->cv.wait_for(lock, std::chrono::microseconds{2'000});
+    }
+  }
+  drop_connection(link);
+}
+
+void SocketEndpoint::accept_loop() {
+  Rng accept_rng = Rng::for_stream(
+      options_.chaos.seed, (static_cast<std::uint64_t>(self_) << 8) | 0xffu);
+  while (running_.load(std::memory_order_acquire)) {
+    const int ev = poll_one(listen_fd_, POLLIN, std::chrono::milliseconds{20});
+    if (ev <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    configure_stream(fd, listen_address_.kind);
+    if (chaos_active(Clock::now()) &&
+        accept_rng.next_double() < options_.chaos.accept_close_prob) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.injected_accept_closes;
+      }
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Inbound>();
+    conn->fd = fd;
+    Inbound* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(inbound_mutex_);
+      inbound_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { reader_loop(raw); });
+  }
+}
+
+void SocketEndpoint::reader_loop(Inbound* conn) {
+  FrameParser parser;
+  ProcessId peer = -1;
+  std::uint8_t buf[4096];
+  while (running_.load(std::memory_order_acquire)) {
+    const int ev = poll_one(conn->fd, POLLIN, std::chrono::milliseconds{20});
+    if (ev == 0) continue;
+    if (ev < 0 || (ev & POLLERR)) break;
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    parser.feed(buf, static_cast<std::size_t>(n));
+    bool broken = false;
+    while (std::optional<Frame> frame = parser.next()) {
+      switch (frame->type) {
+        case FrameType::Hello:
+          if (frame->hello_sender >= 0 && frame->hello_sender < config_.n &&
+              frame->hello_sender != self_) {
+            peer = frame->hello_sender;
+          }
+          break;
+        case FrameType::Envelope: {
+          if (peer < 0) break;  // envelope before HELLO: protocol error
+          bool fresh = false;
+          std::uint64_t cumulative = 0;
+          {
+            std::lock_guard<std::mutex> lock(delivered_mutex_);
+            auto& last = delivered_seq_[static_cast<std::size_t>(peer)];
+            if (frame->seq > last) {
+              last = frame->seq;
+              fresh = true;
+            }
+            cumulative = last;
+          }
+          if (fresh) {
+            if (!self_dead_.load(std::memory_order_acquire)) {
+              NetEnvelope env = frame->envelope;
+              env.sender = peer;
+              inbox_->push(std::move(env));
+            }
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            ++counters_.envelopes_delivered;
+          } else {
+            std::lock_guard<std::mutex> lock(counters_mutex_);
+            ++counters_.duplicates_dropped;
+          }
+          // Ack only after the mailbox push: an acked copy is a delivered
+          // copy (or a deliberate drop to a dead process).
+          const std::vector<std::uint8_t> ack = encode_ack(cumulative);
+          if (!write_all(conn->fd, ack.data(), ack.size(),
+                         options_.send_timeout)) {
+            broken = true;
+          }
+          break;
+        }
+        case FrameType::Heartbeat: {
+          std::uint64_t cumulative = 0;
+          if (peer >= 0) {
+            std::lock_guard<std::mutex> lock(delivered_mutex_);
+            cumulative = delivered_seq_[static_cast<std::size_t>(peer)];
+          }
+          const std::vector<std::uint8_t> ack = encode_ack(cumulative);
+          if (!write_all(conn->fd, ack.data(), ack.size(),
+                         options_.send_timeout)) {
+            broken = true;
+          }
+          break;
+        }
+        case FrameType::Ack:
+          break;  // acks only flow on outbound connections
+      }
+      if (broken) break;
+    }
+    if (broken || parser.poisoned()) break;
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void SocketEndpoint::close_all_inbound() {
+  std::lock_guard<std::mutex> lock(inbound_mutex_);
+  for (auto& conn : inbound_) ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+std::vector<UndeliveredCopy> SocketEndpoint::stop_and_flush() {
+  if (flushed_) return {};
+  flushed_ = true;
+
+  if (running_.load(std::memory_order_acquire)) {
+    // Linger: keep supervisors and readers alive so in-flight copies get
+    // acknowledged instead of lingering as pending records.
+    halt_deadline_ = Clock::now() + options_.linger;
+    stopping_.store(true, std::memory_order_release);
+    for (auto& link : links_) link->cv.notify_all();
+    for (auto& link : links_) {
+      if (link->thread.joinable()) link->thread.join();
+    }
+    running_.store(false, std::memory_order_release);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    close_all_inbound();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(inbound_mutex_);
+      for (auto& conn : inbound_) {
+        if (conn->thread.joinable()) conn->thread.join();
+        ::close(conn->fd);
+      }
+      inbound_.clear();
+    }
+  } else {
+    stopping_.store(true, std::memory_order_release);
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  std::vector<UndeliveredCopy> undelivered;
+  {
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    undelivered = std::move(overflow_);
+  }
+  for (auto& link : links_) {
+    std::lock_guard<std::mutex> lock(link->mutex);
+    for (const HoldItem& item : link->hold) {
+      undelivered.push_back(
+          UndeliveredCopy{self_, link->peer, item.send_round, 0});
+    }
+    link->hold.clear();
+  }
+  return undelivered;
+}
+
+SocketCounters SocketEndpoint::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+// ---------------------------------------------------------------------------
+// SocketHub
+
+SocketHub::SocketHub(SystemConfig config, SocketAddress::Kind kind,
+                     SocketTransportOptions options,
+                     std::vector<std::unique_ptr<Mailbox>>& mailboxes) {
+  if (kind == SocketAddress::Kind::Unix) {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "indulgence-hub-XXXXXX")
+                           .string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("socket hub: mkdtemp failed");
+    }
+    dir_ = tmpl;
+  }
+  // All listeners bind in the constructors, so the resolver below can hand
+  // out final addresses (TCP ephemeral ports included) before start().
+  AddressResolver resolve = [this](ProcessId pid)
+      -> std::optional<SocketAddress> {
+    return endpoints_[static_cast<std::size_t>(pid)]->listen_address();
+  };
+  endpoints_.reserve(static_cast<std::size_t>(config.n));
+  for (ProcessId pid = 0; pid < config.n; ++pid) {
+    SocketAddress listen =
+        kind == SocketAddress::Kind::Unix
+            ? SocketAddress::unix_path(dir_ + "/p" + std::to_string(pid) +
+                                       ".sock")
+            : SocketAddress::tcp_loopback(0);
+    SocketTransportOptions per = options;
+    per.seed = options.seed + static_cast<std::uint64_t>(pid) * 1337;
+    endpoints_.push_back(std::make_unique<SocketEndpoint>(
+        pid, config, std::move(listen), resolve, std::move(per),
+        mailboxes[static_cast<std::size_t>(pid)].get()));
+  }
+}
+
+SocketHub::~SocketHub() {
+  stop_and_flush();
+  endpoints_.clear();  // unlink socket files before removing the directory
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+}
+
+void SocketHub::start(Clock::time_point epoch) {
+  for (auto& endpoint : endpoints_) endpoint->start(epoch);
+}
+
+void SocketHub::dispatch(ProcessId sender, Round round, MessagePtr payload) {
+  endpoints_.at(static_cast<std::size_t>(sender))
+      ->dispatch(sender, round, std::move(payload));
+}
+
+void SocketHub::mark_dead(ProcessId pid) {
+  endpoints_.at(static_cast<std::size_t>(pid))->mark_dead(pid);
+}
+
+void SocketHub::expedite() {
+  for (auto& endpoint : endpoints_) endpoint->expedite();
+}
+
+std::vector<UndeliveredCopy> SocketHub::stop_and_flush() {
+  if (flushed_) return {};
+  flushed_ = true;
+  // Stop all endpoints concurrently so their linger windows overlap: every
+  // side keeps acking while every other side drains, instead of endpoint 0
+  // going deaf while endpoint 1 is still flushing to it.
+  std::vector<std::vector<UndeliveredCopy>> parts(endpoints_.size());
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(endpoints_.size());
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    stoppers.emplace_back(
+        [this, i, &parts] { parts[i] = endpoints_[i]->stop_and_flush(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  std::vector<UndeliveredCopy> undelivered;
+  for (auto& part : parts) {
+    undelivered.insert(undelivered.end(), part.begin(), part.end());
+  }
+  return undelivered;
+}
+
+SocketCounters SocketHub::counters() const {
+  SocketCounters total;
+  for (const auto& endpoint : endpoints_) total += endpoint->counters();
+  return total;
+}
+
+}  // namespace indulgence

@@ -1,0 +1,314 @@
+// A supervised socket transport: the live runtime's Transport over real
+// TCP (localhost) or Unix-domain stream sockets.
+//
+// Topology: every process owns a SocketEndpoint — one listening socket
+// plus one outbound *link* per peer.  A link is driven by a supervisor
+// thread owning the connection lifecycle:
+//
+//     DISCONNECTED --connect ok--> CONNECTED --io error/heartbeat
+//          ^    \                      |        timeout/injected reset
+//          |     +--connect fail       |
+//          |            |              v
+//          +--backoff---+------- DISCONNECTED (retry forever)
+//
+// Reconnects use exponential backoff with decorrelated jitter
+// (next_backoff below — a pure function of (policy, previous, rng), so the
+// schedule is unit-testable without sleeping).  Indulgence is the design
+// rule the paper prices: a suspected peer is *never* dropped.  There is no
+// failure state; a dead peer just means the link retries forever while the
+// hold queue keeps every unacknowledged copy, and redelivers all of them —
+// in sequence order — after any reconnect.  Graceful degradation, not loss.
+//
+// Reliable channels over a fallible wire: every envelope carries a
+// per-link sequence number; the receiver acknowledges cumulatively *after*
+// the copy reaches the mailbox, and deduplicates replays by the per-peer
+// last-delivered sequence (which survives reconnects — TCP/UDS FIFO plus
+// in-order full resend makes the delivered set a prefix of the sequence
+// space, so "seq <= last" is exactly "already delivered").  Heartbeats
+// elicit acks on idle links, so a peer whose process is gone is detected
+// by silence (peer_silence) and the link falls back to redialing.
+//
+// The wire-chaos layer fuzzes all of this from inside: seeded injected
+// connection resets, pre-write stalls, byte-at-a-time short writes,
+// connect failures, and accept-then-close, all confined to a wall-clock
+// window (`until`, the chaos analogue of the router's pre-GST era) and
+// switched off by expedite().  The oracle stays the unchanged Validator:
+// whatever the chaos does, the merged trace must still satisfy eventual
+// synchrony from some derived GST round on.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/options.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace indulgence {
+
+/// Where a process listens: a Unix-domain socket path or a TCP port on
+/// 127.0.0.1.  `port` 0 asks the kernel for an ephemeral port; the bound
+/// address is readable via SocketEndpoint::listen_address().
+struct SocketAddress {
+  enum class Kind { Unix, Tcp };
+  Kind kind = Kind::Unix;
+  std::string path;        ///< Unix
+  std::uint16_t port = 0;  ///< Tcp (loopback only)
+
+  static SocketAddress unix_path(std::string p) {
+    return SocketAddress{Kind::Unix, std::move(p), 0};
+  }
+  static SocketAddress tcp_loopback(std::uint16_t port) {
+    return SocketAddress{Kind::Tcp, {}, port};
+  }
+
+  std::string to_string() const;
+};
+
+/// Exponential backoff with decorrelated jitter: the next delay is drawn
+/// uniformly from [base, 3 * prev], clamped to [base, cap].  Decorrelation
+/// (AWS architecture-blog style) avoids the synchronized retry herds plain
+/// exponential backoff produces when n links lose the same peer at once.
+struct BackoffPolicy {
+  std::chrono::microseconds base{500};
+  std::chrono::microseconds cap{50'000};
+};
+
+/// Pure draw — callers own both the rng and the clock, so tests can walk
+/// an entire reconnect schedule synthetically.
+std::chrono::microseconds next_backoff(const BackoffPolicy& policy,
+                                       std::chrono::microseconds prev,
+                                       Rng& rng);
+
+/// The per-link reconnect state machine, clock-agnostic: time flows in
+/// through the `now` arguments only.
+class ReconnectSchedule {
+ public:
+  ReconnectSchedule(BackoffPolicy policy, std::uint64_t seed)
+      : policy_(policy), rng_(Rng::for_stream(seed, 0xb0ff)) {}
+
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  /// True when a connect attempt is allowed at `now`.
+  bool due(TimePoint now) const { return now >= next_attempt_; }
+
+  /// Records a failed attempt at `now`; returns when the next is allowed.
+  TimePoint on_failure(TimePoint now) {
+    ++failures_;
+    delay_ = next_backoff(policy_, delay_, rng_);
+    next_attempt_ = now + delay_;
+    return next_attempt_;
+  }
+
+  /// A successful connect resets the schedule to the base delay.
+  void on_success() {
+    delay_ = std::chrono::microseconds{0};
+    next_attempt_ = TimePoint{};
+  }
+
+  /// Expedited shutdown: retry immediately, forever.
+  void expedite() { next_attempt_ = TimePoint{}; }
+
+  std::chrono::microseconds current_delay() const { return delay_; }
+  long failures() const { return failures_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  std::chrono::microseconds delay_{0};
+  TimePoint next_attempt_{};
+  long failures_ = 0;
+};
+
+/// Seeded wire-level fault injection, active only while the run clock is
+/// before `until` (and never after expedite()) — the chaos analogue of the
+/// router's pre-GST era.  All probabilities are per opportunity.
+struct WireChaosOptions {
+  std::uint64_t seed = 1;
+  std::chrono::microseconds until{0};  ///< chaos window from the run epoch
+  double connect_fail_prob = 0.0;  ///< outbound connect aborted before dial
+  double accept_close_prob = 0.0;  ///< accepted connection closed instantly
+  double reset_prob = 0.0;         ///< connection closed instead of a write
+  double stall_prob = 0.0;         ///< sleep `stall` before a write
+  std::chrono::microseconds stall{1'000};
+  double short_write_prob = 0.0;   ///< dribble a frame byte-at-a-time
+
+  bool any() const {
+    return connect_fail_prob > 0 || accept_close_prob > 0 || reset_prob > 0 ||
+           stall_prob > 0 || short_write_prob > 0;
+  }
+};
+
+struct SocketTransportOptions {
+  std::chrono::microseconds connect_timeout{200'000};
+  std::chrono::microseconds send_timeout{200'000};
+  /// Idle links send a heartbeat this often; silence for `peer_silence`
+  /// (acks included) marks the connection suspect and redials it.
+  std::chrono::microseconds heartbeat_every{25'000};
+  std::chrono::microseconds peer_silence{150'000};
+  /// How long stop_and_flush keeps links alive waiting for final acks, so
+  /// copies that were delivered do not linger as pending records.
+  std::chrono::microseconds linger{250'000};
+  BackoffPolicy backoff;
+  WireChaosOptions chaos;
+  /// Unacknowledged copies held per link; a full queue back-pressures the
+  /// sender (blocks) rather than dropping — ES channels are reliable.
+  std::size_t hold_queue_capacity = 1 << 15;
+  std::uint64_t seed = 1;
+};
+
+/// Supervisor observability, aggregated over links; the X5-socket bench
+/// and the multi-process demo report these.
+struct SocketCounters {
+  long connect_attempts = 0;
+  long connect_failures = 0;   ///< includes injected ones
+  long reconnects = 0;         ///< successful connects after the first
+  long envelopes_sent = 0;
+  long envelopes_resent = 0;   ///< redeliveries after reconnect
+  long envelopes_delivered = 0;
+  long duplicates_dropped = 0;
+  long heartbeats_sent = 0;
+  long peer_timeouts = 0;      ///< connections dropped for silence
+  long injected_resets = 0;
+  long injected_stalls = 0;
+  long injected_short_writes = 0;
+  long injected_connect_failures = 0;
+  long injected_accept_closes = 0;
+
+  SocketCounters& operator+=(const SocketCounters& o);
+};
+
+/// Resolves a peer's address at connect time.  Multi-process TCP runs use
+/// this to read port files that only exist once the peer has bound;
+/// returning nullopt counts as a failed attempt (backoff applies).
+using AddressResolver =
+    std::function<std::optional<SocketAddress>(ProcessId)>;
+
+/// One process' side of the socket fabric: a listener plus n-1 supervised
+/// outbound links.  Implements the full SupervisedTransport control plane
+/// for its own process; dispatch() must be called with sender == self.
+class SocketEndpoint final : public SupervisedTransport {
+ public:
+  /// Binds the listener in the constructor (before any start()), so a set
+  /// of endpoints created first and started later can always reach each
+  /// other without races.  `peers[pid]` is where pid listens; the self
+  /// entry may carry port 0 / an unbound path — the actual bound address
+  /// is listen_address().
+  SocketEndpoint(ProcessId self, SystemConfig config,
+                 std::vector<SocketAddress> peers,
+                 SocketTransportOptions options, Mailbox* inbox);
+
+  /// Resolver flavour for multi-process runs: only the self listen address
+  /// is known up front; peers are resolved per connect attempt.
+  SocketEndpoint(ProcessId self, SystemConfig config, SocketAddress listen,
+                 AddressResolver resolver, SocketTransportOptions options,
+                 Mailbox* inbox);
+
+  ~SocketEndpoint() override;
+
+  /// The address the listener actually bound (TCP port resolved).
+  const SocketAddress& listen_address() const { return listen_address_; }
+
+  // --- SupervisedTransport --------------------------------------------------
+
+  void start(Clock::time_point epoch) override;
+  void dispatch(ProcessId sender, Round round, MessagePtr payload) override;
+  void mark_dead(ProcessId pid) override;
+  void expedite() override;
+  std::vector<UndeliveredCopy> stop_and_flush() override;
+  long dropped_copies() const override { return 0; }  ///< never drops
+
+  SocketCounters counters() const;
+
+ private:
+  struct Link;
+  struct Inbound;
+
+  void init_listener_and_links();
+  void accept_loop();
+  void reader_loop(Inbound* conn);
+  void supervisor_loop(Link* link);
+  bool connect_link(Link* link, Clock::time_point now);
+  bool flush_link(Link* link, Clock::time_point now);
+  bool pump_acks(Link* link);
+  void drop_connection(Link* link);
+  bool chaos_active(Clock::time_point now) const;
+  void close_all_inbound();
+
+  ProcessId self_ = -1;
+  SystemConfig config_{};
+  SocketTransportOptions options_;
+  AddressResolver resolver_;
+  Mailbox* inbox_ = nullptr;
+  SocketAddress listen_address_;
+  int listen_fd_ = -1;
+
+  Clock::time_point epoch_{};
+  /// Written (before the `stopping_` release-store) by stop_and_flush;
+  /// supervisors read it only after an acquire-load of `stopping_`.
+  Clock::time_point halt_deadline_{};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> expedited_{false};
+  std::atomic<bool> self_dead_{false};
+  bool flushed_ = false;
+
+  std::vector<std::unique_ptr<Link>> links_;  ///< one per peer pid != self
+
+  std::thread accept_thread_;
+  std::mutex inbound_mutex_;
+  std::vector<std::unique_ptr<Inbound>> inbound_;
+
+  /// Highest sequence delivered per peer; survives reconnects (dedup).
+  std::mutex delivered_mutex_;
+  std::vector<std::uint64_t> delivered_seq_;
+
+  mutable std::mutex counters_mutex_;
+  SocketCounters counters_;
+
+  /// Copies that could not even be queued because stop arrived while the
+  /// hold queue was full.
+  std::mutex overflow_mutex_;
+  std::vector<UndeliveredCopy> overflow_;
+};
+
+/// In-process fabric for the LiveRuntime, the --socket fuzz campaign, and
+/// the X5-socket bench: n endpoints wired over real sockets inside one
+/// process, presented as a single SupervisedTransport.  Unix-domain
+/// endpoints live under a fresh temp directory (removed on destruction);
+/// TCP endpoints bind ephemeral loopback ports.
+class SocketHub final : public SupervisedTransport {
+ public:
+  SocketHub(SystemConfig config, SocketAddress::Kind kind,
+            SocketTransportOptions options,
+            std::vector<std::unique_ptr<Mailbox>>& mailboxes);
+  ~SocketHub() override;
+
+  void start(Clock::time_point epoch) override;
+  void dispatch(ProcessId sender, Round round, MessagePtr payload) override;
+  void mark_dead(ProcessId pid) override;
+  void expedite() override;
+  std::vector<UndeliveredCopy> stop_and_flush() override;
+  long dropped_copies() const override { return 0; }
+
+  SocketCounters counters() const;
+
+ private:
+  std::string dir_;  ///< UDS socket directory (empty for TCP)
+  std::vector<std::unique_ptr<SocketEndpoint>> endpoints_;
+  bool flushed_ = false;
+};
+
+}  // namespace indulgence

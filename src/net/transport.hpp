@@ -2,11 +2,13 @@
 //
 // A driver broadcasts by handing (sender, round, payload) to a Transport;
 // fated copies come back to each process through its Mailbox as
-// NetEnvelopes.  Two transports exist: the fault-injecting LiveRouter
-// (router.hpp) and the schedule-replaying ScriptTransport (script.hpp).
+// NetEnvelopes.  Three transports exist: the fault-injecting LiveRouter
+// (router.hpp), the schedule-replaying ScriptTransport (script.hpp), and
+// the supervised socket transport (socket_transport.hpp).
 
 #pragma once
 
+#include <chrono>
 #include <vector>
 
 #include "common/types.hpp"
@@ -44,6 +46,38 @@ class Transport {
   /// process (self-delivery is the driver's, mirroring the kernel's
   /// unconditional in-round self-delivery).  Thread-safe.
   virtual void dispatch(ProcessId sender, Round round, MessagePtr payload) = 0;
+};
+
+/// The control plane the round drivers and the runtime need from any
+/// long-lived transport (the fault-injecting router, the socket hub): crash
+/// reporting, shutdown acceleration, and the teardown flush that turns
+/// still-in-flight copies into the trace's pending records.  The scripted
+/// transport is the one Transport that is NOT supervised — its lifetime is
+/// the replay itself.
+class SupervisedTransport : public Transport {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts the transport's own threads; `epoch` is the run's t=0 for every
+  /// time-windowed behaviour (GST, partitions, wire chaos).
+  virtual void start(Clock::time_point epoch) = 0;
+
+  /// Crashed processes stop receiving; copies addressed to them are dropped
+  /// silently (the kernel does the same, and the validator never asks for
+  /// deliveries to the dead).
+  virtual void mark_dead(ProcessId pid) = 0;
+
+  /// Shutdown-drain accelerator: deliver everything still queued as fast as
+  /// possible and stop injecting faults, so the final rounds settle fast.
+  virtual void expedite() = 0;
+
+  /// Stops the transport's threads and returns the copies that never
+  /// reached a mailbox (they become the trace's pending records).
+  /// Idempotent.
+  virtual std::vector<UndeliveredCopy> stop_and_flush() = 0;
+
+  /// Copies dropped by fault injection (not by dead-receiver filtering).
+  virtual long dropped_copies() const = 0;
 };
 
 }  // namespace indulgence

@@ -1,0 +1,374 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "consensus/amr_leader.hpp"
+#include "consensus/chandra_toueg.hpp"
+#include "consensus/consensus.hpp"
+#include "consensus/floodset.hpp"
+#include "consensus/floodset_ws.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/af2.hpp"
+#include "core/at2.hpp"
+#include "rsm/rsm.hpp"
+
+namespace indulgence {
+namespace {
+
+// Wire tags for the closed payload registry.  Append-only: reordering or
+// reusing a tag breaks replay of shipped per-process logs.
+enum class MessageTag : std::uint8_t {
+  Halted = 1,
+  Decide = 2,
+  Filler = 3,
+  FloodEstimate = 4,
+  HrCoord = 5,
+  HrVote = 6,
+  CtEstimate = 7,
+  CtPropose = 8,
+  CtAck = 9,
+  AmrEstimate = 10,
+  AmrVote = 11,
+  WsEstimate = 12,
+  Af2Estimate = 13,
+  At2Estimate = 14,
+  At2NewEstimate = 15,
+  At2Underlying = 16,
+  RsmBundle = 17,
+};
+
+// Nested payloads (At2Underlying wraps one message; RsmBundle maps slots to
+// messages, and a slot can itself run A_{t+2} over an underlying module).
+// Real traffic nests 2-3 deep; the cap only exists to bound what a corrupt
+// frame can make the decoder do.
+constexpr int kMaxNesting = 16;
+
+// The bundle's slot count is length-checked against the remaining bytes
+// before any allocation: each part needs at least a slot id and a tag.
+constexpr std::size_t kMinBundlePartBytes = 5;
+
+MessagePtr decode_message_at_depth(WireReader& in, int depth);
+
+void encode_message_at_depth(const Message& message, WireWriter& out,
+                             int depth) {
+  if (depth > kMaxNesting) {
+    throw std::invalid_argument("wire: message nesting exceeds codec cap");
+  }
+  if (auto* m = dynamic_cast<const HaltedMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::Halted));
+    out.i64(m->decision());
+  } else if (auto* m = dynamic_cast<const DecideMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::Decide));
+    out.i64(m->value());
+  } else if (dynamic_cast<const FillerMessage*>(&message) != nullptr) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::Filler));
+  } else if (auto* m = dynamic_cast<const FloodEstimateMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::FloodEstimate));
+    out.i64(m->est());
+  } else if (auto* m = dynamic_cast<const HrCoordMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::HrCoord));
+    out.i64(m->est());
+  } else if (auto* m = dynamic_cast<const HrVoteMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::HrVote));
+    out.i64(m->aux());
+  } else if (auto* m = dynamic_cast<const CtEstimateMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::CtEstimate));
+    out.i64(m->est());
+    out.i32(m->ts());
+  } else if (auto* m = dynamic_cast<const CtProposeMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::CtPropose));
+    out.i64(m->value());
+  } else if (auto* m = dynamic_cast<const CtAckMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::CtAck));
+    out.u8(m->positive() ? 1 : 0);
+  } else if (auto* m = dynamic_cast<const AmrEstimateMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::AmrEstimate));
+    out.i64(m->est());
+  } else if (auto* m = dynamic_cast<const AmrVoteMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::AmrVote));
+    out.i64(m->est());
+  } else if (auto* m = dynamic_cast<const WsEstimateMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::WsEstimate));
+    out.i64(m->est());
+    out.u64(m->halt().mask());
+  } else if (auto* m = dynamic_cast<const Af2EstimateMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::Af2Estimate));
+    out.i64(m->est());
+  } else if (auto* m = dynamic_cast<const At2EstimateMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::At2Estimate));
+    out.i64(m->est());
+    out.u64(m->halt().mask());
+  } else if (auto* m = dynamic_cast<const At2NewEstimateMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::At2NewEstimate));
+    out.i64(m->new_estimate());
+  } else if (auto* m = dynamic_cast<const At2UnderlyingMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::At2Underlying));
+    encode_message_at_depth(*m->inner(), out, depth + 1);
+  } else if (auto* m = dynamic_cast<const RsmBundleMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::RsmBundle));
+    out.u32(static_cast<std::uint32_t>(m->parts().size()));
+    for (const auto& [slot, part] : m->parts()) {
+      out.i32(slot);
+      encode_message_at_depth(*part, out, depth + 1);
+    }
+  } else {
+    throw std::invalid_argument("wire: unregistered message type: " +
+                                message.describe());
+  }
+}
+
+MessagePtr decode_message_at_depth(WireReader& in, int depth) {
+  if (depth > kMaxNesting) return nullptr;
+  auto tag = in.u8();
+  if (!tag) return nullptr;
+  switch (static_cast<MessageTag>(*tag)) {
+    case MessageTag::Halted: {
+      auto v = in.i64();
+      return v ? std::make_shared<HaltedMessage>(*v) : nullptr;
+    }
+    case MessageTag::Decide: {
+      auto v = in.i64();
+      return v ? std::make_shared<DecideMessage>(*v) : nullptr;
+    }
+    case MessageTag::Filler:
+      return std::make_shared<FillerMessage>();
+    case MessageTag::FloodEstimate: {
+      auto v = in.i64();
+      return v ? std::make_shared<FloodEstimateMessage>(*v) : nullptr;
+    }
+    case MessageTag::HrCoord: {
+      auto v = in.i64();
+      return v ? std::make_shared<HrCoordMessage>(*v) : nullptr;
+    }
+    case MessageTag::HrVote: {
+      auto v = in.i64();
+      return v ? std::make_shared<HrVoteMessage>(*v) : nullptr;
+    }
+    case MessageTag::CtEstimate: {
+      auto est = in.i64();
+      auto ts = in.i32();
+      if (!est || !ts) return nullptr;
+      return std::make_shared<CtEstimateMessage>(*est, *ts);
+    }
+    case MessageTag::CtPropose: {
+      auto v = in.i64();
+      return v ? std::make_shared<CtProposeMessage>(*v) : nullptr;
+    }
+    case MessageTag::CtAck: {
+      auto b = in.u8();
+      if (!b || *b > 1) return nullptr;
+      return std::make_shared<CtAckMessage>(*b == 1);
+    }
+    case MessageTag::AmrEstimate: {
+      auto v = in.i64();
+      return v ? std::make_shared<AmrEstimateMessage>(*v) : nullptr;
+    }
+    case MessageTag::AmrVote: {
+      auto v = in.i64();
+      return v ? std::make_shared<AmrVoteMessage>(*v) : nullptr;
+    }
+    case MessageTag::WsEstimate: {
+      auto est = in.i64();
+      auto mask = in.u64();
+      if (!est || !mask) return nullptr;
+      return std::make_shared<WsEstimateMessage>(*est,
+                                                 ProcessSet::from_mask(*mask));
+    }
+    case MessageTag::Af2Estimate: {
+      auto v = in.i64();
+      return v ? std::make_shared<Af2EstimateMessage>(*v) : nullptr;
+    }
+    case MessageTag::At2Estimate: {
+      auto est = in.i64();
+      auto mask = in.u64();
+      if (!est || !mask) return nullptr;
+      return std::make_shared<At2EstimateMessage>(*est,
+                                                  ProcessSet::from_mask(*mask));
+    }
+    case MessageTag::At2NewEstimate: {
+      auto v = in.i64();
+      return v ? std::make_shared<At2NewEstimateMessage>(*v) : nullptr;
+    }
+    case MessageTag::At2Underlying: {
+      MessagePtr inner = decode_message_at_depth(in, depth + 1);
+      if (inner == nullptr) return nullptr;
+      return std::make_shared<At2UnderlyingMessage>(std::move(inner));
+    }
+    case MessageTag::RsmBundle: {
+      auto count = in.u32();
+      if (!count) return nullptr;
+      if (*count > in.remaining() / kMinBundlePartBytes) return nullptr;
+      std::map<int, MessagePtr> parts;
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto slot = in.i32();
+        if (!slot) return nullptr;
+        MessagePtr part = decode_message_at_depth(in, depth + 1);
+        if (part == nullptr) return nullptr;
+        parts.emplace(*slot, std::move(part));
+      }
+      return std::make_shared<RsmBundleMessage>(std::move(parts));
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> finish_frame(FrameType type, WireWriter&& body) {
+  std::vector<std::uint8_t> payload = body.take();
+  WireWriter framed;
+  framed.u32(static_cast<std::uint32_t>(payload.size()));
+  framed.u8(static_cast<std::uint8_t>(type));
+  std::vector<std::uint8_t> bytes = framed.take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+}  // namespace
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+}
+
+std::optional<std::uint8_t> WireReader::u8() {
+  if (remaining() < 1) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint32_t> WireReader::u32() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> WireReader::u64() {
+  if (remaining() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::int32_t> WireReader::i32() {
+  auto v = u32();
+  if (!v) return std::nullopt;
+  return static_cast<std::int32_t>(*v);
+}
+
+std::optional<std::int64_t> WireReader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+void encode_message(const Message& message, WireWriter& out) {
+  encode_message_at_depth(message, out, 0);
+}
+
+MessagePtr decode_message(WireReader& in) {
+  return decode_message_at_depth(in, 0);
+}
+
+std::vector<std::uint8_t> encode_hello(ProcessId sender) {
+  WireWriter body;
+  body.i32(sender);
+  return finish_frame(FrameType::Hello, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_envelope_frame(std::uint64_t seq,
+                                                const NetEnvelope& envelope) {
+  WireWriter body;
+  body.u64(seq);
+  body.i32(envelope.send_round);
+  body.i32(envelope.target_round);
+  encode_message(*envelope.payload, body);
+  return finish_frame(FrameType::Envelope, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_ack(std::uint64_t cumulative_seq) {
+  WireWriter body;
+  body.u64(cumulative_seq);
+  return finish_frame(FrameType::Ack, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_heartbeat() {
+  return finish_frame(FrameType::Heartbeat, WireWriter{});
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t size) {
+  if (poisoned_) return;
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameParser::next() {
+  while (!poisoned_) {
+    if (buffer_.size() < 5) return std::nullopt;
+    std::uint32_t body_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      body_len |= std::uint32_t{buffer_[i]} << (8 * i);
+    }
+    if (body_len > max_frame_bytes_) {
+      poisoned_ = true;
+      return std::nullopt;
+    }
+    if (buffer_.size() < 5 + std::size_t{body_len}) return std::nullopt;
+
+    const std::uint8_t raw_type = buffer_[4];
+    WireReader body(buffer_.data() + 5, body_len);
+    std::optional<Frame> frame;
+    switch (static_cast<FrameType>(raw_type)) {
+      case FrameType::Hello: {
+        auto sender = body.i32();
+        if (sender && body.done()) {
+          frame = Frame{FrameType::Hello, *sender, 0, {}};
+        }
+        break;
+      }
+      case FrameType::Envelope: {
+        auto seq = body.u64();
+        auto send_round = body.i32();
+        auto target_round = body.i32();
+        if (seq && send_round && target_round) {
+          MessagePtr payload = decode_message(body);
+          if (payload != nullptr && body.done()) {
+            Frame f;
+            f.type = FrameType::Envelope;
+            f.seq = *seq;
+            f.envelope.send_round = *send_round;
+            f.envelope.target_round = *target_round;
+            f.envelope.payload = std::move(payload);
+            frame = std::move(f);
+          }
+        }
+        break;
+      }
+      case FrameType::Ack: {
+        auto seq = body.u64();
+        if (seq && body.done()) {
+          frame = Frame{FrameType::Ack, -1, *seq, {}};
+        }
+        break;
+      }
+      case FrameType::Heartbeat: {
+        if (body.done()) frame = Frame{FrameType::Heartbeat, -1, 0, {}};
+        break;
+      }
+      default:
+        break;
+    }
+
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + 5 + static_cast<std::ptrdiff_t>(body_len));
+    if (frame) return frame;
+    // Malformed body: skip the frame and keep parsing (the peer's
+    // supervisor will redeliver anything that mattered).
+  }
+  return std::nullopt;
+}
+
+}  // namespace indulgence

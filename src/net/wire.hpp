@@ -1,0 +1,133 @@
+// The socket transport's wire format: length-prefixed frames carrying a
+// type-tagged binary encoding of every Message payload in the repository.
+//
+// A frame is `u32 body-length | u8 frame-type | body`, little-endian, so a
+// stream reader can recover frame boundaries across short reads and detect
+// truncation (a reset mid-frame leaves a partial frame that never completes;
+// the reader discards it and the supervisor's redelivery makes it whole
+// again).  Four frame types exist:
+//
+//   HELLO      i32 sender             first frame of every outbound link
+//   ENVELOPE   u64 seq | i32 send_round | i32 target_round | message
+//   ACK        u64 cumulative_seq     receiver -> sender, same connection
+//   HEARTBEAT  (empty)                idle keep-alive; elicits an ACK
+//
+// Message payloads are encoded through a closed registry of type tags — one
+// per concrete Message subclass (`describe()` is for humans; the codec is
+// the machine form).  Nested payloads (A_{t+2}'s underlying wrapper, the
+// RSM bundle) recurse with a depth cap, so a corrupt or hostile frame can
+// neither recurse unboundedly nor allocate unboundedly: every decoder
+// checks remaining bytes before it trusts a count.
+//
+// Decoding never throws on malformed input from the wire; it returns
+// nullopt and the connection is treated as broken (the supervisor redials
+// and redelivers).  Encoding unknown message types DOES throw — that is a
+// programming error, caught by tests, not a network condition.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/message.hpp"
+
+namespace indulgence {
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,
+  Envelope = 2,
+  Ack = 3,
+  Heartbeat = 4,
+};
+
+/// Little-endian append-only byte buffer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian cursor; every read reports failure instead
+/// of walking off the buffer.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int32_t> i32();
+  std::optional<std::int64_t> i64();
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Appends the registry encoding of `message` to `out`.  Throws
+/// std::invalid_argument for a Message subclass missing from the registry.
+void encode_message(const Message& message, WireWriter& out);
+
+/// Decodes one message; nullopt on any malformed input (unknown tag,
+/// truncation, nesting deeper than the codec's cap).
+MessagePtr decode_message(WireReader& in);
+
+/// One decoded frame, as read off a connection.
+struct Frame {
+  FrameType type = FrameType::Heartbeat;
+  ProcessId hello_sender = -1;        ///< Hello
+  std::uint64_t seq = 0;              ///< Envelope / Ack (cumulative)
+  NetEnvelope envelope;               ///< Envelope (sender filled by caller)
+};
+
+std::vector<std::uint8_t> encode_hello(ProcessId sender);
+std::vector<std::uint8_t> encode_envelope_frame(std::uint64_t seq,
+                                                const NetEnvelope& envelope);
+std::vector<std::uint8_t> encode_ack(std::uint64_t cumulative_seq);
+std::vector<std::uint8_t> encode_heartbeat();
+
+/// Incremental frame parser: feed bytes as they arrive (short reads
+/// welcome), pop complete frames.  A frame whose declared body exceeds
+/// `max_frame_bytes` poisons the stream (next() returns nullopt forever);
+/// the connection should be dropped.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_frame_bytes = 1 << 20)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// The next complete, well-formed frame; nullopt when more bytes are
+  /// needed or the stream is poisoned.
+  std::optional<Frame> next();
+
+  bool poisoned() const { return poisoned_; }
+
+  /// Bytes of an incomplete trailing frame (diagnostics / tests).
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace indulgence

@@ -84,11 +84,28 @@ TEST(FuzzCli, ValidatesSystemShapeAndModeCombinations) {
   EXPECT_FALSE(parse({"--n", "0"}).has_value());
   EXPECT_FALSE(parse({"--n", "3", "--t", "3"}).has_value());
   EXPECT_FALSE(parse({"--budget", "-1"}).has_value());
-  // --samples and --wall are live-mode flags.
+  // --samples is a live-mode flag.
   EXPECT_FALSE(parse({"--samples", "dir"}).has_value());
-  EXPECT_FALSE(parse({"--wall", "1"}).has_value());
   EXPECT_TRUE(parse({"--live", "--samples", "dir"}).has_value());
   EXPECT_TRUE(parse({"--live", "--wall", "1"}).has_value());
+}
+
+TEST(FuzzCli, WallIsAllowedInLockstepMode) {
+  // --wall used to require --live; the lockstep sweep honors it too now.
+  const auto opts = parse({"--wall", "2.5"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_FALSE(opts->live);
+  EXPECT_DOUBLE_EQ(opts->wall_secs, 2.5);
+}
+
+TEST(FuzzCli, SocketImpliesLiveMode) {
+  const auto opts = parse({"--socket"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_TRUE(opts->socket);
+  EXPECT_TRUE(opts->live);
+  EXPECT_FALSE(opts->budget_set);  // driver defaults the budget lower
+  // And it composes with the other live-mode flags.
+  EXPECT_TRUE(parse({"--socket", "--wall", "1", "--algo", "hr"}).has_value());
 }
 
 TEST(FuzzCli, ParseNumberIsStrict) {

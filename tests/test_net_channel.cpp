@@ -55,6 +55,46 @@ TEST(NetChannel, PopForTimesOutWhenEmpty) {
   EXPECT_GE(std::chrono::steady_clock::now() - start, 4ms);
 }
 
+TEST(NetChannel, ZeroTimeoutPopForIsANonBlockingPoll) {
+  Channel<int> ch(2);
+  // Empty + zero timeout: returns immediately, far below any scheduler
+  // quantum (the fast path must skip the condvar entirely).
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.pop_for(0us).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 100ms);
+  // Non-empty: still pops, exactly like try_pop.
+  EXPECT_TRUE(ch.push(9));
+  EXPECT_EQ(ch.pop_for(0us).value_or(-1), 9);
+  // Negative timeouts must behave as zero, not as garbage wait_for input.
+  EXPECT_FALSE(ch.pop_for(-5ms).has_value());
+}
+
+TEST(NetChannel, CloseUnblocksAWaitingConsumer) {
+  Channel<int> ch(2);
+  std::atomic<bool> woke_empty{false};
+  std::thread consumer([&] {
+    // Blocked on empty with a generous timeout; close must wake it long
+    // before the timeout and hand back nullopt (closed and drained).
+    woke_empty.store(!ch.pop_for(10s).has_value());
+  });
+  std::this_thread::sleep_for(10ms);
+  ch.close();
+  consumer.join();
+  EXPECT_TRUE(woke_empty.load());
+}
+
+TEST(NetChannel, PushAfterCloseNeverQueues) {
+  Channel<int> ch(4);
+  ch.close();
+  EXPECT_FALSE(ch.push(1));
+  EXPECT_FALSE(ch.push(2));
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_TRUE(ch.drain().empty());
+  // Close is idempotent.
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+}
+
 TEST(NetChannel, CloseKeepsPendingItemsPoppableAndRefusesPushes) {
   Channel<int> ch(4);
   EXPECT_TRUE(ch.push(7));

@@ -1,0 +1,228 @@
+// The socket transport's wire codec: every registered Message type must
+// round-trip bit-exactly, malformed bytes must decode to nullopt (never
+// throw, never over-read), and the incremental FrameParser must reassemble
+// frames across arbitrary read boundaries — that is exactly what the chaos
+// layer's short writes stress in anger.
+
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "consensus/amr_leader.hpp"
+#include "consensus/chandra_toueg.hpp"
+#include "consensus/consensus.hpp"
+#include "consensus/floodset.hpp"
+#include "consensus/floodset_ws.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/af2.hpp"
+#include "core/at2.hpp"
+#include "rsm/rsm.hpp"
+#include "sim/message.hpp"
+
+namespace indulgence {
+namespace {
+
+MessagePtr roundtrip(const Message& message) {
+  WireWriter w;
+  encode_message(message, w);
+  WireReader r(w.bytes().data(), w.bytes().size());
+  MessagePtr decoded = decode_message(r);
+  EXPECT_NE(decoded, nullptr) << message.describe();
+  EXPECT_TRUE(r.done()) << message.describe();
+  return decoded;
+}
+
+/// Round-trips and compares via describe(), which every Message implements
+/// over its full state.
+void expect_roundtrip(const Message& message) {
+  MessagePtr decoded = roundtrip(message);
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->describe(), message.describe());
+}
+
+TEST(WireCodec, EveryRegisteredMessageTypeRoundTrips) {
+  expect_roundtrip(HaltedMessage(42));
+  expect_roundtrip(DecideMessage(-7));
+  expect_roundtrip(FillerMessage());
+  expect_roundtrip(FloodEstimateMessage(3));
+  expect_roundtrip(HrCoordMessage(11));
+  expect_roundtrip(HrVoteMessage(5));
+  expect_roundtrip(CtEstimateMessage(9, 4));
+  expect_roundtrip(CtProposeMessage(13));
+  expect_roundtrip(CtAckMessage(true));
+  expect_roundtrip(CtAckMessage(false));
+  expect_roundtrip(AmrEstimateMessage(21));
+  expect_roundtrip(AmrVoteMessage(-1));
+  expect_roundtrip(WsEstimateMessage(8, ProcessSet::from_mask(0b1011)));
+  expect_roundtrip(Af2EstimateMessage(kBottom));
+  expect_roundtrip(At2EstimateMessage(17, ProcessSet::from_mask(0b110)));
+  expect_roundtrip(At2NewEstimateMessage(kBottom));
+  expect_roundtrip(
+      At2UnderlyingMessage(std::make_shared<HrCoordMessage>(99)));
+  std::map<int, MessagePtr> parts;
+  parts.emplace(0, std::make_shared<CtProposeMessage>(1));
+  parts.emplace(3, std::make_shared<At2UnderlyingMessage>(
+                       std::make_shared<FloodEstimateMessage>(2)));
+  expect_roundtrip(RsmBundleMessage(std::move(parts)));
+}
+
+TEST(WireCodec, ExtremeValuesSurvive) {
+  expect_roundtrip(HaltedMessage(std::numeric_limits<Value>::max()));
+  expect_roundtrip(FloodEstimateMessage(std::numeric_limits<Value>::min()));
+  expect_roundtrip(WsEstimateMessage(0, ProcessSet::from_mask(~0ull)));
+}
+
+TEST(WireCodec, UnknownTagDecodesToNull) {
+  const std::uint8_t bytes[] = {0xee, 0, 0, 0, 0, 0, 0, 0, 0};
+  WireReader r(bytes, sizeof(bytes));
+  EXPECT_EQ(decode_message(r), nullptr);
+}
+
+TEST(WireCodec, TruncatedPayloadDecodesToNull) {
+  WireWriter w;
+  encode_message(CtEstimateMessage(5, 2), w);
+  for (std::size_t cut = 0; cut < w.bytes().size(); ++cut) {
+    WireReader r(w.bytes().data(), cut);
+    EXPECT_EQ(decode_message(r), nullptr) << "prefix length " << cut;
+  }
+}
+
+TEST(WireCodec, CtAckRejectsNonBooleanByte) {
+  const std::uint8_t bytes[] = {9 /* CtAck */, 2 /* neither 0 nor 1 */};
+  WireReader r(bytes, sizeof(bytes));
+  EXPECT_EQ(decode_message(r), nullptr);
+}
+
+TEST(WireCodec, NestingBeyondCapDecodesToNull) {
+  // 20 levels of At2Underlying tag with nothing inside: the depth cap (16)
+  // must refuse before the truncation does anything exciting.
+  std::vector<std::uint8_t> bytes(20, 16 /* At2Underlying */);
+  WireReader r(bytes.data(), bytes.size());
+  EXPECT_EQ(decode_message(r), nullptr);
+}
+
+TEST(WireCodec, BundleCountIsLengthCheckedBeforeAllocation) {
+  WireWriter w;
+  w.u8(17);               // RsmBundle
+  w.u32(0x00ffffff);      // absurd part count, almost no bytes follow
+  w.i32(1);
+  WireReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_EQ(decode_message(r), nullptr);
+}
+
+TEST(WireCodec, EncodingAnUnregisteredTypeThrows) {
+  class BogusMessage final : public Message {
+   public:
+    std::string describe() const override { return "bogus"; }
+  };
+  WireWriter w;
+  EXPECT_THROW(encode_message(BogusMessage{}, w), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FrameParser
+// ---------------------------------------------------------------------------
+
+TEST(FrameParser, ControlFramesRoundTrip) {
+  FrameParser parser;
+  const std::vector<std::uint8_t> hello = encode_hello(3);
+  const std::vector<std::uint8_t> ack = encode_ack(77);
+  const std::vector<std::uint8_t> hb = encode_heartbeat();
+  parser.feed(hello.data(), hello.size());
+  parser.feed(ack.data(), ack.size());
+  parser.feed(hb.data(), hb.size());
+
+  auto f1 = parser.next();
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, FrameType::Hello);
+  EXPECT_EQ(f1->hello_sender, 3);
+
+  auto f2 = parser.next();
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, FrameType::Ack);
+  EXPECT_EQ(f2->seq, 77u);
+
+  auto f3 = parser.next();
+  ASSERT_TRUE(f3.has_value());
+  EXPECT_EQ(f3->type, FrameType::Heartbeat);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(FrameParser, EnvelopeSurvivesByteAtATimeFeeding) {
+  NetEnvelope env;
+  env.sender = 1;
+  env.send_round = 6;
+  env.target_round = 0;
+  env.payload = std::make_shared<At2EstimateMessage>(
+      5, ProcessSet::from_mask(0b1101));
+  const std::vector<std::uint8_t> frame = encode_envelope_frame(42, env);
+
+  FrameParser parser;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    parser.feed(&frame[i], 1);
+    if (i + 1 < frame.size()) {
+      EXPECT_FALSE(parser.next().has_value()) << "byte " << i;
+    }
+  }
+  auto decoded = parser.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::Envelope);
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->envelope.send_round, 6);
+  EXPECT_EQ(decoded->envelope.payload->describe(), env.payload->describe());
+}
+
+TEST(FrameParser, MalformedBodyIsSkippedAndParsingContinues) {
+  // An envelope frame whose body is garbage, followed by a valid ack: the
+  // parser must drop the bad frame and still produce the ack.
+  WireWriter bad;
+  bad.u32(3);  // body length
+  bad.u8(static_cast<std::uint8_t>(FrameType::Envelope));
+  bad.u8(0xde);
+  bad.u8(0xad);
+  bad.u8(0x99);
+  const std::vector<std::uint8_t> ack = encode_ack(5);
+
+  FrameParser parser;
+  parser.feed(bad.bytes().data(), bad.bytes().size());
+  parser.feed(ack.data(), ack.size());
+  auto frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::Ack);
+  EXPECT_EQ(frame->seq, 5u);
+}
+
+TEST(FrameParser, OversizeFramePoisonsTheStream) {
+  FrameParser parser(64);
+  WireWriter w;
+  w.u32(65);  // one past the cap
+  w.u8(static_cast<std::uint8_t>(FrameType::Heartbeat));
+  parser.feed(w.bytes().data(), w.bytes().size());
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.poisoned());
+  // Feeding more does not resurrect it.
+  const std::vector<std::uint8_t> hb = encode_heartbeat();
+  parser.feed(hb.data(), hb.size());
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(FrameParser, TrailingGarbageInBodyIsRejected) {
+  // A hello body with 4 extra bytes: decoders require body.done().
+  WireWriter w;
+  w.u32(8);
+  w.u8(static_cast<std::uint8_t>(FrameType::Hello));
+  w.i32(2);
+  w.i32(0xbeef);
+  FrameParser parser;
+  parser.feed(w.bytes().data(), w.bytes().size());
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_FALSE(parser.poisoned());
+}
+
+}  // namespace
+}  // namespace indulgence

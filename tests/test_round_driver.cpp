@@ -1,0 +1,137 @@
+// The round driver's stop/crash race: when the committed stop round
+// coincides with a wall-clock-mode before_send crash injection, the crash
+// must be SUPPRESSED — the armed peers already committed to completing that
+// round, and a crash now would leave them draining for copies that never
+// come.  Scripted crashes are the opposite: every peer's expected envelope
+// counts already account for them, so they execute even after a stop.
+//
+// These tests drive one RoundDriver directly against a hand-arranged
+// RunControl (peers armed or crashed by fiat), which pins the exact
+// interleaving the live runtime can only produce probabilistically.
+
+#include "net/round_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "fuzz/targets.hpp"
+#include "net/script.hpp"
+#include "net/transport.hpp"
+
+namespace indulgence {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Broadcast sink: the peers in these tests are fictions of the RunControl,
+/// so copies go nowhere (the driver's inline self-delivery still happens).
+class NullTransport final : public Transport {
+ public:
+  void dispatch(ProcessId, Round, MessagePtr) override { ++dispatches_; }
+  int dispatches() const { return dispatches_; }
+
+ private:
+  int dispatches_ = 0;
+};
+
+struct DriverRig {
+  SystemConfig config{.n = 3, .t = 1};
+  LiveOptions options;
+  NullTransport transport;
+  Mailbox mailbox{64};
+  RunControl control{config};
+
+  DriverRig() {
+    options.max_rounds = 4;
+    options.quorum_grace = std::chrono::microseconds{1'000};
+    options.drain_wait = std::chrono::microseconds{1'000};
+  }
+
+  DriverContext context() {
+    DriverContext ctx;
+    ctx.self = 0;
+    ctx.config = config;
+    ctx.options = &options;
+    ctx.transport = &transport;
+    ctx.mailbox = &mailbox;
+    ctx.control = &control;
+    ctx.factory = find_fuzz_target("hr")->factory;
+    ctx.proposal = 7;
+    // Never report done: these tests arrange every stop by hand.
+    ctx.done = [](const RoundAlgorithm&) { return false; };
+    ctx.epoch = std::chrono::steady_clock::now();
+    return ctx;
+  }
+};
+
+TEST(RoundDriver, LiveCrashExecutesWhenNoStopIsRequested) {
+  DriverRig rig;
+  // Both peers are gone; rounds close instantly on the self copy.
+  rig.control.report_crash(1);
+  rig.control.report_crash(2);
+  rig.options.crashes.push_back(CrashInjection{0, 2, true});
+
+  RoundDriver driver(rig.context());
+  driver.run();
+  ASSERT_EQ(driver.error(), nullptr);
+  ASSERT_TRUE(driver.log().crash.has_value());
+  EXPECT_EQ(driver.log().crash->round, 2);
+  EXPECT_TRUE(driver.log().crash->before_send);
+  // before_send: round 2's message was never sent, round 1 completed.
+  EXPECT_EQ(driver.log().completed, 1);
+  EXPECT_EQ(driver.log().sends.size(), 1u);
+}
+
+TEST(RoundDriver, BeforeSendCrashOnTheCommittedStopRoundIsSuppressed) {
+  DriverRig rig;
+  // The race, by fiat: peer 1 armed at its round-1 boundary — committing
+  // stop round 1, so every live process must still complete round 1 — then
+  // peer 2 crashed, then the stop landed.  p0's injected crash falls on
+  // exactly that committed round.
+  EXPECT_FALSE(rig.control.boundary(1, 1));
+  rig.control.report_crash(2);
+  rig.control.force_stop(true);
+  rig.options.crashes.push_back(CrashInjection{0, 1, true});
+
+  RoundDriver driver(rig.context());
+  driver.run();
+  ASSERT_EQ(driver.error(), nullptr);
+  // Suppressed: p0 sent and completed the committed round instead of
+  // crashing out of it (which would strand armed peer 1 in its drain).
+  EXPECT_FALSE(driver.log().crash.has_value());
+  EXPECT_EQ(driver.log().completed, 1);
+  EXPECT_EQ(driver.log().sends.size(), 1u);
+  EXPECT_EQ(rig.transport.dispatches(), 1);
+}
+
+TEST(RoundDriver, ScriptedCrashExecutesEvenAfterTheStop) {
+  DriverRig rig;
+  // Same arranged stop as above, but the crash comes from a schedule: the
+  // peers' expected envelope counts already exclude p0's round-1 copies, so
+  // suppressing the crash would DESYNC the replay, not rescue it.
+  EXPECT_FALSE(rig.control.boundary(1, 1));
+  rig.control.report_crash(2);
+  rig.control.force_stop(true);
+
+  RunSchedule schedule(rig.config);
+  schedule.plan(1).add_crash(CrashEvent{0, true});
+  ScriptView view(rig.config, schedule);
+
+  DriverContext ctx = rig.context();
+  ctx.script = &view;
+  RoundDriver driver(std::move(ctx));
+  driver.run();
+  ASSERT_EQ(driver.error(), nullptr);
+  ASSERT_TRUE(driver.log().crash.has_value());
+  EXPECT_EQ(driver.log().crash->round, 1);
+  EXPECT_TRUE(driver.log().crash->before_send);
+  EXPECT_EQ(driver.log().completed, 0);
+  EXPECT_TRUE(driver.log().sends.empty());
+  EXPECT_EQ(rig.transport.dispatches(), 0);
+}
+
+}  // namespace
+}  // namespace indulgence
