@@ -9,9 +9,15 @@
 
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -51,6 +57,143 @@ inline std::string check_mark(bool ok) { return ok ? "yes" : "NO"; }
 /// all cores), default chunking, fixed seed so sampled sweeps are
 /// reproducible.
 inline CampaignOptions bench_campaign() { return default_campaign(); }
+
+/// Minimal streaming JSON emitter for the persisted BENCH_*.json
+/// artifacts (no third-party JSON dependency in the image).  Usage:
+///
+///   JsonWriter json("BENCH_x6_sharded.json");
+///   json.begin_object();
+///   json.key("bench").value("x6_sharded_rsm");
+///   json.key("sweep").begin_array();
+///   ...
+///   json.end_array();
+///   json.end_object();   // closes and flushes; throws on short write
+///
+/// Commas and indentation are handled by the writer; keys are emitted in
+/// call order so the artifact is diffable run to run (timing fields
+/// aside).
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path) : out_(path, std::ios::trunc) {
+    if (!out_) throw std::runtime_error("bench: cannot open " + path);
+    path_ = path;
+  }
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const std::string& name) {
+    separate();
+    quoted(name);
+    out_ << ": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    separate();
+    quoted(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v) {
+    separate();
+    out_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(long v) {
+    separate();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long>(v)); }
+  JsonWriter& value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ << "null";  // JSON has no inf/nan
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out_ << buf;
+    }
+    return *this;
+  }
+
+ private:
+  JsonWriter& open(char bracket) {
+    separate();
+    out_ << bracket;
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& close(char bracket) {
+    first_.pop_back();
+    newline();
+    out_ << bracket;
+    if (first_.empty()) {
+      out_ << "\n";
+      out_.flush();
+      if (!out_) throw std::runtime_error("bench: short write to " + path_);
+    }
+    return *this;
+  }
+
+  /// Comma before every element but a container's first; keys and their
+  /// values stay on one line.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (!first_.back()) out_ << ",";
+    first_.back() = false;
+    newline();
+  }
+
+  void newline() {
+    out_ << "\n";
+    for (std::size_t i = 0; i < first_.size(); ++i) out_ << "  ";
+  }
+
+  void quoted(const std::string& s) {
+    out_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ofstream out_;
+  std::string path_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+/// Sorted-percentile helper shared by the latency-reporting benches.
+inline double percentile_of(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
 
 /// Wall-clock timer for campaign reporting.  Timing lines go to stderr —
 /// never stdout — so the regenerated tables stay diffable.

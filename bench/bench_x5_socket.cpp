@@ -52,14 +52,6 @@ struct Outcome {
   SocketCounters counters;
 };
 
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(rank, values.size() - 1)];
-}
-
 Outcome run_cell(const Cell& cell) {
   LiveOptions options;  // rounds as fast as the sockets carry them
   LiveRuntime runtime(cell.cfg, options);
@@ -166,6 +158,11 @@ int main() {
   bool ok = true;
   long runs = 0;
   bench::Stopwatch watch;
+  bench::JsonWriter json("BENCH_x5_socket.json");
+  json.begin_object();
+  json.key("bench").value("x5_socket");
+  json.key("slots").value(kSlots);
+  json.key("cells").begin_array();
   Table table({"n", "t", "transport", "all committed", "trace valid"});
   for (const Cell& cell : cells) {
     const Outcome out = run_cell(cell);
@@ -175,18 +172,44 @@ int main() {
               bench::check_mark(out.committed),
               bench::check_mark(out.trace_valid));
     const SocketCounters& c = out.counters;
+    const double commits_per_sec =
+        out.seconds > 0 ? static_cast<double>(kSlots) / out.seconds : 0;
+    const double p50 = bench::percentile_of(out.latencies_us, 0.50);
+    const double p99 = bench::percentile_of(out.latencies_us, 0.99);
+    const long injected = c.injected_resets + c.injected_stalls +
+                          c.injected_short_writes +
+                          c.injected_connect_failures +
+                          c.injected_accept_closes;
     std::fprintf(
         stderr,
         "X5-socket n=%d %-12s %2d rounds, %6.0f commits/s, commit latency "
         "p50 %7.0f us  p99 %7.0f us | %ld reconnects, %ld resends, %ld "
         "injected faults\n",
-        cell.cfg.n, cell.scenario.c_str(), out.rounds,
-        out.seconds > 0 ? static_cast<double>(kSlots) / out.seconds : 0,
-        percentile(out.latencies_us, 0.50),
-        percentile(out.latencies_us, 0.99), c.reconnects, c.envelopes_resent,
-        c.injected_resets + c.injected_stalls + c.injected_short_writes +
-            c.injected_connect_failures + c.injected_accept_closes);
+        cell.cfg.n, cell.scenario.c_str(), out.rounds, commits_per_sec, p50,
+        p99, c.reconnects, c.envelopes_resent, injected);
+    json.begin_object();
+    json.key("n").value(cell.cfg.n);
+    json.key("t").value(cell.cfg.t);
+    json.key("transport").value(cell.scenario);
+    json.key("committed").value(out.committed);
+    json.key("trace_valid").value(out.trace_valid);
+    json.key("rounds").value(out.rounds);
+    json.key("commits_per_sec").value(commits_per_sec);
+    json.key("commit_latency_p50_us").value(p50);
+    json.key("commit_latency_p99_us").value(p99);
+    json.key("counters").begin_object();
+    json.key("reconnects").value(c.reconnects);
+    json.key("envelopes_sent").value(c.envelopes_sent);
+    json.key("envelopes_resent").value(c.envelopes_resent);
+    json.key("duplicates_dropped").value(c.duplicates_dropped);
+    json.key("peer_timeouts").value(c.peer_timeouts);
+    json.key("injected_faults").value(injected);
+    json.end_object();
+    json.end_object();
   }
+  json.end_array();
+  json.key("ok").value(ok);
+  json.end_object();
   table.print(std::cout,
               "X5-socket: 8-command log, A_{t+2}+ff slots, window 2");
   std::cout

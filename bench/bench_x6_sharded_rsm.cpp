@@ -1,0 +1,251 @@
+// X6 — sharded RSM throughput: G consensus groups over one multiplexed
+// fabric (extension).
+//
+// The paper's price is per instance: every indulgent consensus costs
+// t + 2 rounds after stabilization, and an RSM pays it per slot.  The
+// standard way to buy aggregate throughput anyway is sharding — hash-
+// partition the key space, run one independent group per shard — and this
+// bench measures exactly that trade on the group-multiplexed socket
+// transport: G sweeps 1 -> 256 (3 replicas per group over 4 node
+// endpoints, all groups sharing the per-peer links), clean and under the
+// seeded wire-chaos layer.  Aggregate commits/s must scale with G (the
+// acceptance gate is G=64 >= 4x G=1 on loopback) because a single group
+// is latency-bound — its rounds wait on quorum grace and socket round
+// trips — so independent groups overlap those waits long before the
+// fabric saturates.  Every cell also re-checks correctness: each group's
+// merged trace through the UNCHANGED per-group validator.
+//
+// stdout is the deterministic correctness table; throughput, per-group
+// wall percentiles, and supervisor counters go to stderr and into
+// BENCH_x6_sharded.json.
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/sharded_runtime.hpp"
+#include "rsm/rsm.hpp"
+
+namespace indulgence {
+namespace {
+
+constexpr int kSlots = 4;
+constexpr Round kWindow = 2;
+constexpr int kNodes = 4;
+const SystemConfig kGroupConfig{3, 1};
+
+struct Cell {
+  int groups = 1;
+  bool chaos = false;
+};
+
+struct Outcome {
+  bool all_valid = false;
+  long commits = 0;
+  double seconds = 0;
+  double commits_per_sec = 0;
+  double group_wall_p50_us = 0;
+  double group_wall_p99_us = 0;
+  SocketCounters counters;
+};
+
+Outcome run_cell(const Cell& cell) {
+  ShardedOptions options;
+  options.num_nodes = kNodes;
+  options.num_groups = cell.groups;
+  options.config = kGroupConfig;
+  options.live.max_rounds = 64;
+  options.live.mailbox_capacity = 512;
+  options.live.quorum_grace = std::chrono::microseconds{400};
+  // Loopback rounds close in microseconds, which is not the regime the
+  // paper prices: on a real link a round costs at least one RTT.  The
+  // floor emulates a ~2 ms RTT, making a single group latency-bound the
+  // way a deployed one is — groups then buy throughput by overlapping
+  // their waits, not by magic.
+  options.live.round_floor = std::chrono::milliseconds{2};
+  options.socket.seed = 4242;
+  if (cell.chaos) {
+    WireChaosOptions chaos;
+    chaos.seed = 0x9e3779b97f4a7c15ull;
+    chaos.until = std::chrono::milliseconds{2};
+    chaos.connect_fail_prob = 0.25;
+    chaos.accept_close_prob = 0.15;
+    chaos.reset_prob = 0.1;
+    chaos.stall_prob = 0.15;
+    chaos.stall = std::chrono::microseconds{500};
+    chaos.short_write_prob = 0.25;
+    options.socket.chaos = chaos;
+  }
+  options.done = [](const RoundAlgorithm& algorithm) {
+    const auto* rep = dynamic_cast<const RsmReplica*>(&algorithm);
+    return rep && rep->all_slots_committed();
+  };
+
+  // Every group commits kSlots commands; key i of group g is queued at
+  // replica i mod n (one home replica per command, as a sharded service
+  // would route client keys).
+  const GroupFactory factory_for = [](GroupId g) {
+    RsmOptions rsm;
+    rsm.num_slots = kSlots;
+    rsm.slot_window = kWindow;
+    At2Options ff;
+    ff.failure_free_opt = true;
+    return rsm_factory(
+        at2_factory(hurfin_raynal_factory(), ff),
+        [g](ProcessId pid) {
+          std::vector<Value> mine;
+          for (int i = 0; i < kSlots; ++i) {
+            if (static_cast<ProcessId>(i % kGroupConfig.n) == pid) {
+              mine.push_back(1000 * (g + 1) + i);
+            }
+          }
+          return mine;
+        },
+        rsm);
+  };
+  const GroupProposals no_proposals = [](GroupId) {
+    return std::vector<Value>(static_cast<std::size_t>(kGroupConfig.n),
+                              kNoOpCommand);
+  };
+
+  bench::Stopwatch watch;
+  const ShardedResult result =
+      run_sharded(options, factory_for, no_proposals);
+
+  Outcome out;
+  out.seconds = watch.seconds();
+  out.all_valid = result.all_valid();
+  out.counters = result.counters;
+  std::vector<double> walls;
+  for (const auto& [g, outcome] : result.groups) {
+    walls.push_back(static_cast<double>(outcome.wall.count()));
+    const auto* rep =
+        dynamic_cast<const RsmReplica*>(outcome.algorithms[0].get());
+    if (!rep) {
+      out.all_valid = false;
+      continue;
+    }
+    out.commits += rep->committed_prefix();
+    if (!rep->all_slots_committed()) out.all_valid = false;
+  }
+  out.commits_per_sec =
+      out.seconds > 0 ? static_cast<double>(out.commits) / out.seconds : 0;
+  out.group_wall_p50_us = bench::percentile_of(walls, 0.50);
+  out.group_wall_p99_us = bench::percentile_of(walls, 0.99);
+  return out;
+}
+
+}  // namespace
+}  // namespace indulgence
+
+int main() {
+  using namespace indulgence;
+  bench::print_header(
+      "X6 — sharded RSM: aggregate commits/s vs group count over one "
+      "multiplexed fabric",
+      "G groups x 3 replicas over 4 node endpoints; every group's merged "
+      "trace re-validated");
+
+  std::vector<Cell> cells;
+  for (int groups : {1, 4, 16, 64, 256}) {
+    cells.push_back({groups, false});
+    cells.push_back({groups, true});
+  }
+
+  bool ok = true;
+  long runs = 0;
+  double clean_g1_rate = 0;
+  double clean_g64_rate = 0;
+  bench::Stopwatch watch;
+  bench::JsonWriter json("BENCH_x6_sharded.json");
+  json.begin_object();
+  json.key("bench").value("x6_sharded_rsm");
+  json.key("nodes").value(kNodes);
+  json.key("group_n").value(kGroupConfig.n);
+  json.key("group_t").value(kGroupConfig.t);
+  json.key("slots_per_group").value(kSlots);
+  json.key("sweep").begin_array();
+
+  Table table({"groups", "wire", "all groups valid", "all slots committed"});
+  for (const Cell& cell : cells) {
+    const Outcome out = run_cell(cell);
+    ++runs;
+    ok &= out.all_valid;
+    const bool committed =
+        out.commits == static_cast<long>(cell.groups) * kSlots;
+    ok &= committed;
+    if (!cell.chaos && cell.groups == 1) clean_g1_rate = out.commits_per_sec;
+    if (!cell.chaos && cell.groups == 64) {
+      clean_g64_rate = out.commits_per_sec;
+    }
+    table.add(cell.groups, cell.chaos ? "chaos" : "clean",
+              bench::check_mark(out.all_valid), bench::check_mark(committed));
+
+    const SocketCounters& c = out.counters;
+    std::fprintf(
+        stderr,
+        "X6 G=%3d %-5s %4ld commits in %6.3f s (%7.0f commits/s), group "
+        "wall p50 %8.0f us p99 %8.0f us | %ld reconnects, %ld resends, %ld "
+        "demux drops, %ld injected faults\n",
+        cell.groups, cell.chaos ? "chaos" : "clean", out.commits,
+        out.seconds, out.commits_per_sec, out.group_wall_p50_us,
+        out.group_wall_p99_us, c.reconnects, c.envelopes_resent,
+        c.demux_drops,
+        c.injected_resets + c.injected_stalls + c.injected_short_writes +
+            c.injected_connect_failures + c.injected_accept_closes);
+
+    json.begin_object();
+    json.key("groups").value(cell.groups);
+    json.key("chaos").value(cell.chaos);
+    json.key("all_valid").value(out.all_valid);
+    json.key("commits").value(out.commits);
+    json.key("seconds").value(out.seconds);
+    json.key("aggregate_commits_per_sec").value(out.commits_per_sec);
+    json.key("group_wall_p50_us").value(out.group_wall_p50_us);
+    json.key("group_wall_p99_us").value(out.group_wall_p99_us);
+    json.key("counters").begin_object();
+    json.key("reconnects").value(c.reconnects);
+    json.key("envelopes_sent").value(c.envelopes_sent);
+    json.key("envelopes_resent").value(c.envelopes_resent);
+    json.key("duplicates_dropped").value(c.duplicates_dropped);
+    json.key("demux_drops").value(c.demux_drops);
+    json.key("peer_timeouts").value(c.peer_timeouts);
+    json.key("injected_faults")
+        .value(c.injected_resets + c.injected_stalls +
+               c.injected_short_writes + c.injected_connect_failures +
+               c.injected_accept_closes);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+
+  // The acceptance gate: sharding must buy real aggregate throughput.
+  // A single group is latency-bound, so 64 groups overlapping their waits
+  // clear 4x with a wide margin on any machine; a miss means the fabric
+  // serialized the groups (head-of-line blocking) and is a real bug.
+  const double speedup =
+      clean_g1_rate > 0 ? clean_g64_rate / clean_g1_rate : 0;
+  const bool scaling_ok = speedup >= 4.0;
+  ok &= scaling_ok;
+  json.key("clean_g1_commits_per_sec").value(clean_g1_rate);
+  json.key("clean_g64_commits_per_sec").value(clean_g64_rate);
+  json.key("speedup_g64_over_g1").value(speedup);
+  json.key("scaling_target").value(4.0);
+  json.key("scaling_ok").value(scaling_ok);
+  json.end_object();
+
+  table.print(std::cout,
+              "X6: 4-command logs, A_{t+2}+ff slots, window 2, shared "
+              "links, per-group demux");
+  std::cout << "aggregate scaling G=64 vs G=1 (clean) >= 4x: "
+            << bench::check_mark(scaling_ok) << "\n";
+  std::fprintf(stderr, "X6 speedup G=64/G=1 (clean): %.1fx\n", speedup);
+  std::cout
+      << "Reading: the t+2-round price is per group, so a sharded service\n"
+         "pays it G times in parallel over ONE fabric: per-group latency\n"
+         "holds roughly flat while aggregate commits/s scales with G,\n"
+         "until the shared links saturate.  Chaos burns the supervisors'\n"
+         "counters, never the verdicts.\n\n";
+  std::cout << (ok ? "X6 OK.\n" : "X6 FAILED.\n");
+  watch.report("X6", runs, 1);
+  return ok ? 0 : 1;
+}

@@ -211,11 +211,12 @@ int fuzz(const DriverOptions& opts) {
   return all_ok ? 0 : 1;
 }
 
-/// Writes the two deterministic live-corpus seed repros (tests/corpus/
+/// Writes the deterministic live-corpus seed repros (tests/corpus/
 /// regeneration recipe; the loss sample is byte-stable per machine class).
 int write_samples(const std::string& dir) {
   for (const auto& [name, repro] :
-       {live_loss_sample(), live_crash_partition_sample()}) {
+       {live_loss_sample(), live_crash_partition_sample(),
+        live_sharded_sample()}) {
     const ReplayVerdict verdict = replay_repro(name, repro);
     if (!verdict.matches()) {
       std::cerr << "fuzz_consensus: sample " << name
@@ -249,6 +250,7 @@ int live_fuzz(const DriverOptions& opts) {
   live_options.shrink = opts.shrink;
   live_options.campaign = default_campaign();
   live_options.socket = opts.socket;
+  live_options.groups = opts.groups;
   if (opts.wall_secs > 0) {
     live_options.deadline =
         std::chrono::steady_clock::now() +
@@ -318,7 +320,10 @@ int live_fuzz(const DriverOptions& opts) {
                   ": n=" + std::to_string(opts.n) +
                   " t=" + std::to_string(opts.t) +
                   " seed=" + std::to_string(opts.seed) +
-                  " budget=" + std::to_string(live_options.budget));
+                  " budget=" + std::to_string(live_options.budget) +
+                  (opts.groups > 1
+                       ? " groups=" + std::to_string(opts.groups)
+                       : ""));
   std::cout << "\n"
             << (all_ok ? "all live runs matched expectations"
                        : "UNEXPECTED LIVE RESULTS — see table")

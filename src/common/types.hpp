@@ -21,6 +21,12 @@ using ProcessId = int;
 /// One-based round number.  Round 0 denotes "before round 1" (initial state).
 using Round = int;
 
+/// A consensus-group identifier.  The paper's model is one group Pi; the
+/// sharded runtime runs many independent groups over one transport fabric,
+/// each with its own group-local ProcessIds 0..n-1.  Group 0 is the
+/// distinguished legacy group of every single-group configuration.
+using GroupId = std::int32_t;
+
 /// Proposal / decision values.  The paper assumes the set of proposal values
 /// in a run is totally ordered (Sect. 3, assumption 4); int64 satisfies this.
 using Value = std::int64_t;

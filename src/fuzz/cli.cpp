@@ -27,6 +27,9 @@ void driver_usage(std::ostream& os) {
         "                 (default budget 25 runs per target)\n"
         "  --socket       like --live, but over real Unix-domain sockets\n"
         "                 with seeded wire chaos (default budget 10)\n"
+        "  --groups G     --socket: run G independent groups of the target\n"
+        "                 per draw over one shared multiplexed fabric,\n"
+        "                 judging every group's merged trace (default 1)\n"
         "  --wall SECS    stop after SECS wall-clock seconds (any mode)\n"
         "  --samples DIR  live mode: write the deterministic corpus-seed\n"
         "                 repros (loss, crash/partition) to DIR and exit\n"
@@ -88,6 +91,10 @@ std::optional<DriverOptions> parse_driver_args(int argc,
     } else if (arg == "--algo") {
       if (!(v = value(i))) return std::nullopt;
       opts.algo = v;
+    } else if (arg == "--groups") {
+      if (!(v = value(i)) || !numeric("--groups", v, opts.groups)) {
+        return std::nullopt;
+      }
     } else if (arg == "--n") {
       if (!(v = value(i)) || !numeric("--n", v, opts.n)) return std::nullopt;
     } else if (arg == "--t") {
@@ -130,6 +137,16 @@ std::optional<DriverOptions> parse_driver_args(int argc,
   }
   if (opts.samples_dir && !opts.live) {
     err << "fuzz_consensus: --samples needs --live\n";
+    return std::nullopt;
+  }
+  if (opts.groups < 1 || opts.groups > 64) {
+    err << "fuzz_consensus: --groups must be in 1..64 (got " << opts.groups
+        << ")\n";
+    return std::nullopt;
+  }
+  if (opts.groups > 1 && !opts.socket) {
+    err << "fuzz_consensus: --groups needs --socket (the multi-group sweep "
+           "exercises the shared-fabric demux)\n";
     return std::nullopt;
   }
   return opts;

@@ -6,6 +6,7 @@
 
 #include "fuzz/generator.hpp"
 #include "net/runtime.hpp"
+#include "net/sharded_runtime.hpp"
 #include "net/trace_export.hpp"
 #include "sim/harness.hpp"
 
@@ -149,6 +150,103 @@ RunOutcome judge_run(const FuzzTarget& target, const SystemConfig& config,
   return outcome;
 }
 
+/// The multi-group socket draw: G independent groups of the target over
+/// one shared fabric, every group judged by the single-group oracle.  The
+/// chaos window hits the links all groups share, so a demux bug (wrong
+/// mailbox, cross-group dedup state, a group dying with another's seq)
+/// corrupts some group's merged trace and surfaces as a normal finding.
+RunOutcome judge_sharded_run(const FuzzTarget& target,
+                             const SystemConfig& config,
+                             const ViolationPredicate& violated,
+                             std::uint64_t seed, long run_index,
+                             const LiveGenOptions& gen, int groups) {
+  LiveRunPlan plan =
+      live_socket_run_plan(target, config, seed, run_index, gen);
+  // A separate stream for the sharding-only draws, so adding them never
+  // perturbs the single-group plan for the same (seed, run index).
+  Rng shard_rng = Rng::for_stream(
+      socket_cell_seed(target, config, seed) ^ fnv1a("sharded:"),
+      static_cast<std::uint64_t>(run_index));
+
+  ShardedOptions sharded;
+  sharded.num_nodes = config.n + shard_rng.next_int(0, 1);
+  sharded.num_groups = groups;
+  sharded.config = config;
+  sharded.live = plan.options;
+  sharded.live.crashes.clear();  // see LiveFuzzOptions::groups
+  sharded.socket.seed = plan.options.seed;
+  sharded.socket.chaos = plan.chaos;
+
+  std::vector<std::vector<Value>> proposals(
+      static_cast<std::size_t>(groups));
+  for (auto& per_group : proposals) {
+    per_group = random_proposals(config, shard_rng);
+  }
+
+  RunOutcome outcome;
+  outcome.lossy = false;  // the supervisors hold copies; they never drop
+  const ShardedResult result = run_sharded(
+      sharded, [&](GroupId) { return target.factory; },
+      [&](GroupId g) { return proposals[static_cast<std::size_t>(g)]; });
+  outcome.counters = result.counters;
+
+  for (const auto& [g, group_outcome] : result.groups) {
+    const RunResult& live = group_outcome.result;
+    const std::string where =
+        "group " + std::to_string(g) + "/" + std::to_string(groups) + ": ";
+    const auto& group_proposals = proposals[static_cast<std::size_t>(g)];
+
+    const Round horizon = std::max<Round>(live.trace.rounds_executed(), 1);
+    const RunSchedule exported = schedule_from_trace(live.trace);
+    KernelOptions kernel_options;
+    kernel_options.model = Model::ES;
+    kernel_options.max_rounds = horizon;
+    const RunResult kernel = run_and_check(config, kernel_options,
+                                           target.factory, group_proposals,
+                                           exported);
+
+    auto finding = [&](LiveFindingKind kind, std::string description) {
+      LiveFinding f;
+      f.run_index = run_index;
+      f.kind = kind;
+      f.description = where + std::move(description);
+      f.config = config;
+      f.proposals = group_proposals;
+      f.schedule = exported;
+      f.original = exported;
+      f.max_rounds = horizon;
+      f.planned_rounds = exported.planned_rounds();
+      outcome.finding = std::move(f);
+    };
+
+    if (!live.validation.ok()) {
+      finding(LiveFindingKind::InvalidTrace,
+              "valid sharded draw produced an invalid trace: " +
+                  first_violation(live.validation));
+      return outcome;
+    }
+    if (auto what = violated(live, group_outcome.algorithms)) {
+      if (target.expect_safe && target.model == Model::ES) {
+        finding(LiveFindingKind::Violation, *what);
+        return outcome;
+      }
+      outcome.caught = true;
+    }
+    if (!kernel.validation.ok()) {
+      finding(LiveFindingKind::Divergence,
+              "live trace valid, but its kernel replay is not: " +
+                  first_violation(kernel.validation));
+      return outcome;
+    }
+    if (decision_rounds(kernel.trace) != decision_rounds(live.trace)) {
+      finding(LiveFindingKind::Divergence,
+              "kernel replay decision rounds differ from the live run");
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
 /// Lowest-run-index-wins monoid for the campaign reduce; the finding
 /// carries its export because a live run cannot be regenerated later.
 struct LiveCell {
@@ -230,8 +328,11 @@ LiveFuzzReport live_fuzz_target(const FuzzTarget& target, SystemConfig config,
             break;
           }
           const RunOutcome outcome =
-              judge_run(target, config, violated, options.seed, i,
-                        options.gen, options.socket);
+              options.socket && options.groups > 1
+                  ? judge_sharded_run(target, config, violated, options.seed,
+                                      i, options.gen, options.groups)
+                  : judge_run(target, config, violated, options.seed, i,
+                              options.gen, options.socket);
           ++partial.runs;
           if (outcome.lossy) ++partial.lossy_runs;
           if (outcome.flagged_invalid) ++partial.flagged_invalid;
@@ -407,6 +508,46 @@ std::pair<std::string, ReproCase> live_crash_partition_sample() {
       "regenerate: fuzz_consensus --live --samples DIR";
   repro.schedule = schedule_from_trace(live.trace);
   return {"live-crash-partition-at2.sched", repro};
+}
+
+std::pair<std::string, ReproCase> live_sharded_sample() {
+  const SystemConfig cfg{.n = 3, .t = 1};
+  ShardedOptions sharded;
+  sharded.num_nodes = 4;  // one endpoint hosts nothing for some groups
+  sharded.num_groups = 3;
+  sharded.config = cfg;
+  // Clean fabric, generous grace: the sample must export the same decision
+  // pattern on any machine, so the only adversary here is the demux layer
+  // itself (three groups' envelopes interleaved on every shared link).
+  sharded.live.quorum_grace = std::chrono::milliseconds{5};
+  sharded.live.max_rounds = 64;
+  sharded.live.seed = 2026;
+  sharded.socket.seed = 2026;
+  const FuzzTarget* at2 = find_fuzz_target("at2");
+  const ShardedResult result = run_sharded(
+      sharded, [&](GroupId) { return at2->factory; },
+      [&](GroupId g) {
+        std::vector<Value> proposals;
+        for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+          proposals.push_back(100 * (g + 1) + pid);
+        }
+        return proposals;
+      });
+  const RunResult& live = result.groups.at(1).result;
+
+  ReproCase repro;
+  repro.algo = "at2";
+  repro.max_rounds = std::max<Round>(live.trace.rounds_executed(), 1);
+  repro.proposals = {200, 201, 202};  // group 1's slice of the sharded run
+  repro.comment =
+      "live-fuzz corpus seed: group 1 of a clean 3-group sharded socket run\n"
+      "(at2, n=3 per group, 4 node endpoints).  Its envelopes shared every\n"
+      "link and seq/ack stream with groups 0 and 2, so this per-group trace\n"
+      "exists only because the demux routed correctly.  Model-valid, "
+      "decides.\n"
+      "regenerate: fuzz_consensus --live --samples DIR";
+  repro.schedule = schedule_from_trace(live.trace);
+  return {"live-sharded-group-at2.sched", repro};
 }
 
 }  // namespace indulgence

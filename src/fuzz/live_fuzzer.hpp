@@ -63,6 +63,17 @@ struct LiveFuzzOptions {
   /// a seeded wire-chaos window; the oracle is unchanged.  Uses a distinct
   /// seed stream so --live and --socket sweeps do not shadow each other.
   bool socket = false;
+  /// Socket campaign only: > 1 runs that many independent groups of the
+  /// target per draw over ONE shared group-multiplexed fabric (run_sharded
+  /// over n or n+1 node endpoints), with the drawn wire-chaos window
+  /// hitting the links every group shares.  Each group gets its own
+  /// proposals and is judged independently by the unchanged oracle
+  /// (validator + consensus check + kernel replay of its export), so any
+  /// cross-group bleed in the demux layer surfaces as a finding in the
+  /// group it corrupted.  Crash injections are cleared for these draws:
+  /// chaos is the adversary, and a per-pid crash applied to every group at
+  /// once would only blur which layer failed.
+  int groups = 1;
 };
 
 enum class LiveFindingKind {
@@ -160,5 +171,12 @@ ReproCase live_finding_to_repro(const FuzzTarget& target,
 ///     own previous-round copies still on the latency path.)  Replays 'ok'.
 std::pair<std::string, ReproCase> live_loss_sample();
 std::pair<std::string, ReproCase> live_crash_partition_sample();
+
+/// The multi-group corpus seed: group 1 of a clean 3-group sharded socket
+/// run of at2 at n=3 over 4 node endpoints.  Its envelopes shared every
+/// link (and every link's seq/ack stream) with groups 0 and 2, so the
+/// exported per-group trace exists only because the demux layer routed
+/// correctly; it must replay 'ok' under the kernel.
+std::pair<std::string, ReproCase> live_sharded_sample();
 
 }  // namespace indulgence

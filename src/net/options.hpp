@@ -80,6 +80,14 @@ struct LiveOptions {
   /// after this long — a model-violating escape valve for lossy runs.
   std::chrono::microseconds round_cap{0};
 
+  /// Minimum wall-clock duration of a live round; 0 = rounds close as fast
+  /// as the transport carries them.  Benches set this to emulate a network
+  /// RTT on loopback: rounds are the unit the paper prices, and on a real
+  /// link every round costs at least one RTT, which makes a single
+  /// consensus group latency-bound — the regime where sharding pays.
+  /// Ignored once a stop is draining, so shutdown stays fast.
+  std::chrono::microseconds round_floor{0};
+
   /// Hard cap on rounds per process; hitting it stops the run un-terminated.
   Round max_rounds = 512;
 

@@ -178,13 +178,19 @@ void RoundDriver::collect_live(Round k) {
   std::optional<Clock::time_point> quorum_since;
   std::optional<Clock::time_point> drain_since;
   for (;;) {
+    const Clock::time_point now = Clock::now();
+    // The RTT-emulation floor holds a round open even after everyone has
+    // been heard from — but never delays a draining stop.
+    const bool floor_passed = opt.round_floor.count() == 0 ||
+                              now - round_start >= opt.round_floor ||
+                              ctx_.control->stop_requested();
+
     // Everyone who could still send has: close immediately.  Senders not
     // counted here are crashed, and their round-k copies (if any) arriving
     // later are crash-round deliveries the synchrony check exempts.
     const int possible = ctx_.config.n - ctx_.control->crashed_count();
-    if (in_round_count_ >= possible) break;
+    if (in_round_count_ >= possible && floor_passed) break;
 
-    const Clock::time_point now = Clock::now();
     if (ctx_.control->stop_requested()) {
       if (!drain_since) {
         drain_since = now;
@@ -195,7 +201,7 @@ void RoundDriver::collect_live(Round k) {
       if (in_round_count_ >= ctx_.config.n - ctx_.config.t) {
         if (!quorum_since) {
           quorum_since = now;
-        } else if (now - *quorum_since >= opt.quorum_grace) {
+        } else if (now - *quorum_since >= opt.quorum_grace && floor_passed) {
           break;  // quorum held through the grace window; suspect the rest
         }
       }
@@ -308,7 +314,7 @@ void RoundDriver::run_impl() {
     batch_.clear();
     in_round_count_ = 0;
     delayed_count_ = 0;
-    route(NetEnvelope{ctx_.self, k, k, payload}, k);
+    route(NetEnvelope{ctx_.self, k, k, 0, payload}, k);
     ctx_.transport->dispatch(ctx_.self, k, payload);
 
     if (crash_now) {

@@ -99,7 +99,7 @@ void LiveRouter::fan_out(const Inbound& item, Clock::time_point now) {
       }
     }
     queue_.push(Queued{release, seq_++, receiver,
-                       NetEnvelope{item.sender, item.round, 0, item.payload}});
+                       NetEnvelope{item.sender, item.round, 0, 0, item.payload}});
   }
 }
 

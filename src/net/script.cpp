@@ -88,7 +88,7 @@ void ScriptTransport::dispatch(ProcessId sender, Round round,
         continue;
     }
     (*mailboxes_)[static_cast<std::size_t>(receiver)]->push(
-        NetEnvelope{sender, round, target, payload});
+        NetEnvelope{sender, round, target, 0, payload});
   }
 }
 

@@ -1,0 +1,432 @@
+#include "net/sharded_runtime.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "net/live_trace.hpp"
+#include "net/round_driver.hpp"
+#include "sim/validator.hpp"
+
+namespace indulgence {
+
+namespace {
+
+/// Prefer a root-cause error over the cascade of "aborted by peer failure"
+/// errors an abort fans out to the other drivers of the same group.
+std::exception_ptr pick_error(
+    const std::vector<std::unique_ptr<RoundDriver>>& drivers) {
+  std::exception_ptr fallback;
+  for (const auto& driver : drivers) {
+    std::exception_ptr error = driver->error();
+    if (!error) continue;
+    if (!fallback) fallback = error;
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& ex) {
+      if (std::string(ex.what()).find("aborted") == std::string::npos) {
+        return error;
+      }
+    } catch (...) {
+      return error;
+    }
+  }
+  return fallback;
+}
+
+RunResult merge_group(const SystemConfig& config, bool terminated,
+                      std::vector<ProcessLog>& logs,
+                      std::vector<UndeliveredCopy> undelivered) {
+  LiveMergeInput merge;
+  merge.config = config;
+  merge.model = Model::ES;
+  merge.gst_hint = 0;  // derive the minimal conforming GST per group
+  merge.terminated = terminated;
+  merge.logs = &logs;
+  merge.undelivered = std::move(undelivered);
+
+  RunResult result;
+  result.trace = merge_process_logs(merge);
+  result.validation = validate_trace(result.trace);
+  result.global_decision_round = result.trace.global_decision_round();
+  result.agreement = result.trace.agreement_ok();
+  result.validity = result.trace.validity_ok();
+  result.termination =
+      result.trace.terminated() && result.trace.all_correct_decided();
+  return result;
+}
+
+}  // namespace
+
+GroupId group_for_key(std::uint64_t key, int num_groups) {
+  if (num_groups <= 0) {
+    throw std::invalid_argument("sharded: need a positive group count");
+  }
+  // FNV-1a over the key's bytes, then a 64-bit avalanche (splitmix64
+  // finalizer) so consecutive keys land on unrelated groups.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (key >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<GroupId>(h % static_cast<std::uint64_t>(num_groups));
+}
+
+int node_for(GroupId group, ProcessId pid, int num_nodes) {
+  return static_cast<int>((static_cast<long>(group) + pid) %
+                          static_cast<long>(num_nodes));
+}
+
+std::vector<int> group_placement(GroupId group, int n, int num_nodes) {
+  std::vector<int> members(static_cast<std::size_t>(n));
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    members[static_cast<std::size_t>(pid)] = node_for(group, pid, num_nodes);
+  }
+  return members;
+}
+
+bool ShardedResult::all_valid() const {
+  return !groups.empty() &&
+         std::all_of(groups.begin(), groups.end(), [](const auto& entry) {
+           return entry.second.result.validation.ok() &&
+                  entry.second.result.trace.terminated();
+         });
+}
+
+ShardedResult run_sharded(const ShardedOptions& options,
+                          const GroupFactory& factory_for,
+                          const GroupProposals& proposals_for) {
+  const SystemConfig config = options.config;
+  config.validate();
+  const int nodes = options.num_nodes;
+  const int groups = options.num_groups;
+  if (nodes < config.n) {
+    throw std::invalid_argument(
+        "sharded: need at least n nodes for distinct placement");
+  }
+  if (groups < 1) {
+    throw std::invalid_argument("sharded: need at least one group");
+  }
+
+  // Unix-domain endpoints live under a fresh temp directory.
+  std::string dir;
+  if (options.kind == SocketAddress::Kind::Unix) {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "indulgence-shard-XXXXXX")
+                           .string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      throw std::runtime_error("sharded: mkdtemp failed");
+    }
+    dir = tmpl;
+  }
+
+  std::vector<std::unique_ptr<SocketEndpoint>> endpoints;
+  AddressResolver resolve = [&endpoints](ProcessId node)
+      -> std::optional<SocketAddress> {
+    return endpoints[static_cast<std::size_t>(node)]->listen_address();
+  };
+  endpoints.reserve(static_cast<std::size_t>(nodes));
+  for (int node = 0; node < nodes; ++node) {
+    SocketAddress listen =
+        options.kind == SocketAddress::Kind::Unix
+            ? SocketAddress::unix_path(dir + "/node" + std::to_string(node) +
+                                       ".sock")
+            : SocketAddress::tcp_loopback(0);
+    SocketTransportOptions per = options.socket;
+    per.seed = options.socket.seed + static_cast<std::uint64_t>(node) * 1337;
+    endpoints.push_back(std::make_unique<SocketEndpoint>(
+        node, nodes, std::move(listen), resolve, std::move(per)));
+  }
+
+  const std::size_t capacity =
+      std::max(options.live.mailbox_capacity,
+               static_cast<std::size_t>(config.n) *
+                   (static_cast<std::size_t>(options.live.max_rounds) + 8));
+
+  // Register every group's replicas with their hosting endpoints and build
+  // the per-replica GroupPort views the (unchanged) drivers will use.
+  std::vector<std::vector<std::unique_ptr<Mailbox>>> mailboxes(
+      static_cast<std::size_t>(groups));
+  std::vector<std::vector<std::unique_ptr<GroupPort>>> ports(
+      static_cast<std::size_t>(groups));
+  for (GroupId g = 0; g < groups; ++g) {
+    const std::vector<int> members = group_placement(g, config.n, nodes);
+    auto& boxes = mailboxes[static_cast<std::size_t>(g)];
+    auto& group_ports = ports[static_cast<std::size_t>(g)];
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      boxes.push_back(std::make_unique<Mailbox>(capacity));
+      SocketEndpoint* host =
+          endpoints[static_cast<std::size_t>(
+                        members[static_cast<std::size_t>(pid)])]
+              .get();
+      host->add_group(GroupSpec{g, config, pid, members, boxes.back().get()});
+      group_ports.push_back(std::make_unique<GroupPort>(host, g));
+    }
+  }
+
+  std::vector<std::unique_ptr<RunControl>> controls;
+  controls.reserve(static_cast<std::size_t>(groups));
+  for (GroupId g = 0; g < groups; ++g) {
+    controls.push_back(std::make_unique<RunControl>(config));
+    auto& group_ports = ports[static_cast<std::size_t>(g)];
+    controls.back()->on_stop = [&group_ports] {
+      for (auto& port : group_ports) port->expedite();
+    };
+  }
+
+  const auto epoch = std::chrono::steady_clock::now();
+  for (auto& endpoint : endpoints) endpoint->start(epoch);
+
+  std::vector<std::vector<std::unique_ptr<RoundDriver>>> drivers(
+      static_cast<std::size_t>(groups));
+  std::vector<std::vector<std::chrono::steady_clock::time_point>> done_at(
+      static_cast<std::size_t>(groups));
+  for (GroupId g = 0; g < groups; ++g) {
+    const std::vector<Value> proposals = proposals_for(g);
+    if (static_cast<int>(proposals.size()) != config.n) {
+      throw std::invalid_argument("sharded: need one proposal per replica");
+    }
+    const AlgorithmFactory factory = factory_for(g);
+    auto& group_drivers = drivers[static_cast<std::size_t>(g)];
+    done_at[static_cast<std::size_t>(g)].resize(
+        static_cast<std::size_t>(config.n));
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      DriverContext ctx;
+      ctx.self = pid;
+      ctx.config = config;
+      ctx.options = &options.live;
+      ctx.transport = ports[static_cast<std::size_t>(g)]
+                           [static_cast<std::size_t>(pid)]
+                               .get();
+      ctx.mailbox = mailboxes[static_cast<std::size_t>(g)]
+                             [static_cast<std::size_t>(pid)]
+                                 .get();
+      ctx.control = controls[static_cast<std::size_t>(g)].get();
+      ctx.supervision = ports[static_cast<std::size_t>(g)]
+                             [static_cast<std::size_t>(pid)]
+                                 .get();
+      ctx.fixed_rounds = options.fixed_rounds;
+      ctx.factory = factory;
+      ctx.proposal = proposals[static_cast<std::size_t>(pid)];
+      ctx.done = options.done;
+      ctx.epoch = epoch;
+      group_drivers.push_back(std::make_unique<RoundDriver>(std::move(ctx)));
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(groups) *
+                  static_cast<std::size_t>(config.n));
+  for (GroupId g = 0; g < groups; ++g) {
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      RoundDriver* driver =
+          drivers[static_cast<std::size_t>(g)][static_cast<std::size_t>(pid)]
+              .get();
+      auto* slot = &done_at[static_cast<std::size_t>(g)]
+                           [static_cast<std::size_t>(pid)];
+      threads.emplace_back([driver, slot] {
+        driver->run();
+        *slot = std::chrono::steady_clock::now();
+      });
+    }
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Stop all endpoints concurrently (overlapping linger windows, as in
+  // SocketHub); every returned copy carries its owning group.
+  std::vector<std::vector<UndeliveredCopy>> flushed(endpoints.size());
+  {
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(endpoints.size());
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      stoppers.emplace_back(
+          [&, i] { flushed[i] = endpoints[i]->stop_and_flush(); });
+    }
+    for (std::thread& t : stoppers) t.join();
+  }
+  std::vector<std::vector<UndeliveredCopy>> undelivered(
+      static_cast<std::size_t>(groups));
+  for (auto& part : flushed) {
+    for (UndeliveredCopy& copy : part) {
+      undelivered[static_cast<std::size_t>(copy.group)].push_back(copy);
+    }
+  }
+  for (GroupId g = 0; g < groups; ++g) {
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      for (NetEnvelope& env : mailboxes[static_cast<std::size_t>(g)]
+                                       [static_cast<std::size_t>(pid)]
+                                           ->drain()) {
+        undelivered[static_cast<std::size_t>(g)].push_back(UndeliveredCopy{
+            env.sender, pid, env.send_round, env.target_round, g});
+      }
+    }
+  }
+
+  for (GroupId g = 0; g < groups; ++g) {
+    if (std::exception_ptr error =
+            pick_error(drivers[static_cast<std::size_t>(g)])) {
+      std::rethrow_exception(error);
+    }
+  }
+
+  ShardedResult result;
+  for (GroupId g = 0; g < groups; ++g) {
+    auto& group_drivers = drivers[static_cast<std::size_t>(g)];
+    std::vector<ProcessLog> logs;
+    logs.reserve(group_drivers.size());
+    GroupOutcome outcome;
+    for (auto& driver : group_drivers) {
+      logs.push_back(std::move(driver->log()));
+      outcome.algorithms.push_back(driver->take_algorithm());
+    }
+    const bool terminated =
+        options.fixed_rounds > 0
+            ? true
+            : controls[static_cast<std::size_t>(g)]->completed_normally();
+    outcome.result = merge_group(config, terminated, logs,
+                                 std::move(undelivered[static_cast<std::size_t>(g)]));
+    const std::vector<int> members = group_placement(g, config.n, nodes);
+    for (ProcessId pid = 0; pid < config.n; ++pid) {
+      outcome.traffic += endpoints[static_cast<std::size_t>(
+                                       members[static_cast<std::size_t>(pid)])]
+                             ->group_counters(g);
+    }
+    auto last = epoch;
+    for (const auto& at : done_at[static_cast<std::size_t>(g)]) {
+      last = std::max(last, at);
+    }
+    outcome.wall = std::chrono::duration_cast<std::chrono::microseconds>(
+        last - epoch);
+    result.groups.emplace(g, std::move(outcome));
+  }
+  for (const auto& endpoint : endpoints) {
+    result.counters += endpoint->counters();
+  }
+
+  endpoints.clear();  // unlink socket files before removing the directory
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedNode
+
+ShardedNode::ShardedNode(int node, int num_nodes, SocketAddress listen,
+                         AddressResolver resolver,
+                         SocketTransportOptions socket, LiveOptions live)
+    : live_(std::move(live)),
+      endpoint_(std::make_unique<SocketEndpoint>(node, num_nodes,
+                                                 std::move(listen),
+                                                 std::move(resolver),
+                                                 std::move(socket))) {}
+
+void ShardedNode::host(GroupId group, SystemConfig config, ProcessId self,
+                       std::vector<int> members, AlgorithmFactory factory,
+                       Value proposal) {
+  const std::size_t capacity =
+      std::max(live_.mailbox_capacity,
+               static_cast<std::size_t>(config.n) *
+                   (static_cast<std::size_t>(live_.max_rounds) + 8));
+  Hosted hosted;
+  hosted.group = group;
+  hosted.config = config;
+  hosted.self = self;
+  hosted.factory = std::move(factory);
+  hosted.proposal = proposal;
+  hosted.mailbox = std::make_unique<Mailbox>(capacity);
+  endpoint_->add_group(
+      GroupSpec{group, config, self, std::move(members), hosted.mailbox.get()});
+  hosted.port = std::make_unique<GroupPort>(endpoint_.get(), group);
+  hosted_.push_back(std::move(hosted));
+}
+
+std::vector<ShippedLog> ShardedNode::run(Round fixed_rounds,
+                                         DonePredicate done) {
+  if (fixed_rounds <= 0) {
+    throw std::invalid_argument(
+        "sharded node: multi-process runs need an agreed fixed round count");
+  }
+  const auto epoch = std::chrono::steady_clock::now();
+  endpoint_->start(epoch);
+
+  // Each hosted replica gets its own RunControl: the armed-stop protocol
+  // cannot span address spaces, and fixed_rounds makes it vestigial — the
+  // control only carries the crash/done accounting of a 1-driver run.
+  std::vector<std::unique_ptr<RunControl>> controls;
+  std::vector<std::unique_ptr<RoundDriver>> drivers;
+  controls.reserve(hosted_.size());
+  drivers.reserve(hosted_.size());
+  for (Hosted& hosted : hosted_) {
+    controls.push_back(std::make_unique<RunControl>(hosted.config));
+    DriverContext ctx;
+    ctx.self = hosted.self;
+    ctx.config = hosted.config;
+    ctx.options = &live_;
+    ctx.transport = hosted.port.get();
+    ctx.mailbox = hosted.mailbox.get();
+    ctx.control = controls.back().get();
+    ctx.supervision = hosted.port.get();
+    ctx.fixed_rounds = fixed_rounds;
+    ctx.factory = hosted.factory;
+    ctx.proposal = hosted.proposal;
+    ctx.done = done;
+    ctx.epoch = epoch;
+    drivers.push_back(std::make_unique<RoundDriver>(std::move(ctx)));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(drivers.size());
+  for (auto& driver : drivers) {
+    threads.emplace_back([d = driver.get()] { d->run(); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  if (std::exception_ptr error = pick_error(drivers)) {
+    std::rethrow_exception(error);
+  }
+
+  std::vector<ShippedLog> shipped;
+  shipped.reserve(hosted_.size());
+  algorithms_.clear();
+  for (std::size_t i = 0; i < hosted_.size(); ++i) {
+    Hosted& hosted = hosted_[i];
+    algorithms_.push_back(drivers[i]->take_algorithm());
+    ShippedLog log;
+    log.group = hosted.group;
+    log.self = hosted.self;
+    log.config = hosted.config;
+    log.log = std::move(drivers[i]->log());
+    log.undelivered = endpoint_->stop_and_flush_group(hosted.group);
+    for (NetEnvelope& env : hosted.mailbox->drain()) {
+      log.undelivered.push_back(UndeliveredCopy{
+          env.sender, hosted.self, env.send_round, env.target_round,
+          hosted.group});
+    }
+    shipped.push_back(std::move(log));
+  }
+  // A node hosting no replicas (more nodes than replica slots) still has to
+  // stop the endpoint it started.
+  if (hosted_.empty()) endpoint_->stop_and_flush();
+  std::sort(shipped.begin(), shipped.end(),
+            [](const ShippedLog& a, const ShippedLog& b) {
+              return a.group < b.group;
+            });
+  // Endpoint-wide counters ride on the first log only, so aggregating over
+  // shipped logs does not count this node G times.
+  if (!shipped.empty()) shipped.front().counters = endpoint_->counters();
+  return shipped;
+}
+
+}  // namespace indulgence

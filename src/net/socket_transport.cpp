@@ -138,6 +138,19 @@ int open_listener(SocketAddress& addr) {
   return fd;
 }
 
+/// The implicit group of the single-group constructors: group 0, node ids
+/// and group-local pids coinciding.
+GroupSpec legacy_group(SystemConfig config, ProcessId self, Mailbox* inbox) {
+  GroupSpec spec;
+  spec.group = 0;
+  spec.config = config;
+  spec.self = self;
+  spec.members.resize(static_cast<std::size_t>(config.n));
+  for (int i = 0; i < config.n; ++i) spec.members[static_cast<std::size_t>(i)] = i;
+  spec.inbox = inbox;
+  return spec;
+}
+
 }  // namespace
 
 std::string SocketAddress::to_string() const {
@@ -159,6 +172,27 @@ std::chrono::microseconds next_backoff(const BackoffPolicy& policy,
   return std::chrono::microseconds{std::min(draw, cap)};
 }
 
+LinkCounters& LinkCounters::operator+=(const LinkCounters& o) {
+  connect_attempts += o.connect_attempts;
+  connect_failures += o.connect_failures;
+  reconnects += o.reconnects;
+  envelopes_resent += o.envelopes_resent;
+  heartbeats_sent += o.heartbeats_sent;
+  peer_timeouts += o.peer_timeouts;
+  injected_resets += o.injected_resets;
+  injected_stalls += o.injected_stalls;
+  injected_short_writes += o.injected_short_writes;
+  injected_connect_failures += o.injected_connect_failures;
+  return *this;
+}
+
+GroupCounters& GroupCounters::operator+=(const GroupCounters& o) {
+  envelopes_sent += o.envelopes_sent;
+  envelopes_delivered += o.envelopes_delivered;
+  duplicates_dropped += o.duplicates_dropped;
+  return *this;
+}
+
 SocketCounters& SocketCounters::operator+=(const SocketCounters& o) {
   connect_attempts += o.connect_attempts;
   connect_failures += o.connect_failures;
@@ -174,37 +208,46 @@ SocketCounters& SocketCounters::operator+=(const SocketCounters& o) {
   injected_short_writes += o.injected_short_writes;
   injected_connect_failures += o.injected_connect_failures;
   injected_accept_closes += o.injected_accept_closes;
+  demux_drops += o.demux_drops;
   return *this;
 }
 
 // ---------------------------------------------------------------------------
 // SocketEndpoint internals
 
-/// One queued-but-unacknowledged copy on a link.
+/// One queued-but-unacknowledged copy on a link: the group and group-local
+/// endpoints identify the owning replica pair, the seq lives in the link's
+/// shared sequence space.
 struct HoldItem {
   std::uint64_t seq = 0;
+  GroupId group = 0;
+  ProcessId sender = -1;    ///< group-local
+  ProcessId receiver = -1;  ///< group-local
   Round send_round = 0;
   MessagePtr payload;
   bool ever_sent = false;
 };
 
-/// One outbound peer link, owned by its supervisor thread except where
-/// noted.  `mutex` guards the hold queue and `next_seq`; everything else is
+/// One outbound peer-node link, owned by its supervisor thread except
+/// where noted.  `mutex` guards the hold queue and `next_seq`; `counters`
+/// is guarded by the endpoint's counters_mutex_; everything else is
 /// supervisor-thread-only.
 struct SocketEndpoint::Link {
-  Link(ProcessId peer, const SocketTransportOptions& options,
+  Link(int peer, const SocketTransportOptions& options,
        std::uint64_t chaos_stream)
       : peer(peer),
         schedule(options.backoff, options.seed ^ (0x5eedUL + chaos_stream)),
         chaos_rng(Rng::for_stream(options.chaos.seed, chaos_stream)) {}
 
-  ProcessId peer;
+  int peer;  ///< peer node id
   std::thread thread;
 
   std::mutex mutex;
   std::condition_variable cv;
   std::deque<HoldItem> hold;
   std::uint64_t next_seq = 1;
+
+  LinkCounters counters;  ///< guarded by the endpoint's counters_mutex_
 
   // Supervisor-thread-only state.
   int fd = -1;
@@ -224,13 +267,23 @@ struct SocketEndpoint::Inbound {
   std::thread thread;
 };
 
+/// One hosted consensus group: its spec (immutable after add_group), the
+/// demux-side liveness flag, per-group counters, and the stop-time
+/// partition of undelivered copies.
+struct SocketEndpoint::GroupState {
+  GroupSpec spec;
+  std::atomic<bool> dead{false};
+  bool expedited = false;  ///< guarded by expedite_mutex_
+  GroupCounters counters;  ///< guarded by counters_mutex_
+  std::vector<UndeliveredCopy> stash;  ///< filled by stop_and_flush_group
+};
+
 SocketEndpoint::SocketEndpoint(ProcessId self, SystemConfig config,
                                std::vector<SocketAddress> peers,
                                SocketTransportOptions options, Mailbox* inbox)
-    : self_(self),
-      config_(config),
+    : node_(self),
+      num_nodes_(config.n),
       options_(std::move(options)),
-      inbox_(inbox),
       listen_address_(peers.at(static_cast<std::size_t>(self))),
       delivered_seq_(static_cast<std::size_t>(config.n), 0) {
   auto table =
@@ -239,31 +292,121 @@ SocketEndpoint::SocketEndpoint(ProcessId self, SystemConfig config,
     return table->at(static_cast<std::size_t>(pid));
   };
   init_listener_and_links();
+  add_group(legacy_group(config, self, inbox));
 }
 
 SocketEndpoint::SocketEndpoint(ProcessId self, SystemConfig config,
                                SocketAddress listen, AddressResolver resolver,
                                SocketTransportOptions options, Mailbox* inbox)
-    : self_(self),
-      config_(config),
+    : node_(self),
+      num_nodes_(config.n),
       options_(std::move(options)),
       resolver_(std::move(resolver)),
-      inbox_(inbox),
       listen_address_(std::move(listen)),
       delivered_seq_(static_cast<std::size_t>(config.n), 0) {
+  init_listener_and_links();
+  add_group(legacy_group(config, self, inbox));
+}
+
+SocketEndpoint::SocketEndpoint(int node, std::vector<SocketAddress> nodes,
+                               SocketTransportOptions options)
+    : node_(node),
+      num_nodes_(static_cast<int>(nodes.size())),
+      options_(std::move(options)),
+      listen_address_(nodes.at(static_cast<std::size_t>(node))),
+      delivered_seq_(nodes.size(), 0) {
+  auto table =
+      std::make_shared<std::vector<SocketAddress>>(std::move(nodes));
+  resolver_ = [table](ProcessId pid) -> std::optional<SocketAddress> {
+    return table->at(static_cast<std::size_t>(pid));
+  };
+  init_listener_and_links();
+}
+
+SocketEndpoint::SocketEndpoint(int node, int num_nodes, SocketAddress listen,
+                               AddressResolver resolver,
+                               SocketTransportOptions options)
+    : node_(node),
+      num_nodes_(num_nodes),
+      options_(std::move(options)),
+      resolver_(std::move(resolver)),
+      listen_address_(std::move(listen)),
+      delivered_seq_(static_cast<std::size_t>(num_nodes), 0) {
   init_listener_and_links();
 }
 
 void SocketEndpoint::init_listener_and_links() {
+  if (node_ < 0 || node_ >= num_nodes_ || num_nodes_ < 2) {
+    throw std::invalid_argument("socket endpoint: bad node id / node count");
+  }
   listen_fd_ = open_listener(listen_address_);
-  links_.reserve(static_cast<std::size_t>(config_.n) - 1);
-  for (ProcessId peer = 0; peer < config_.n; ++peer) {
-    if (peer == self_) continue;
+  link_index_.assign(static_cast<std::size_t>(num_nodes_), -1);
+  links_.reserve(static_cast<std::size_t>(num_nodes_) - 1);
+  for (int peer = 0; peer < num_nodes_; ++peer) {
+    if (peer == node_) continue;
+    link_index_[static_cast<std::size_t>(peer)] =
+        static_cast<int>(links_.size());
     links_.push_back(std::make_unique<Link>(
         peer, options_,
-        (static_cast<std::uint64_t>(self_) << 8) |
+        (static_cast<std::uint64_t>(node_) << 8) |
             static_cast<std::uint64_t>(peer)));
   }
+}
+
+void SocketEndpoint::add_group(GroupSpec spec) {
+  if (running_.load(std::memory_order_acquire)) {
+    throw std::logic_error("socket endpoint: add_group after start");
+  }
+  spec.config.validate();
+  if (spec.inbox == nullptr) {
+    throw std::invalid_argument("socket endpoint: group needs an inbox");
+  }
+  if (static_cast<int>(spec.members.size()) != spec.config.n) {
+    throw std::invalid_argument(
+        "socket endpoint: group placement needs one node per member");
+  }
+  if (spec.self < 0 || spec.self >= spec.config.n ||
+      spec.members[static_cast<std::size_t>(spec.self)] != node_) {
+    throw std::invalid_argument(
+        "socket endpoint: spec.self must be the replica hosted on this node");
+  }
+  std::vector<char> used(static_cast<std::size_t>(num_nodes_), 0);
+  for (int member_node : spec.members) {
+    if (member_node < 0 || member_node >= num_nodes_) {
+      throw std::invalid_argument("socket endpoint: member node out of range");
+    }
+    if (used[static_cast<std::size_t>(member_node)]) {
+      throw std::invalid_argument(
+          "socket endpoint: replicas of one group must live on distinct "
+          "nodes");
+    }
+    used[static_cast<std::size_t>(member_node)] = 1;
+  }
+  if (groups_.count(spec.group) != 0) {
+    throw std::invalid_argument("socket endpoint: duplicate group " +
+                                std::to_string(spec.group));
+  }
+  const GroupId id = spec.group;
+  auto state = std::make_unique<GroupState>();
+  state->spec = std::move(spec);
+  groups_.emplace(id, std::move(state));
+  hosted_group_ids_.clear();
+  for (const auto& [group, unused] : groups_) hosted_group_ids_.push_back(group);
+}
+
+std::vector<GroupId> SocketEndpoint::hosted_groups() const {
+  return hosted_group_ids_;
+}
+
+SocketEndpoint::GroupState* SocketEndpoint::find_group(GroupId group) const {
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+SocketEndpoint::Link* SocketEndpoint::link_for_node(int node) const {
+  if (node < 0 || node >= num_nodes_) return nullptr;
+  const int index = link_index_[static_cast<std::size_t>(node)];
+  return index < 0 ? nullptr : links_[static_cast<std::size_t>(index)].get();
 }
 
 SocketEndpoint::~SocketEndpoint() {
@@ -279,7 +422,15 @@ bool SocketEndpoint::chaos_active(Clock::time_point now) const {
          now - epoch_ < options_.chaos.until;
 }
 
+bool SocketEndpoint::chaos_scoped(const Link* link) const {
+  return options_.chaos.only_node < 0 ||
+         link->peer == options_.chaos.only_node;
+}
+
 void SocketEndpoint::start(Clock::time_point epoch) {
+  // An endpoint with no hosted groups is legal: a fabric node whose slice
+  // of the placement is currently empty still listens (peers may connect;
+  // anything they send routes nowhere and counts as demux_drops).
   epoch_ = epoch;
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -291,11 +442,24 @@ void SocketEndpoint::start(Clock::time_point epoch) {
 
 void SocketEndpoint::dispatch(ProcessId sender, Round round,
                               MessagePtr payload) {
-  if (sender != self_) {
+  dispatch_group(0, sender, round, std::move(payload));
+}
+
+void SocketEndpoint::dispatch_group(GroupId group, ProcessId sender,
+                                    Round round, MessagePtr payload) {
+  GroupState* state = find_group(group);
+  if (state == nullptr) {
+    throw std::logic_error("socket endpoint: dispatch for unhosted group " +
+                           std::to_string(group));
+  }
+  if (sender != state->spec.self) {
     throw std::logic_error("socket endpoint: dispatch for foreign sender p" +
                            std::to_string(sender));
   }
-  for (auto& link : links_) {
+  for (ProcessId receiver = 0; receiver < state->spec.config.n; ++receiver) {
+    if (receiver == sender) continue;
+    Link* link =
+        link_for_node(state->spec.members[static_cast<std::size_t>(receiver)]);
     std::unique_lock<std::mutex> lock(link->mutex);
     link->cv.wait(lock, [&] {
       return link->hold.size() < options_.hold_queue_capacity ||
@@ -304,19 +468,32 @@ void SocketEndpoint::dispatch(ProcessId sender, Round round,
     if (link->hold.size() >= options_.hold_queue_capacity) {
       // Stop raced a full queue; the copy never even entered the fabric.
       std::lock_guard<std::mutex> overflow_lock(overflow_mutex_);
-      overflow_.push_back(UndeliveredCopy{self_, link->peer, round, 0});
+      overflow_.push_back(UndeliveredCopy{sender, receiver, round, 0, group});
       continue;
     }
-    link->hold.push_back(HoldItem{link->next_seq++, round, payload, false});
+    link->hold.push_back(
+        HoldItem{link->next_seq++, group, sender, receiver, round, payload,
+                 false});
     lock.unlock();
     link->cv.notify_all();
   }
 }
 
 void SocketEndpoint::mark_dead(ProcessId pid) {
-  if (pid == self_) self_dead_.store(true, std::memory_order_release);
   // A remote pid's death is deliberately ignored: indulgence means a
-  // suspected peer is retried forever, never dropped.
+  // suspected peer is retried forever, never dropped.  This node's own
+  // death silences every replica it hosts.
+  if (pid != node_) return;
+  for (auto& [group, state] : groups_) {
+    state->dead.store(true, std::memory_order_release);
+  }
+}
+
+void SocketEndpoint::mark_dead_group(GroupId group, ProcessId pid) {
+  GroupState* state = find_group(group);
+  if (state != nullptr && state->spec.self == pid) {
+    state->dead.store(true, std::memory_order_release);
+  }
 }
 
 void SocketEndpoint::expedite() {
@@ -324,18 +501,29 @@ void SocketEndpoint::expedite() {
   for (auto& link : links_) link->cv.notify_all();
 }
 
+void SocketEndpoint::expedite_group(GroupId group) {
+  {
+    std::lock_guard<std::mutex> lock(expedite_mutex_);
+    GroupState* state = find_group(group);
+    if (state == nullptr || state->expedited) return;
+    state->expedited = true;
+    if (++expedited_groups_ < static_cast<int>(groups_.size())) return;
+  }
+  expedite();
+}
+
 bool SocketEndpoint::connect_link(Link* link, Clock::time_point now) {
   {
     std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.connect_attempts;
+    ++link->counters.connect_attempts;
   }
   auto fail = [&](bool injected) {
     std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.connect_failures;
-    if (injected) ++counters_.injected_connect_failures;
+    ++link->counters.connect_failures;
+    if (injected) ++link->counters.injected_connect_failures;
     return false;
   };
-  if (chaos_active(now) &&
+  if (chaos_active(now) && chaos_scoped(link) &&
       link->chaos_rng.next_double() < options_.chaos.connect_fail_prob) {
     return fail(true);
   }
@@ -368,7 +556,8 @@ bool SocketEndpoint::connect_link(Link* link, Clock::time_point now) {
       return fail(false);
     }
   }
-  const std::vector<std::uint8_t> hello = encode_hello(self_);
+  const std::vector<std::uint8_t> hello =
+      encode_hello2(node_, hosted_group_ids_);
   if (!write_all(fd, hello.data(), hello.size(), options_.send_timeout)) {
     ::close(fd);
     return fail(false);
@@ -381,7 +570,7 @@ bool SocketEndpoint::connect_link(Link* link, Clock::time_point now) {
   link->schedule.on_success();
   {
     std::lock_guard<std::mutex> lock(counters_mutex_);
-    if (link->connected_once) ++counters_.reconnects;
+    if (link->connected_once) ++link->counters.reconnects;
   }
   link->connected_once = true;
   return true;
@@ -407,16 +596,15 @@ bool SocketEndpoint::flush_link(Link* link, Clock::time_point now) {
                              });
       if (it == link->hold.end()) return true;
       item = *it;
-      it->ever_sent = true;
     }
 
     bool short_write = false;
-    if (chaos_active(now)) {
+    if (chaos_active(now) && chaos_scoped(link)) {
       const WireChaosOptions& chaos = options_.chaos;
       if (link->chaos_rng.next_double() < chaos.reset_prob) {
         {
           std::lock_guard<std::mutex> lock(counters_mutex_);
-          ++counters_.injected_resets;
+          ++link->counters.injected_resets;
         }
         drop_connection(link);
         return false;
@@ -424,20 +612,26 @@ bool SocketEndpoint::flush_link(Link* link, Clock::time_point now) {
       if (link->chaos_rng.next_double() < chaos.stall_prob) {
         {
           std::lock_guard<std::mutex> lock(counters_mutex_);
-          ++counters_.injected_stalls;
+          ++link->counters.injected_stalls;
         }
         std::this_thread::sleep_for(chaos.stall);
       }
       short_write = link->chaos_rng.next_double() < chaos.short_write_prob;
     }
 
-    const std::vector<std::uint8_t> frame = encode_envelope_frame(
-        item.seq, NetEnvelope{self_, item.send_round, 0, item.payload});
+    NetEnvelope env;
+    env.sender = item.sender;
+    env.send_round = item.send_round;
+    env.target_round = 0;
+    env.group = item.group;
+    env.payload = item.payload;
+    const std::vector<std::uint8_t> frame =
+        encode_envelope_frame2(item.seq, env);
     bool ok = true;
     if (short_write) {
       {
         std::lock_guard<std::mutex> lock(counters_mutex_);
-        ++counters_.injected_short_writes;
+        ++link->counters.injected_short_writes;
       }
       // Dribble the frame byte by byte: the peer's FrameParser must
       // reassemble it from n reads of 1 byte.
@@ -455,15 +649,25 @@ bool SocketEndpoint::flush_link(Link* link, Clock::time_point now) {
     link->last_tx = Clock::now();
     link->sent_up_to = item.seq;
     {
-      // `item.ever_sent` is the value *before* this write: true means the
-      // frame had already been transmitted on an earlier connection and
-      // this is a post-reconnect redelivery.
+      // ever_sent flips only on a COMPLETED write (here, below): a frame
+      // whose first attempt was eaten by a reset was never transmitted, so
+      // its eventual write is the group's first send, not a link
+      // redelivery.  Resends — the frame really left on an earlier
+      // connection — are a link event.
       std::lock_guard<std::mutex> lock(counters_mutex_);
       if (item.ever_sent) {
-        ++counters_.envelopes_resent;
+        ++link->counters.envelopes_resent;
       } else {
-        ++counters_.envelopes_sent;
+        ++find_group(item.group)->counters.envelopes_sent;
       }
+    }
+    {
+      std::lock_guard<std::mutex> lock(link->mutex);
+      auto it = std::find_if(link->hold.begin(), link->hold.end(),
+                             [&](const HoldItem& h) {
+                               return h.seq == item.seq;
+                             });
+      if (it != link->hold.end()) it->ever_sent = true;
     }
   }
 }
@@ -546,7 +750,7 @@ void SocketEndpoint::supervisor_loop(Link* link) {
     if (now - link->last_rx > options_.peer_silence) {
       {
         std::lock_guard<std::mutex> lock(counters_mutex_);
-        ++counters_.peer_timeouts;
+        ++link->counters.peer_timeouts;
       }
       drop_connection(link);
       continue;
@@ -559,7 +763,7 @@ void SocketEndpoint::supervisor_loop(Link* link) {
       }
       link->last_tx = now;
       std::lock_guard<std::mutex> lock(counters_mutex_);
-      ++counters_.heartbeats_sent;
+      ++link->counters.heartbeats_sent;
     }
 
     std::unique_lock<std::mutex> lock(link->mutex);
@@ -575,7 +779,7 @@ void SocketEndpoint::supervisor_loop(Link* link) {
 
 void SocketEndpoint::accept_loop() {
   Rng accept_rng = Rng::for_stream(
-      options_.chaos.seed, (static_cast<std::uint64_t>(self_) << 8) | 0xffu);
+      options_.chaos.seed, (static_cast<std::uint64_t>(node_) << 8) | 0xffu);
   while (running_.load(std::memory_order_acquire)) {
     const int ev = poll_one(listen_fd_, POLLIN, std::chrono::milliseconds{20});
     if (ev <= 0) continue;
@@ -586,7 +790,7 @@ void SocketEndpoint::accept_loop() {
         accept_rng.next_double() < options_.chaos.accept_close_prob) {
       {
         std::lock_guard<std::mutex> lock(counters_mutex_);
-        ++counters_.injected_accept_closes;
+        ++misc_.injected_accept_closes;
       }
       ::close(fd);
       continue;
@@ -604,7 +808,7 @@ void SocketEndpoint::accept_loop() {
 
 void SocketEndpoint::reader_loop(Inbound* conn) {
   FrameParser parser;
-  ProcessId peer = -1;
+  int peer = -1;  ///< peer node, learned from the connection's HELLO
   std::uint8_t buf[4096];
   while (running_.load(std::memory_order_acquire)) {
     const int ev = poll_one(conn->fd, POLLIN, std::chrono::milliseconds{20});
@@ -621,13 +825,26 @@ void SocketEndpoint::reader_loop(Inbound* conn) {
     while (std::optional<Frame> frame = parser.next()) {
       switch (frame->type) {
         case FrameType::Hello:
-          if (frame->hello_sender >= 0 && frame->hello_sender < config_.n &&
-              frame->hello_sender != self_) {
+        case FrameType::Hello2:
+          if (frame->hello_sender >= 0 && frame->hello_sender < num_nodes_ &&
+              frame->hello_sender != node_) {
             peer = frame->hello_sender;
+            if (frame->type == FrameType::Hello2) {
+              std::lock_guard<std::mutex> lock(inbound_mutex_);
+              peer_groups_[peer] = std::move(frame->hello_groups);
+            }
           }
           break;
-        case FrameType::Envelope: {
+        case FrameType::Envelope:
+        case FrameType::Envelope2: {
           if (peer < 0) break;  // envelope before HELLO: protocol error
+          NetEnvelope env = std::move(frame->envelope);
+          if (frame->type == FrameType::Envelope) {
+            // v1 compatibility: the sender is the link peer (node ids and
+            // group-local pids coincide) and the group is the legacy 0.
+            env.sender = peer;
+            env.group = 0;
+          }
           bool fresh = false;
           std::uint64_t cumulative = 0;
           {
@@ -639,20 +856,38 @@ void SocketEndpoint::reader_loop(Inbound* conn) {
             }
             cumulative = last;
           }
+          // Demux: the copy belongs to a hosted group, names a plausible
+          // group-local sender, and arrived on the link that sender's node
+          // owns (spoof guard).
+          GroupState* group = find_group(env.group);
+          const bool routable =
+              group != nullptr && env.sender >= 0 &&
+              env.sender < group->spec.config.n &&
+              env.sender != group->spec.self &&
+              group->spec.members[static_cast<std::size_t>(env.sender)] ==
+                  peer;
           if (fresh) {
-            if (!self_dead_.load(std::memory_order_acquire)) {
-              NetEnvelope env = frame->envelope;
-              env.sender = peer;
-              inbox_->push(std::move(env));
+            if (routable) {
+              if (!group->dead.load(std::memory_order_acquire)) {
+                group->spec.inbox->push(std::move(env));
+              }
+              std::lock_guard<std::mutex> lock(counters_mutex_);
+              ++group->counters.envelopes_delivered;
+            } else {
+              std::lock_guard<std::mutex> lock(counters_mutex_);
+              ++misc_.demux_drops;
             }
-            std::lock_guard<std::mutex> lock(counters_mutex_);
-            ++counters_.envelopes_delivered;
           } else {
             std::lock_guard<std::mutex> lock(counters_mutex_);
-            ++counters_.duplicates_dropped;
+            if (routable) {
+              ++group->counters.duplicates_dropped;
+            } else {
+              ++misc_.duplicates_dropped;
+            }
           }
           // Ack only after the mailbox push: an acked copy is a delivered
-          // copy (or a deliberate drop to a dead process).
+          // copy (or a deliberate drop to a dead replica / unroutable
+          // group).
           const std::vector<std::uint8_t> ack = encode_ack(cumulative);
           if (!write_all(conn->fd, ack.data(), ack.size(),
                          options_.send_timeout)) {
@@ -729,17 +964,69 @@ std::vector<UndeliveredCopy> SocketEndpoint::stop_and_flush() {
   for (auto& link : links_) {
     std::lock_guard<std::mutex> lock(link->mutex);
     for (const HoldItem& item : link->hold) {
-      undelivered.push_back(
-          UndeliveredCopy{self_, link->peer, item.send_round, 0});
+      undelivered.push_back(UndeliveredCopy{item.sender, item.receiver,
+                                            item.send_round, 0, item.group});
     }
     link->hold.clear();
   }
   return undelivered;
 }
 
+std::vector<UndeliveredCopy> SocketEndpoint::stop_and_flush_group(
+    GroupId group) {
+  GroupState* state = find_group(group);
+  if (state == nullptr) return {};
+  if (!group_flushed_) {
+    group_flushed_ = true;
+    for (UndeliveredCopy& copy : stop_and_flush()) {
+      if (GroupState* owner = find_group(copy.group)) {
+        owner->stash.push_back(copy);
+      }
+    }
+  }
+  return std::move(state->stash);
+}
+
 SocketCounters SocketEndpoint::counters() const {
   std::lock_guard<std::mutex> lock(counters_mutex_);
-  return counters_;
+  SocketCounters total = misc_;
+  for (const auto& link : links_) {
+    total.connect_attempts += link->counters.connect_attempts;
+    total.connect_failures += link->counters.connect_failures;
+    total.reconnects += link->counters.reconnects;
+    total.envelopes_resent += link->counters.envelopes_resent;
+    total.heartbeats_sent += link->counters.heartbeats_sent;
+    total.peer_timeouts += link->counters.peer_timeouts;
+    total.injected_resets += link->counters.injected_resets;
+    total.injected_stalls += link->counters.injected_stalls;
+    total.injected_short_writes += link->counters.injected_short_writes;
+    total.injected_connect_failures +=
+        link->counters.injected_connect_failures;
+  }
+  for (const auto& [group, state] : groups_) {
+    total.envelopes_sent += state->counters.envelopes_sent;
+    total.envelopes_delivered += state->counters.envelopes_delivered;
+    total.duplicates_dropped += state->counters.duplicates_dropped;
+  }
+  return total;
+}
+
+LinkCounters SocketEndpoint::link_counters(int node) const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  const Link* link = link_for_node(node);
+  return link != nullptr ? link->counters : LinkCounters{};
+}
+
+GroupCounters SocketEndpoint::group_counters(GroupId group) const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  const GroupState* state = find_group(group);
+  return state != nullptr ? state->counters : GroupCounters{};
+}
+
+std::vector<GroupId> SocketEndpoint::peer_advertised_groups(int node) const {
+  std::lock_guard<std::mutex> lock(inbound_mutex_);
+  const auto it = peer_groups_.find(node);
+  return it == peer_groups_.end() ? std::vector<GroupId>{} : it->second;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,15 +1,32 @@
 // A supervised socket transport: the live runtime's Transport over real
 // TCP (localhost) or Unix-domain stream sockets.
 //
-// Topology: every process owns a SocketEndpoint — one listening socket
-// plus one outbound *link* per peer.  A link is driven by a supervisor
-// thread owning the connection lifecycle:
+// The transport is split into two layers:
 //
-//     DISCONNECTED --connect ok--> CONNECTED --io error/heartbeat
-//          ^    \                      |        timeout/injected reset
-//          |     +--connect fail       |
-//          |            |              v
-//          +--backoff---+------- DISCONNECTED (retry forever)
+//   * The LINK layer is per peer *node* (OS process), not per consensus
+//     group.  Every node owns a SocketEndpoint — one listening socket plus
+//     one outbound link per peer node, each driven by a supervisor thread
+//     owning the connection lifecycle:
+//
+//       DISCONNECTED --connect ok--> CONNECTED --io error/heartbeat
+//            ^    \                      |        timeout/injected reset
+//            |     +--connect fail       |
+//            |            |              v
+//            +--backoff---+------- DISCONNECTED (retry forever)
+//
+//     Reconnect/backoff, heartbeats, and the reliable seq/ack machinery
+//     all live here, once per link: envelopes of every group hosted on the
+//     node share one sequence space per link, one hold queue, one
+//     supervisor.  A reconnect storm on one peer link is one link's
+//     problem, however many groups ride on it.
+//
+//   * The DEMUX layer is per consensus group.  A node registers the groups
+//     it hosts (add_group) before start(); each decoded ENVELOPE2 carries
+//     its owning GroupId and is routed — after per-link dedup — to the
+//     owning replica's mailbox.  The routing table is immutable after
+//     start(), so reader threads demultiplex without taking a lock, and no
+//     group's slow consumer can head-of-line block another group: mailbox
+//     pushes go to per-group channels sized for the whole run.
 //
 // Reconnects use exponential backoff with decorrelated jitter
 // (next_backoff below — a pure function of (policy, previous, rng), so the
@@ -33,8 +50,8 @@
 // connect failures, and accept-then-close, all confined to a wall-clock
 // window (`until`, the chaos analogue of the router's pre-GST era) and
 // switched off by expedite().  The oracle stays the unchanged Validator:
-// whatever the chaos does, the merged trace must still satisfy eventual
-// synchrony from some derived GST round on.
+// whatever the chaos does, each group's merged trace must still satisfy
+// eventual synchrony from some derived GST round on.
 
 #pragma once
 
@@ -43,6 +60,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -144,6 +162,11 @@ struct WireChaosOptions {
   double stall_prob = 0.0;         ///< sleep `stall` before a write
   std::chrono::microseconds stall{1'000};
   double short_write_prob = 0.0;   ///< dribble a frame byte-at-a-time
+  /// >= 0: confine link-side chaos (connect failures, resets, stalls,
+  /// short writes) to the link towards this peer node — the counter
+  /// attribution tests' scalpel.  Accept-side chaos is unscoped (the
+  /// dialer is unknown when the close is injected).
+  int only_node = -1;
 
   bool any() const {
     return connect_fail_prob > 0 || accept_close_prob > 0 || reset_prob > 0 ||
@@ -169,8 +192,37 @@ struct SocketTransportOptions {
   std::uint64_t seed = 1;
 };
 
-/// Supervisor observability, aggregated over links; the X5-socket bench
-/// and the multi-process demo report these.
+/// Connection-lifecycle observability, kept per peer link so a reconnect
+/// storm on one peer cannot be misattributed to a healthy group that never
+/// uses that link.
+struct LinkCounters {
+  long connect_attempts = 0;
+  long connect_failures = 0;   ///< includes injected ones
+  long reconnects = 0;         ///< successful connects after the first
+  long envelopes_resent = 0;   ///< link-caused redeliveries after reconnect
+  long heartbeats_sent = 0;
+  long peer_timeouts = 0;      ///< connections dropped for silence
+  long injected_resets = 0;
+  long injected_stalls = 0;
+  long injected_short_writes = 0;
+  long injected_connect_failures = 0;
+
+  LinkCounters& operator+=(const LinkCounters& o);
+};
+
+/// Traffic observability, kept per consensus group: what the demux layer
+/// attributed to each group's replicas.
+struct GroupCounters {
+  long envelopes_sent = 0;
+  long envelopes_delivered = 0;
+  long duplicates_dropped = 0;
+
+  GroupCounters& operator+=(const GroupCounters& o);
+};
+
+/// The endpoint-wide aggregate (links + groups + accept-side events); the
+/// X5/X6 benches and the multi-process demos report these, and the shipped
+/// log format persists them.
 struct SocketCounters {
   long connect_attempts = 0;
   long connect_failures = 0;   ///< includes injected ones
@@ -186,6 +238,9 @@ struct SocketCounters {
   long injected_short_writes = 0;
   long injected_connect_failures = 0;
   long injected_accept_closes = 0;
+  /// Well-formed envelopes no hosted group owned (unknown group, spoofed
+  /// or misplaced sender).  Acked at the link layer, dropped by the demux.
+  long demux_drops = 0;
 
   SocketCounters& operator+=(const SocketCounters& o);
 };
@@ -196,47 +251,122 @@ struct SocketCounters {
 using AddressResolver =
     std::function<std::optional<SocketAddress>(ProcessId)>;
 
-/// One process' side of the socket fabric: a listener plus n-1 supervised
-/// outbound links.  Implements the full SupervisedTransport control plane
-/// for its own process; dispatch() must be called with sender == self.
+/// One consensus group as hosted on one node: which group-local replica
+/// lives here, where every other member lives, and the channel decoded
+/// envelopes are demultiplexed into.
+struct GroupSpec {
+  GroupId group = 0;
+  SystemConfig config{};
+  ProcessId self = -1;       ///< the group-local replica hosted on this node
+  /// members[pid] = hosting node for every group-local pid.  Replicas of
+  /// one group must live on pairwise-distinct nodes.
+  std::vector<int> members;
+  Mailbox* inbox = nullptr;  ///< the hosted replica's mailbox
+};
+
+/// One node's side of the socket fabric: a listener plus one supervised
+/// outbound link per peer node, multiplexing every group registered with
+/// add_group().  Implements the SupervisedTransport control plane for the
+/// legacy single-group configuration; multi-group hosts drive the
+/// *_group entry points (usually through GroupPort).
 class SocketEndpoint final : public SupervisedTransport {
  public:
-  /// Binds the listener in the constructor (before any start()), so a set
-  /// of endpoints created first and started later can always reach each
-  /// other without races.  `peers[pid]` is where pid listens; the self
-  /// entry may carry port 0 / an unbound path — the actual bound address
-  /// is listen_address().
+  /// Legacy single-group endpoint: node ids coincide with the group-local
+  /// ProcessIds 0..n-1, and group 0 is registered implicitly with identity
+  /// placement.  Binds the listener in the constructor (before any
+  /// start()), so a set of endpoints created first and started later can
+  /// always reach each other without races.  `peers[pid]` is where pid
+  /// listens; the self entry may carry port 0 / an unbound path — the
+  /// actual bound address is listen_address().
   SocketEndpoint(ProcessId self, SystemConfig config,
                  std::vector<SocketAddress> peers,
                  SocketTransportOptions options, Mailbox* inbox);
 
-  /// Resolver flavour for multi-process runs: only the self listen address
-  /// is known up front; peers are resolved per connect attempt.
+  /// Legacy resolver flavour for multi-process runs: only the self listen
+  /// address is known up front; peers are resolved per connect attempt.
   SocketEndpoint(ProcessId self, SystemConfig config, SocketAddress listen,
                  AddressResolver resolver, SocketTransportOptions options,
                  Mailbox* inbox);
 
+  /// Multi-group node: `node` is this process' slot in the fabric's node
+  /// address table.  Register hosted groups with add_group() before
+  /// start().
+  SocketEndpoint(int node, std::vector<SocketAddress> nodes,
+                 SocketTransportOptions options);
+
+  /// Multi-group resolver flavour (multi-process fabrics).
+  SocketEndpoint(int node, int num_nodes, SocketAddress listen,
+                 AddressResolver resolver, SocketTransportOptions options);
+
   ~SocketEndpoint() override;
+
+  /// Registers a hosted group (before start() only).  Throws
+  /// std::invalid_argument on malformed placement: wrong member count,
+  /// nodes out of range, spec.self not hosted here, a duplicate GroupId,
+  /// or two replicas of the group sharing a node.
+  void add_group(GroupSpec spec);
 
   /// The address the listener actually bound (TCP port resolved).
   const SocketAddress& listen_address() const { return listen_address_; }
 
+  int node() const { return node_; }
+
+  /// The registered group ids, ascending — what HELLO2 advertises.
+  std::vector<GroupId> hosted_groups() const;
+
   // --- SupervisedTransport --------------------------------------------------
 
   void start(Clock::time_point epoch) override;
+  /// Legacy single-group dispatch: broadcasts on group 0.
   void dispatch(ProcessId sender, Round round, MessagePtr payload) override;
+  /// Legacy: marks every hosted group's local replica dead when `pid` is
+  /// this node (the whole process crashed).
   void mark_dead(ProcessId pid) override;
   void expedite() override;
   std::vector<UndeliveredCopy> stop_and_flush() override;
   long dropped_copies() const override { return 0; }  ///< never drops
 
-  SocketCounters counters() const;
+  // --- demux layer (per-group entry points) ---------------------------------
+
+  /// Broadcasts `payload` as group-local `sender`'s round-`round` message
+  /// to the group's other members, over the shared per-node links.
+  /// Thread-safe.  `sender` must be the replica hosted on this node.
+  void dispatch_group(GroupId group, ProcessId sender, Round round,
+                      MessagePtr payload);
+
+  /// Marks group-local `pid` dead *within one group*: if that replica is
+  /// hosted here, its copies are dropped at delivery (the kernel does the
+  /// same, and the validator never asks for deliveries to the dead).
+  void mark_dead_group(GroupId group, ProcessId pid);
+
+  /// Per-group expedite: the endpoint-wide expedite (chaos off, drain
+  /// fast) fires once the *last* hosted group asks — one early-finishing
+  /// group cannot switch the adversary off for the others.
+  void expedite_group(GroupId group);
+
+  /// Stops the whole endpoint on first call (the caller must have joined
+  /// every hosted group's drivers first) and returns `group`'s partition
+  /// of the undelivered copies.  Call once per group, from one controlling
+  /// thread.
+  std::vector<UndeliveredCopy> stop_and_flush_group(GroupId group);
+
+  // --- observability --------------------------------------------------------
+
+  SocketCounters counters() const;  ///< endpoint-wide aggregate
+  LinkCounters link_counters(int node) const;
+  GroupCounters group_counters(GroupId group) const;
+  /// The group set `node` advertised in its HELLO2 (empty until it dialed
+  /// us, or if it spoke the v1 wire format).
+  std::vector<GroupId> peer_advertised_groups(int node) const;
 
  private:
   struct Link;
   struct Inbound;
+  struct GroupState;
 
   void init_listener_and_links();
+  GroupState* find_group(GroupId group) const;
+  Link* link_for_node(int node) const;
   void accept_loop();
   void reader_loop(Inbound* conn);
   void supervisor_loop(Link* link);
@@ -245,15 +375,19 @@ class SocketEndpoint final : public SupervisedTransport {
   bool pump_acks(Link* link);
   void drop_connection(Link* link);
   bool chaos_active(Clock::time_point now) const;
+  bool chaos_scoped(const Link* link) const;
   void close_all_inbound();
 
-  ProcessId self_ = -1;
-  SystemConfig config_{};
+  int node_ = -1;
+  int num_nodes_ = 0;
   SocketTransportOptions options_;
   AddressResolver resolver_;
-  Mailbox* inbox_ = nullptr;
   SocketAddress listen_address_;
   int listen_fd_ = -1;
+
+  /// Immutable after start(): reader threads demux without locks.
+  std::map<GroupId, std::unique_ptr<GroupState>> groups_;
+  std::vector<GroupId> hosted_group_ids_;  ///< ascending, = HELLO2 payload
 
   Clock::time_point epoch_{};
   /// Written (before the `stopping_` release-store) by stop_and_flush;
@@ -262,26 +396,67 @@ class SocketEndpoint final : public SupervisedTransport {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> expedited_{false};
-  std::atomic<bool> self_dead_{false};
   bool flushed_ = false;
+  bool group_flushed_ = false;
 
-  std::vector<std::unique_ptr<Link>> links_;  ///< one per peer pid != self
+  std::mutex expedite_mutex_;
+  int expedited_groups_ = 0;
+
+  std::vector<std::unique_ptr<Link>> links_;  ///< one per peer node
+  std::vector<int> link_index_;  ///< node -> index in links_, -1 for self
 
   std::thread accept_thread_;
-  std::mutex inbound_mutex_;
+  mutable std::mutex inbound_mutex_;
   std::vector<std::unique_ptr<Inbound>> inbound_;
+  /// Latest HELLO2 advertisement per peer node.
+  std::map<int, std::vector<GroupId>> peer_groups_;
 
-  /// Highest sequence delivered per peer; survives reconnects (dedup).
+  /// Highest sequence delivered per peer node; survives reconnects
+  /// (dedup).  Per link, shared by every group riding on it.
   std::mutex delivered_mutex_;
   std::vector<std::uint64_t> delivered_seq_;
 
   mutable std::mutex counters_mutex_;
-  SocketCounters counters_;
+  /// Accept-side injections + demux drops — events with no owning link or
+  /// group.  Link/group fields of this struct stay zero; counters() adds
+  /// the per-link and per-group tallies on top.
+  SocketCounters misc_;
 
   /// Copies that could not even be queued because stop arrived while the
   /// hold queue was full.
   std::mutex overflow_mutex_;
   std::vector<UndeliveredCopy> overflow_;
+};
+
+/// A per-group SupervisedTransport view over a shared multi-group
+/// endpoint: the demux layer's send-side facade.  The round drivers of
+/// group g hold a GroupPort and never learn the endpoint is shared —
+/// DriverContext, RoundDriver, and the validator stay single-group.
+class GroupPort final : public SupervisedTransport {
+ public:
+  GroupPort(SocketEndpoint* endpoint, GroupId group)
+      : endpoint_(endpoint), group_(group) {}
+
+  /// The node owner starts the shared endpoint exactly once; per-group
+  /// starts are no-ops.
+  void start(Clock::time_point) override {}
+  void dispatch(ProcessId sender, Round round, MessagePtr payload) override {
+    endpoint_->dispatch_group(group_, sender, round, std::move(payload));
+  }
+  void mark_dead(ProcessId pid) override {
+    endpoint_->mark_dead_group(group_, pid);
+  }
+  void expedite() override { endpoint_->expedite_group(group_); }
+  std::vector<UndeliveredCopy> stop_and_flush() override {
+    return endpoint_->stop_and_flush_group(group_);
+  }
+  long dropped_copies() const override { return 0; }
+
+  GroupId group() const { return group_; }
+
+ private:
+  SocketEndpoint* endpoint_;
+  GroupId group_;
 };
 
 /// In-process fabric for the LiveRuntime, the --socket fuzz campaign, and

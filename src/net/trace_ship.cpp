@@ -13,7 +13,10 @@ namespace indulgence {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x314c5349;  // "ISL1" little-endian
-constexpr std::uint32_t kVersion = 1;
+/// v1: single-group records.  v2 adds the owning GroupId, group-tagged
+/// undelivered copies, and the demux_drops counter; v1 files still read
+/// (group 0, demux_drops 0).  New files are always written as v2.
+constexpr std::uint32_t kVersion = 2;
 /// Per-vector sanity cap: a corrupt count must not drive an allocation.
 constexpr std::uint32_t kMaxRecords = 1u << 24;
 
@@ -32,9 +35,10 @@ void put_counters(WireWriter& w, const SocketCounters& c) {
   w.i64(c.injected_short_writes);
   w.i64(c.injected_connect_failures);
   w.i64(c.injected_accept_closes);
+  w.i64(c.demux_drops);  // v2
 }
 
-bool get_counters(WireReader& r, SocketCounters& c) {
+bool get_counters(WireReader& r, SocketCounters& c, std::uint32_t version) {
   long* fields[] = {&c.connect_attempts,  &c.connect_failures,
                     &c.reconnects,        &c.envelopes_sent,
                     &c.envelopes_resent,  &c.envelopes_delivered,
@@ -48,6 +52,11 @@ bool get_counters(WireReader& r, SocketCounters& c) {
     if (!v) return false;
     *f = static_cast<long>(*v);
   }
+  if (version >= 2) {
+    auto v = r.i64();
+    if (!v) return false;
+    c.demux_drops = static_cast<long>(*v);
+  }
   return true;
 }
 
@@ -56,15 +65,22 @@ void put_copy(WireWriter& w, const UndeliveredCopy& c) {
   w.i32(c.receiver);
   w.i32(c.send_round);
   w.i32(c.target_round);
+  w.i32(c.group);  // v2
 }
 
-bool get_copy(WireReader& r, UndeliveredCopy& c) {
+bool get_copy(WireReader& r, UndeliveredCopy& c, std::uint32_t version) {
   auto sender = r.i32();
   auto receiver = r.i32();
   auto send_round = r.i32();
   auto target_round = r.i32();
   if (!sender || !receiver || !send_round || !target_round) return false;
-  c = UndeliveredCopy{*sender, *receiver, *send_round, *target_round};
+  GroupId group = 0;
+  if (version >= 2) {
+    auto g = r.i32();
+    if (!g) return false;
+    group = *g;
+  }
+  c = UndeliveredCopy{*sender, *receiver, *send_round, *target_round, group};
   return true;
 }
 
@@ -80,6 +96,7 @@ void write_shipped_log(const std::string& path, const ShippedLog& shipped) {
   WireWriter w;
   w.u32(kMagic);
   w.u32(kVersion);
+  w.i32(shipped.group);  // v2
   w.i32(shipped.self);
   w.i32(shipped.config.n);
   w.i32(shipped.config.t);
@@ -143,10 +160,16 @@ std::optional<ShippedLog> read_shipped_log(const std::string& path) {
 
   auto magic = r.u32();
   auto version = r.u32();
-  if (!magic || *magic != kMagic || !version || *version != kVersion) {
+  if (!magic || *magic != kMagic || !version || *version < 1 ||
+      *version > kVersion) {
     return std::nullopt;
   }
   ShippedLog shipped;
+  if (*version >= 2) {
+    auto group = r.i32();
+    if (!group) return std::nullopt;
+    shipped.group = *group;
+  }
   auto self = r.i32();
   auto n = r.i32();
   auto t = r.i32();
@@ -219,7 +242,7 @@ std::optional<ShippedLog> read_shipped_log(const std::string& path) {
   log.leftovers.reserve(*leftover_count);
   for (std::uint32_t i = 0; i < *leftover_count; ++i) {
     UndeliveredCopy c;
-    if (!get_copy(r, c)) return std::nullopt;
+    if (!get_copy(r, c, *version)) return std::nullopt;
     log.leftovers.push_back(c);
   }
 
@@ -228,11 +251,11 @@ std::optional<ShippedLog> read_shipped_log(const std::string& path) {
   shipped.undelivered.reserve(*undelivered_count);
   for (std::uint32_t i = 0; i < *undelivered_count; ++i) {
     UndeliveredCopy c;
-    if (!get_copy(r, c)) return std::nullopt;
+    if (!get_copy(r, c, *version)) return std::nullopt;
     shipped.undelivered.push_back(c);
   }
 
-  if (!get_counters(r, shipped.counters)) return std::nullopt;
+  if (!get_counters(r, shipped.counters, *version)) return std::nullopt;
   if (!r.done()) return std::nullopt;  // trailing garbage
   return shipped;
 }
@@ -248,10 +271,16 @@ RunResult ship_and_merge(std::vector<ShippedLog> logs, bool terminated) {
                                 std::to_string(config.n) + " logs, got " +
                                 std::to_string(logs.size()));
   }
+  const GroupId group = logs.front().group;
   std::vector<ProcessLog> process_logs(logs.size());
   std::vector<char> present(logs.size(), 0);
   std::vector<UndeliveredCopy> undelivered;
   for (ShippedLog& shipped : logs) {
+    if (shipped.group != group) {
+      throw std::invalid_argument(
+          "trace ship: mixed groups in one merge (use "
+          "ship_and_merge_groups)");
+    }
     if (!(shipped.config == config)) {
       throw std::invalid_argument("trace ship: config mismatch in p" +
                                   std::to_string(shipped.self));
@@ -285,6 +314,19 @@ RunResult ship_and_merge(std::vector<ShippedLog> logs, bool terminated) {
   result.termination =
       result.trace.terminated() && result.trace.all_correct_decided();
   return result;
+}
+
+std::map<GroupId, RunResult> ship_and_merge_groups(
+    std::vector<ShippedLog> logs, bool terminated) {
+  std::map<GroupId, std::vector<ShippedLog>> by_group;
+  for (ShippedLog& shipped : logs) {
+    by_group[shipped.group].push_back(std::move(shipped));
+  }
+  std::map<GroupId, RunResult> results;
+  for (auto& [group, partition] : by_group) {
+    results.emplace(group, ship_and_merge(std::move(partition), terminated));
+  }
+  return results;
 }
 
 SocketCounters total_counters(const std::vector<ShippedLog>& logs) {

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,12 +25,17 @@
 
 namespace indulgence {
 
-/// Everything one OS process contributes to the merged trace.
+/// Everything one OS process contributes to ONE group's merged trace.  A
+/// sharded node hosting G groups ships G of these (same file format, one
+/// record per group); single-group processes ship exactly one with the
+/// legacy group 0.
 struct ShippedLog {
-  ProcessId self = -1;
+  GroupId group = 0;
+  ProcessId self = -1;  ///< group-local pid
   SystemConfig config{};
   ProcessLog log;
-  /// Sender-side copies still unacknowledged when the endpoint stopped.
+  /// Sender-side copies still unacknowledged when the endpoint stopped,
+  /// already partitioned to this group.
   std::vector<UndeliveredCopy> undelivered;
   SocketCounters counters;
 };
@@ -46,8 +52,15 @@ std::optional<ShippedLog> read_shipped_log(const std::string& path);
 /// RunResult: merged trace, minimal conforming GST, full validator report,
 /// consensus properties.  `terminated` asserts that every process finished
 /// its agreed fixed round count.  Throws std::invalid_argument when logs
-/// are missing, duplicated, or disagree on the system config.
+/// are missing, duplicated, belong to different groups, or disagree on the
+/// system config.
 RunResult ship_and_merge(std::vector<ShippedLog> logs, bool terminated);
+
+/// The sharded flavour: partitions logs by group and runs the unchanged
+/// per-group merge + validate pipeline on each partition (each group must
+/// contribute exactly its n logs).  Returns one RunResult per group.
+std::map<GroupId, RunResult> ship_and_merge_groups(
+    std::vector<ShippedLog> logs, bool terminated);
 
 /// Aggregate supervisor counters across shipped logs.
 SocketCounters total_counters(const std::vector<ShippedLog>& logs);

@@ -21,9 +21,10 @@ namespace indulgence {
 /// (scripted replay: the schedule's Deliver/Delay fate); 0 means the
 /// receiver's synchronizer classifies the copy by arrival time (live mode).
 struct NetEnvelope {
-  ProcessId sender = -1;
+  ProcessId sender = -1;  ///< group-local pid
   Round send_round = 0;
   Round target_round = 0;
+  GroupId group = 0;      ///< owning consensus group (0 = legacy single group)
   MessagePtr payload;
 };
 
@@ -36,6 +37,7 @@ struct UndeliveredCopy {
   ProcessId receiver = -1;
   Round send_round = 0;
   Round target_round = 0;
+  GroupId group = 0;
 };
 
 class Transport {

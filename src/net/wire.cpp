@@ -280,6 +280,16 @@ std::vector<std::uint8_t> encode_hello(ProcessId sender) {
   return finish_frame(FrameType::Hello, std::move(body));
 }
 
+std::vector<std::uint8_t> encode_hello2(ProcessId sender,
+                                        const std::vector<GroupId>& groups) {
+  WireWriter body;
+  body.u32(kWireVersion);
+  body.i32(sender);
+  body.u32(static_cast<std::uint32_t>(groups.size()));
+  for (GroupId group : groups) body.i32(group);
+  return finish_frame(FrameType::Hello2, std::move(body));
+}
+
 std::vector<std::uint8_t> encode_envelope_frame(std::uint64_t seq,
                                                 const NetEnvelope& envelope) {
   WireWriter body;
@@ -288,6 +298,18 @@ std::vector<std::uint8_t> encode_envelope_frame(std::uint64_t seq,
   body.i32(envelope.target_round);
   encode_message(*envelope.payload, body);
   return finish_frame(FrameType::Envelope, std::move(body));
+}
+
+std::vector<std::uint8_t> encode_envelope_frame2(std::uint64_t seq,
+                                                 const NetEnvelope& envelope) {
+  WireWriter body;
+  body.u64(seq);
+  body.i32(envelope.group);
+  body.i32(envelope.sender);
+  body.i32(envelope.send_round);
+  body.i32(envelope.target_round);
+  encode_message(*envelope.payload, body);
+  return finish_frame(FrameType::Envelope2, std::move(body));
 }
 
 std::vector<std::uint8_t> encode_ack(std::uint64_t cumulative_seq) {
@@ -325,7 +347,35 @@ std::optional<Frame> FrameParser::next() {
       case FrameType::Hello: {
         auto sender = body.i32();
         if (sender && body.done()) {
-          frame = Frame{FrameType::Hello, *sender, 0, {}};
+          Frame f;
+          f.type = FrameType::Hello;
+          f.hello_sender = *sender;
+          frame = std::move(f);
+        }
+        break;
+      }
+      case FrameType::Hello2: {
+        auto version = body.u32();
+        auto sender = body.i32();
+        auto count = body.u32();
+        // Length-check the advertised group count (4 bytes each) before
+        // trusting it with an allocation.
+        if (version && sender && count && *count <= body.remaining() / 4) {
+          Frame f;
+          f.type = FrameType::Hello2;
+          f.hello_version = *version;
+          f.hello_sender = *sender;
+          f.hello_groups.reserve(*count);
+          bool ok = true;
+          for (std::uint32_t i = 0; ok && i < *count; ++i) {
+            auto group = body.i32();
+            if (group) {
+              f.hello_groups.push_back(*group);
+            } else {
+              ok = false;
+            }
+          }
+          if (ok && body.done()) frame = std::move(f);
         }
         break;
       }
@@ -347,15 +397,40 @@ std::optional<Frame> FrameParser::next() {
         }
         break;
       }
+      case FrameType::Envelope2: {
+        auto seq = body.u64();
+        auto group = body.i32();
+        auto sender = body.i32();
+        auto send_round = body.i32();
+        auto target_round = body.i32();
+        if (seq && group && sender && send_round && target_round) {
+          MessagePtr payload = decode_message(body);
+          if (payload != nullptr && body.done()) {
+            Frame f;
+            f.type = FrameType::Envelope2;
+            f.seq = *seq;
+            f.envelope.group = *group;
+            f.envelope.sender = *sender;
+            f.envelope.send_round = *send_round;
+            f.envelope.target_round = *target_round;
+            f.envelope.payload = std::move(payload);
+            frame = std::move(f);
+          }
+        }
+        break;
+      }
       case FrameType::Ack: {
         auto seq = body.u64();
         if (seq && body.done()) {
-          frame = Frame{FrameType::Ack, -1, *seq, {}};
+          Frame f;
+          f.type = FrameType::Ack;
+          f.seq = *seq;
+          frame = std::move(f);
         }
         break;
       }
       case FrameType::Heartbeat: {
-        if (body.done()) frame = Frame{FrameType::Heartbeat, -1, 0, {}};
+        if (body.done()) frame = Frame{};  // default Frame IS a heartbeat
         break;
       }
       default:

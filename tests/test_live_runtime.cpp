@@ -150,6 +150,31 @@ TEST(LiveRuntimeLive, WallClockGstOffsetStillProducesAValidTrace) {
   EXPECT_GE(r.trace.gst(), 1);
 }
 
+TEST(LiveRuntimeLive, RoundFloorPacesRoundsWithoutChangingTheOutcome) {
+  // round_floor emulates a network RTT on loopback: every live round must
+  // last at least the floor, so a decision at round k costs >= (k-1)
+  // floors of wall clock (the final round may close into the stop drain,
+  // which the floor deliberately never delays).  The trace itself — valid,
+  // decided — must be indistinguishable from an unpaced run.
+  LiveOptions options;
+  options.round_floor = std::chrono::milliseconds{5};
+  options.seed = 11;
+  const SystemConfig cfg{.n = 3, .t = 1};
+  const FuzzTarget* hr = find_fuzz_target("hr");
+  ASSERT_NE(hr, nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult r =
+      run_live(cfg, options, hr->factory, distinct_proposals(cfg.n));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(r.ok()) << r.summary() << "\n" << r.validation.to_string();
+  ASSERT_TRUE(r.global_decision_round.has_value());
+  const auto lower_bound =
+      options.round_floor * (*r.global_decision_round - 1);
+  EXPECT_GE(elapsed, lower_bound)
+      << "decided at round " << *r.global_decision_round
+      << " faster than the floor allows";
+}
+
 TEST(LiveRuntimeLive, InjectedCrashIsRecordedAndSurvived) {
   LiveOptions options;
   options.crashes.push_back(CrashInjection{0, 2, true});

@@ -224,5 +224,175 @@ TEST(FrameParser, TrailingGarbageInBodyIsRejected) {
   EXPECT_FALSE(parser.poisoned());
 }
 
+// ---------------------------------------------------------------------------
+// Wire version 2: the group-multiplexed frames.  The golden-byte tests pin
+// the format itself — shipped logs and cross-version peers read these exact
+// bytes, so any codec change that alters them is a wire break, not a
+// refactor.
+// ---------------------------------------------------------------------------
+
+TEST(WireV2, Hello2GoldenBytes) {
+  const std::vector<std::uint8_t> frame = encode_hello2(3, {0, 7});
+  const std::vector<std::uint8_t> golden = {
+      20,  0, 0, 0,           // body length
+      5,                      // frame type Hello2
+      2,   0, 0, 0,           // wire version
+      3,   0, 0, 0,           // sender node
+      2,   0, 0, 0,           // group count
+      0,   0, 0, 0,           // group 0
+      7,   0, 0, 0,           // group 7
+  };
+  EXPECT_EQ(frame, golden);
+
+  FrameParser parser;
+  parser.feed(frame.data(), frame.size());
+  auto f = parser.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::Hello2);
+  EXPECT_EQ(f->hello_version, kWireVersion);
+  EXPECT_EQ(f->hello_sender, 3);
+  EXPECT_EQ(f->hello_groups, (std::vector<GroupId>{0, 7}));
+}
+
+TEST(WireV2, Envelope2GoldenBytes) {
+  NetEnvelope env;
+  env.group = 5;
+  env.sender = 2;
+  env.send_round = 3;
+  env.target_round = 4;
+  env.payload = std::make_shared<HaltedMessage>(42);
+  const std::vector<std::uint8_t> frame = encode_envelope_frame2(7, env);
+  const std::vector<std::uint8_t> golden = {
+      33, 0, 0, 0,              // body length
+      6,                        // frame type Envelope2
+      7,  0, 0, 0, 0, 0, 0, 0,  // seq
+      5,  0, 0, 0,              // group
+      2,  0, 0, 0,              // group-local sender
+      3,  0, 0, 0,              // send round
+      4,  0, 0, 0,              // target round
+      1,                        // message tag Halted
+      42, 0, 0, 0, 0, 0, 0, 0,  // value
+  };
+  EXPECT_EQ(frame, golden);
+
+  FrameParser parser;
+  parser.feed(frame.data(), frame.size());
+  auto f = parser.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::Envelope2);
+  EXPECT_EQ(f->seq, 7u);
+  EXPECT_EQ(f->envelope.group, 5);
+  EXPECT_EQ(f->envelope.sender, 2);
+  EXPECT_EQ(f->envelope.send_round, 3);
+  EXPECT_EQ(f->envelope.target_round, 4);
+  EXPECT_EQ(f->envelope.payload->describe(), env.payload->describe());
+}
+
+TEST(WireV2, Envelope2SurvivesByteAtATimeFeeding) {
+  NetEnvelope env;
+  env.group = 12;
+  env.sender = 1;
+  env.send_round = 6;
+  env.payload = std::make_shared<At2EstimateMessage>(
+      5, ProcessSet::from_mask(0b1101));
+  const std::vector<std::uint8_t> frame = encode_envelope_frame2(42, env);
+
+  FrameParser parser;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    parser.feed(&frame[i], 1);
+    if (i + 1 < frame.size()) {
+      EXPECT_FALSE(parser.next().has_value()) << "byte " << i;
+    }
+  }
+  auto decoded = parser.next();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, FrameType::Envelope2);
+  EXPECT_EQ(decoded->envelope.group, 12);
+  EXPECT_EQ(decoded->envelope.sender, 1);
+  EXPECT_EQ(decoded->envelope.payload->describe(), env.payload->describe());
+}
+
+TEST(WireV2, LegacyV1FramesDecodeAsGroupZero) {
+  // A v1 peer's bytes: HELLO carries no version or group set, ENVELOPE no
+  // group or sender field.  Both must still parse, with the v2 defaults the
+  // endpoint relies on (group 0, sender derived from the link).
+  const std::vector<std::uint8_t> hello = encode_hello(3);
+  NetEnvelope env;
+  env.send_round = 2;
+  env.payload = std::make_shared<DecideMessage>(-7);
+  const std::vector<std::uint8_t> envelope = encode_envelope_frame(9, env);
+
+  FrameParser parser;
+  parser.feed(hello.data(), hello.size());
+  parser.feed(envelope.data(), envelope.size());
+
+  auto h = parser.next();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->type, FrameType::Hello);
+  EXPECT_EQ(h->hello_version, 1u);
+  EXPECT_TRUE(h->hello_groups.empty());
+
+  auto e = parser.next();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->type, FrameType::Envelope);
+  EXPECT_EQ(e->envelope.group, 0);
+  EXPECT_EQ(e->envelope.sender, -1);
+  EXPECT_EQ(e->envelope.payload->describe(), env.payload->describe());
+}
+
+TEST(WireV2, Hello2OverstatedGroupCountIsSkippedNotAllocated) {
+  // The advertised count claims 2^24 groups with 4 bytes of body left: the
+  // decoder must length-check before reserving, skip the frame, and keep
+  // the stream alive for the next frame.
+  WireWriter w;
+  WireWriter body;
+  body.u32(kWireVersion);
+  body.i32(1);
+  body.u32(0x00ffffff);  // absurd group count
+  body.i32(0);           // only one group's worth of bytes follows
+  w.u32(static_cast<std::uint32_t>(body.bytes().size()));
+  w.u8(static_cast<std::uint8_t>(FrameType::Hello2));
+  for (std::uint8_t b : body.bytes()) w.u8(b);
+  const std::vector<std::uint8_t> ack = encode_ack(5);
+
+  FrameParser parser;
+  parser.feed(w.bytes().data(), w.bytes().size());
+  parser.feed(ack.data(), ack.size());
+  auto frame = parser.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::Ack);
+  EXPECT_FALSE(parser.poisoned());
+}
+
+TEST(WireV2, Envelope2TruncatedGroupTagIsSkippedNotThrown) {
+  // Cut a valid Envelope2 body anywhere inside the group/sender/round
+  // header: every prefix must decode to "no frame" (re-framed with a
+  // truthful length so only the body decoder, not the length check, sees
+  // the truncation), never throw, and never poison the stream.
+  NetEnvelope env;
+  env.group = 3;
+  env.sender = 1;
+  env.send_round = 2;
+  env.payload = std::make_shared<HaltedMessage>(8);
+  const std::vector<std::uint8_t> full = encode_envelope_frame2(1, env);
+  const std::size_t header = 5;  // u32 length + u8 type
+  for (std::size_t body_len = 0; body_len + header < full.size();
+       ++body_len) {
+    WireWriter w;
+    w.u32(static_cast<std::uint32_t>(body_len));
+    w.u8(static_cast<std::uint8_t>(FrameType::Envelope2));
+    for (std::size_t i = 0; i < body_len; ++i) w.u8(full[header + i]);
+    const std::vector<std::uint8_t> hb = encode_heartbeat();
+
+    FrameParser parser;
+    parser.feed(w.bytes().data(), w.bytes().size());
+    parser.feed(hb.data(), hb.size());
+    auto frame = parser.next();
+    ASSERT_TRUE(frame.has_value()) << "body length " << body_len;
+    EXPECT_EQ(frame->type, FrameType::Heartbeat) << "body length " << body_len;
+    EXPECT_FALSE(parser.poisoned());
+  }
+}
+
 }  // namespace
 }  // namespace indulgence

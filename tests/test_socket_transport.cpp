@@ -207,6 +207,126 @@ TEST(SocketEndpoint, TcpListenerResolvesEphemeralPort) {
 }
 
 // ---------------------------------------------------------------------------
+// Counter attribution: per-link vs per-group
+// ---------------------------------------------------------------------------
+
+TEST(SocketEndpoint, ChaosOnOneLinkIsNotChargedToGroupsThatAvoidIt) {
+  // Four nodes, two overlapping groups on one fabric:
+  //   group 1 on nodes {0, 1, 2},  group 2 on nodes {0, 2, 3}.
+  // Injected resets are confined (only_node) to node 0's link towards
+  // node 1 — a link only group 1 uses.  The regression this pins: link
+  // trouble must land in LinkCounters of THAT link, and the redelivery
+  // fallout must never leak into group 2's per-group counters, because
+  // group 2 never puts a byte on the chaotic link.
+  const int kNodes = 4;
+  const SystemConfig cfg{.n = 3, .t = 1};
+  const std::string dir = fresh_socket_dir();
+  std::vector<SocketAddress> addrs;
+  for (int i = 0; i < kNodes; ++i) {
+    addrs.push_back(
+        SocketAddress::unix_path(dir + "/n" + std::to_string(i) + ".sock"));
+  }
+
+  // members[pid] = hosting node.
+  const std::vector<int> group1_nodes = {0, 1, 2};
+  const std::vector<int> group2_nodes = {0, 2, 3};
+  auto local_pid = [](const std::vector<int>& members,
+                      int node) -> ProcessId {
+    for (ProcessId pid = 0; pid < static_cast<ProcessId>(members.size());
+         ++pid) {
+      if (members[static_cast<std::size_t>(pid)] == node) return pid;
+    }
+    return -1;
+  };
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::vector<std::unique_ptr<SocketEndpoint>> endpoints;
+  for (int node = 0; node < kNodes; ++node) {
+    SocketTransportOptions opts;
+    opts.seed = 500 + static_cast<std::uint64_t>(node);
+    if (node == 0) {
+      opts.chaos.seed = 77;
+      opts.chaos.until = 300ms;
+      opts.chaos.reset_prob = 0.9;
+      opts.chaos.only_node = 1;
+    }
+    endpoints.push_back(
+        std::make_unique<SocketEndpoint>(node, addrs, opts));
+    for (GroupId g : {1, 2}) {
+      const auto& members = g == 1 ? group1_nodes : group2_nodes;
+      const ProcessId self = local_pid(members, node);
+      if (self < 0) continue;
+      mailboxes.push_back(std::make_unique<Mailbox>(1024));
+      GroupSpec spec;
+      spec.group = g;
+      spec.config = cfg;
+      spec.self = self;
+      spec.members = members;
+      spec.inbox = mailboxes.back().get();
+      endpoints.back()->add_group(std::move(spec));
+    }
+  }
+  // Mailboxes, in endpoint construction order:
+  //   n0: [0]=g1/p0  [1]=g2/p0   n1: [2]=g1/p1
+  //   n2: [3]=g1/p2  [4]=g2/p1   n3: [5]=g2/p2
+  const auto epoch = std::chrono::steady_clock::now();
+  for (auto& ep : endpoints) ep->start(epoch);
+
+  constexpr int kSends = 25;
+  for (Round k = 1; k <= kSends; ++k) {
+    endpoints[0]->dispatch_group(1, 0, k,
+                                 std::make_shared<FloodEstimateMessage>(k));
+    endpoints[0]->dispatch_group(2, 0, k,
+                                 std::make_shared<FloodEstimateMessage>(k));
+  }
+  // Every broadcast must eventually land despite the resets: group 1 at
+  // n1/n2, group 2 at n2/n3.  (The chaotic link redelivers after its
+  // reconnects; the clean links are unaffected.)
+  for (std::size_t box : {2u, 3u, 4u, 5u}) {
+    for (int i = 0; i < kSends; ++i) {
+      ASSERT_TRUE(mailboxes[box]->pop_for(5s).has_value())
+          << "mailbox " << box << " copy " << i;
+    }
+  }
+  for (auto& ep : endpoints) ep->stop_and_flush();
+
+  // The chaos fired, on the one link it was scoped to — and nowhere else.
+  const LinkCounters to1 = endpoints[0]->link_counters(1);
+  EXPECT_GT(to1.injected_resets, 0);
+  EXPECT_GT(to1.reconnects, 0);
+  EXPECT_GT(to1.envelopes_resent, 0);
+  for (int peer : {2, 3}) {
+    const LinkCounters clean = endpoints[0]->link_counters(peer);
+    EXPECT_EQ(clean.injected_resets, 0) << "link to " << peer;
+    EXPECT_EQ(clean.injected_connect_failures, 0) << "link to " << peer;
+    EXPECT_EQ(clean.envelopes_resent, 0) << "link to " << peer;
+  }
+
+  // Group 2 never touched the chaotic link: its per-group accounting on
+  // every hosting node must look like a clean run — exactly kSends copies
+  // to each of its two remote members, none of them re-deliveries.
+  GroupCounters group2;
+  for (int node : group2_nodes) {
+    group2 += endpoints[static_cast<std::size_t>(node)]->group_counters(2);
+  }
+  EXPECT_EQ(group2.envelopes_sent, 2 * kSends);
+  EXPECT_EQ(group2.envelopes_delivered, 2 * kSends);
+  EXPECT_EQ(group2.duplicates_dropped, 0);
+
+  // Group 1 rode the chaotic link, so its deliveries survived resends:
+  // same copies delivered, with any duplicates filtered by seq dedup.
+  GroupCounters group1;
+  for (int node : group1_nodes) {
+    group1 += endpoints[static_cast<std::size_t>(node)]->group_counters(1);
+  }
+  EXPECT_EQ(group1.envelopes_sent, 2 * kSends);
+  EXPECT_EQ(group1.envelopes_delivered, 2 * kSends);
+
+  endpoints.clear();
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
 // Full consensus runs over the hub
 // ---------------------------------------------------------------------------
 

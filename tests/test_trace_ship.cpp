@@ -18,6 +18,7 @@
 #include "fuzz/targets.hpp"
 #include "net/round_driver.hpp"
 #include "net/socket_transport.hpp"
+#include "net/wire.hpp"
 #include "sim/harness.hpp"
 #include "sim/message.hpp"
 
@@ -114,6 +115,100 @@ TEST(TraceShip, MissingTruncatedAndForeignFilesReadAsNullopt) {
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << "definitely not a shipped log";
+  }
+  EXPECT_FALSE(read_shipped_log(path).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceShip, V2GroupFieldsRoundTrip) {
+  const std::string dir = fresh_dir();
+  const std::string path = dir + "/g5.log";
+  ShippedLog original = sample_log();
+  original.group = 5;
+  original.log.leftovers[0].group = 5;
+  original.undelivered[0].group = 9;  // a foreign group's stray copy
+  original.counters.demux_drops = 2;
+  write_shipped_log(path, original);
+
+  const std::optional<ShippedLog> loaded = read_shipped_log(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->group, 5);
+  EXPECT_EQ(loaded->log.leftovers[0].group, 5);
+  EXPECT_EQ(loaded->undelivered[0].group, 9);
+  EXPECT_EQ(loaded->counters.demux_drops, 2);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TraceShip, V1LegacyFileReadsAsGroupZero) {
+  // A v1 shipped log, byte for byte as the pre-sharding writer produced it:
+  // no group header, ungrouped copies, 14 counter fields (no demux_drops).
+  // The v2 reader must accept it with the legacy defaults.
+  WireWriter w;
+  w.u32(0x314c5349);  // magic "ISL1"
+  w.u32(1);           // version 1
+  w.i32(1);           // self
+  w.i32(3);           // n
+  w.i32(1);           // t
+  w.i64(7);           // proposal
+  w.u8(1);            // done
+  w.i32(4);           // halt_round
+  w.i32(5);           // completed
+  w.u8(0);            // no crash
+  w.u32(1);           // sends
+  w.i32(1);
+  w.i32(1);
+  w.u8(0);
+  w.u32(1);  // deliveries
+  w.i32(1);
+  w.i32(1);
+  w.i32(0);
+  w.i32(1);
+  encode_message(HaltedMessage(9), w);
+  w.u32(1);  // decisions
+  w.i32(2);
+  w.i32(1);
+  w.i64(9);
+  w.u32(1);  // leftovers: 4 fields, no group
+  w.i32(0);
+  w.i32(1);
+  w.i32(2);
+  w.i32(6);
+  w.u32(1);  // undelivered: 4 fields, no group
+  w.i32(1);
+  w.i32(2);
+  w.i32(5);
+  w.i32(0);
+  for (int i = 0; i < 14; ++i) w.i64(i);  // counters, sans demux_drops
+
+  const std::string dir = fresh_dir();
+  const std::string path = dir + "/v1.log";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(w.bytes().data()),
+              static_cast<std::streamsize>(w.bytes().size()));
+  }
+  const std::optional<ShippedLog> loaded = read_shipped_log(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->group, 0);
+  EXPECT_EQ(loaded->self, 1);
+  EXPECT_EQ(loaded->config, (SystemConfig{.n = 3, .t = 1}));
+  EXPECT_EQ(loaded->log.proposal, 7);
+  ASSERT_EQ(loaded->log.leftovers.size(), 1u);
+  EXPECT_EQ(loaded->log.leftovers[0].group, 0);
+  ASSERT_EQ(loaded->undelivered.size(), 1u);
+  EXPECT_EQ(loaded->undelivered[0].group, 0);
+  EXPECT_EQ(loaded->counters.connect_attempts, 0);
+  EXPECT_EQ(loaded->counters.injected_accept_closes, 13);
+  EXPECT_EQ(loaded->counters.demux_drops, 0);
+
+  // The same body under a claimed version 3 must be rejected: the reader
+  // only speaks versions it knows.
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes[4] = 3;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
   }
   EXPECT_FALSE(read_shipped_log(path).has_value());
   std::filesystem::remove_all(dir);
