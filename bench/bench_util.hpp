@@ -186,6 +186,43 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
+/// Scans a persisted BENCH_*.json artifact for every `"key": <number>`
+/// occurrence and returns the numbers in file order.  A text scan, not a
+/// JSON parser — enough for the flat numeric keys JsonWriter emits, with
+/// no third-party JSON dependency.  Missing file or key → empty vector
+/// (benches must degrade gracefully when no baseline is checked in).
+inline std::vector<double> scan_json_numbers(const std::string& path,
+                                             const std::string& key) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::vector<double> found;
+  const std::string needle = "\"" + key + "\"";
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) continue;
+    std::size_t pos = line.find(':', at + needle.size());
+    if (pos == std::string::npos) continue;
+    ++pos;
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(line.substr(pos), &used);
+      if (used > 0) found.push_back(v);
+    } catch (const std::exception&) {
+      // non-numeric value (string/bool/object) — not a baseline number
+    }
+  }
+  return found;
+}
+
+/// First match of scan_json_numbers, or `fallback` when absent.
+inline double scan_json_number(const std::string& path, const std::string& key,
+                               double fallback = 0) {
+  const std::vector<double> found = scan_json_numbers(path, key);
+  return found.empty() ? fallback : found.front();
+}
+
 /// Sorted-percentile helper shared by the latency-reporting benches.
 inline double percentile_of(std::vector<double> values, double p) {
   if (values.empty()) return 0;

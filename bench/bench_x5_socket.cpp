@@ -157,6 +157,7 @@ int main() {
 
   bool ok = true;
   long runs = 0;
+  double uds_clean_p50 = 0;
   bench::Stopwatch watch;
   bench::JsonWriter json("BENCH_x5_socket.json");
   json.begin_object();
@@ -201,14 +202,42 @@ int main() {
     json.key("reconnects").value(c.reconnects);
     json.key("envelopes_sent").value(c.envelopes_sent);
     json.key("envelopes_resent").value(c.envelopes_resent);
+    json.key("flush_syscalls").value(c.flush_syscalls);
     json.key("duplicates_dropped").value(c.duplicates_dropped);
     json.key("peer_timeouts").value(c.peer_timeouts);
     json.key("injected_faults").value(injected);
     json.end_object();
     json.end_object();
+    if (cell.cfg.n == 3 && cell.scenario == "UDS") {
+      uds_clean_p50 = p50;
+    }
   }
   json.end_array();
   json.key("ok").value(ok);
+
+  // Before/after trajectory: the first cell (n=3 clean UDS) against the
+  // previous PR's checked-in artifact.  Reported, not gated — absolute
+  // latencies are machine-dependent; CI and the PR description carry the
+  // comparison.
+  const std::string baseline_path =
+      std::string(INDULGENCE_BENCH_BASELINE_DIR) +
+      "/BENCH_x5_socket.pr6.json";
+  const std::vector<double> base_p50s =
+      bench::scan_json_numbers(baseline_path, "commit_latency_p50_us");
+  const double base_p50 = base_p50s.empty() ? 0 : base_p50s.front();
+  json.key("baseline").begin_object();
+  json.key("baseline_available").value(base_p50 > 0);
+  json.key("baseline_uds_clean_p50_us").value(base_p50);
+  json.key("uds_clean_p50_us").value(uds_clean_p50);
+  json.key("uds_clean_p50_vs_baseline")
+      .value(base_p50 > 0 ? uds_clean_p50 / base_p50 : 0.0);
+  json.end_object();
+  if (base_p50 > 0) {
+    std::fprintf(stderr,
+                 "X5-socket before/after: UDS clean n=3 p50 %.0f us vs PR6 "
+                 "baseline %.0f us (%.2fx)\n",
+                 uds_clean_p50, base_p50, uds_clean_p50 / base_p50);
+  }
   json.end_object();
   table.print(std::cout,
               "X5-socket: 8-command log, A_{t+2}+ff slots, window 2");

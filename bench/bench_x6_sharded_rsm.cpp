@@ -36,6 +36,7 @@ const SystemConfig kGroupConfig{3, 1};
 struct Cell {
   int groups = 1;
   bool chaos = false;
+  int burst = 1;  ///< RSM slot_burst: slots pipelined per window step
 };
 
 struct Outcome {
@@ -63,6 +64,14 @@ Outcome run_cell(const Cell& cell) {
   // their waits, not by magic.
   options.live.round_floor = std::chrono::milliseconds{2};
   options.socket.seed = 4242;
+  // Large cells run G x 3 driver threads (768 at G=256) on a shared CPU:
+  // a supervisor or reader starved past the 150 ms peer_silence default
+  // triggers a spurious redial whose reconnect can outlast the 100 ms
+  // shutdown drain, surfacing as a below-quorum final round (a t-resilience
+  // flag on an otherwise healthy run).  Scale both budgets to the load so
+  // the bench measures throughput, not scheduler jitter.
+  options.socket.peer_silence = std::chrono::seconds{1};
+  options.live.drain_wait = std::chrono::milliseconds{500};
   if (cell.chaos) {
     WireChaosOptions chaos;
     chaos.seed = 0x9e3779b97f4a7c15ull;
@@ -83,25 +92,24 @@ Outcome run_cell(const Cell& cell) {
   // Every group commits kSlots commands; key i of group g is queued at
   // replica i mod n (one home replica per command, as a sharded service
   // would route client keys).
-  const GroupFactory factory_for = [](GroupId g) {
-    RsmOptions rsm;
-    rsm.num_slots = kSlots;
-    rsm.slot_window = kWindow;
-    At2Options ff;
-    ff.failure_free_opt = true;
-    return rsm_factory(
-        at2_factory(hurfin_raynal_factory(), ff),
-        [g](ProcessId pid) {
-          std::vector<Value> mine;
-          for (int i = 0; i < kSlots; ++i) {
-            if (static_cast<ProcessId>(i % kGroupConfig.n) == pid) {
-              mine.push_back(1000 * (g + 1) + i);
-            }
+  RsmOptions rsm;
+  rsm.num_slots = kSlots;
+  rsm.slot_window = kWindow;
+  rsm.slot_burst = cell.burst;
+  At2Options ff;
+  ff.failure_free_opt = true;
+  const GroupFactory factory_for = sharded_rsm_factory(
+      at2_factory(hurfin_raynal_factory(), ff),
+      [](GroupId g, ProcessId pid) {
+        std::vector<Value> mine;
+        for (int i = 0; i < kSlots; ++i) {
+          if (static_cast<ProcessId>(i % kGroupConfig.n) == pid) {
+            mine.push_back(1000 * (g + 1) + i);
           }
-          return mine;
-        },
-        rsm);
-  };
+        }
+        return mine;
+      },
+      rsm);
   const GroupProposals no_proposals = [](GroupId) {
     return std::vector<Value>(static_cast<std::size_t>(kGroupConfig.n),
                               kNoOpCommand);
@@ -126,6 +134,19 @@ Outcome run_cell(const Cell& cell) {
     }
     out.commits += rep->committed_prefix();
     if (!rep->all_slots_committed()) out.all_valid = false;
+    if (!outcome.result.validation.ok() || !rep->all_slots_committed() ||
+        !outcome.result.trace.terminated()) {
+      // Per-group failure diagnostic: a gate on all_valid is useless if a
+      // red run does not say WHICH group broke and how.
+      std::fprintf(stderr,
+                   "X6 group %d failed: validator_ok=%d terminated=%d "
+                   "prefix=%d rounds=%d\n%s\n",
+                   g, outcome.result.validation.ok(),
+                   outcome.result.trace.terminated(),
+                   rep->committed_prefix(),
+                   outcome.result.trace.rounds_executed(),
+                   outcome.result.validation.to_string().c_str());
+    }
   }
   out.commits_per_sec =
       out.seconds > 0 ? static_cast<double>(out.commits) / out.seconds : 0;
@@ -206,6 +227,7 @@ int main() {
     json.key("reconnects").value(c.reconnects);
     json.key("envelopes_sent").value(c.envelopes_sent);
     json.key("envelopes_resent").value(c.envelopes_resent);
+    json.key("flush_syscalls").value(c.flush_syscalls);
     json.key("duplicates_dropped").value(c.duplicates_dropped);
     json.key("demux_drops").value(c.demux_drops);
     json.key("peer_timeouts").value(c.peer_timeouts);
@@ -231,6 +253,49 @@ int main() {
   json.key("speedup_g64_over_g1").value(speedup);
   json.key("scaling_target").value(4.0);
   json.key("scaling_ok").value(scaling_ok);
+
+  // Deeper slot pipelining: the same G=64 clean cell with slot_burst =
+  // kSlots opens every slot at round 1, so one command log costs ~1 window
+  // of rounds instead of kSlots windows.  At a fixed 2 ms round floor the
+  // log finishes in fewer rounds, which is visible as commits/s.
+  const int pipeline_burst = kSlots;
+  const Cell pipelined_cell{64, false, pipeline_burst};
+  const Outcome pipelined = run_cell(pipelined_cell);
+  ++runs;
+  ok &= pipelined.all_valid;
+  ok &= pipelined.commits == 64L * kSlots;
+  const double pipeline_speedup = clean_g64_rate > 0
+                                      ? pipelined.commits_per_sec /
+                                            clean_g64_rate
+                                      : 0;
+  std::fprintf(stderr,
+               "X6 pipelined G=64 burst=%d: %7.0f commits/s (%.2fx over "
+               "burst=1)\n",
+               pipeline_burst, pipelined.commits_per_sec, pipeline_speedup);
+  json.key("pipeline_burst").value(pipeline_burst);
+  json.key("pipelined_g64_commits_per_sec").value(pipelined.commits_per_sec);
+  json.key("pipelined_all_valid").value(pipelined.all_valid);
+  json.key("pipeline_speedup").value(pipeline_speedup);
+
+  // Before/after trajectory: compare against the previous PR's checked-in
+  // artifact.  Reported, not gated — absolute rates are machine-dependent.
+  const std::string baseline_path =
+      std::string(INDULGENCE_BENCH_BASELINE_DIR) +
+      "/BENCH_x6_sharded.pr6.json";
+  const double base_g64 = bench::scan_json_number(
+      baseline_path, "clean_g64_commits_per_sec");
+  json.key("baseline").begin_object();
+  json.key("baseline_available").value(base_g64 > 0);
+  json.key("baseline_clean_g64_commits_per_sec").value(base_g64);
+  json.key("clean_g64_vs_baseline")
+      .value(base_g64 > 0 ? clean_g64_rate / base_g64 : 0.0);
+  json.end_object();
+  if (base_g64 > 0) {
+    std::fprintf(stderr,
+                 "X6 before/after: clean G=64 %.0f commits/s vs PR6 "
+                 "baseline %.0f (%.2fx)\n",
+                 clean_g64_rate, base_g64, clean_g64_rate / base_g64);
+  }
   json.end_object();
 
   table.print(std::cout,

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Guard the schema of persisted bench artifacts.
+#
+# Every BENCH_*.json written by the bench binaries has a checked-in key
+# manifest under bench/expected_keys/<name>.keys (one sorted key name per
+# line).  CI runs the benches and then this script: a key that vanishes —
+# e.g. a refactor silently dropping "flush_syscalls" from
+# BENCH_x5_socket.json — fails the build instead of silently breaking the
+# before/after comparisons that later PRs rely on.
+#
+# Usage: check_bench_keys.sh <dir-with-BENCH-json> [repo-root]
+#
+# New keys are allowed (they show up as a diff line starting with '>', which
+# we report but tolerate); missing keys ('<' lines) are fatal.  Regenerate a
+# manifest after an intentional schema change with:
+#   scripts/check_bench_keys.sh --regen <dir-with-BENCH-json>
+set -euo pipefail
+
+regen=0
+if [[ "${1:-}" == "--regen" ]]; then
+  regen=1
+  shift
+fi
+
+artifact_dir="${1:?usage: check_bench_keys.sh [--regen] <dir> [repo-root]}"
+repo_root="${2:-$(cd "$(dirname "$0")/.." && pwd)}"
+expected_dir="${repo_root}/bench/expected_keys"
+
+extract_keys() {
+  # All JSON object keys, one per line, sorted and deduplicated.  The
+  # artifacts are written by our own JsonWriter (no string values containing
+  # '":'), so a grep-level scan is exact enough.
+  grep -o '"[^"]*"[[:space:]]*:' "$1" | sed 's/"\([^"]*\)".*/\1/' | sort -u
+}
+
+shopt -s nullglob
+artifacts=("${artifact_dir}"/BENCH_*.json)
+if [[ ${#artifacts[@]} -eq 0 ]]; then
+  echo "check_bench_keys: no BENCH_*.json under ${artifact_dir}" >&2
+  exit 1
+fi
+
+if [[ ${regen} -eq 1 ]]; then
+  mkdir -p "${expected_dir}"
+  for artifact in "${artifacts[@]}"; do
+    name="$(basename "${artifact}" .json)"
+    extract_keys "${artifact}" > "${expected_dir}/${name}.keys"
+    echo "regenerated ${expected_dir}/${name}.keys"
+  done
+  exit 0
+fi
+
+status=0
+seen_any=0
+for artifact in "${artifacts[@]}"; do
+  name="$(basename "${artifact}" .json)"
+  manifest="${expected_dir}/${name}.keys"
+  if [[ ! -f "${manifest}" ]]; then
+    echo "check_bench_keys: ${name}: no manifest at ${manifest}" >&2
+    echo "  (new artifact? run: scripts/check_bench_keys.sh --regen ${artifact_dir})" >&2
+    status=1
+    continue
+  fi
+  seen_any=1
+  actual="$(extract_keys "${artifact}")"
+  missing="$(comm -23 "${manifest}" <(printf '%s\n' "${actual}"))"
+  added="$(comm -13 "${manifest}" <(printf '%s\n' "${actual}"))"
+  if [[ -n "${missing}" ]]; then
+    echo "check_bench_keys: ${name}: keys VANISHED from the artifact:" >&2
+    printf '  - %s\n' ${missing} >&2
+    status=1
+  fi
+  if [[ -n "${added}" ]]; then
+    echo "check_bench_keys: ${name}: new keys (ok, consider --regen):"
+    printf '  + %s\n' ${added}
+  fi
+  if [[ -z "${missing}" ]]; then
+    echo "check_bench_keys: ${name}: ok ($(printf '%s\n' "${actual}" | wc -l) keys)"
+  fi
+done
+
+# Every manifest must have a matching artifact: a bench that stops emitting
+# its JSON entirely is the worst kind of vanishing key.
+for manifest in "${expected_dir}"/*.keys; do
+  name="$(basename "${manifest}" .keys)"
+  if [[ ! -f "${artifact_dir}/${name}.json" ]]; then
+    echo "check_bench_keys: ${name}.json was never produced under ${artifact_dir}" >&2
+    status=1
+  fi
+done
+
+if [[ ${seen_any} -eq 0 && ${status} -eq 0 ]]; then
+  echo "check_bench_keys: nothing checked" >&2
+  exit 1
+fi
+exit ${status}

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -48,6 +49,52 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t len,
     const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int ev = poll_one(fd, POLLOUT, timeout);
+      if (ev <= 0 || (ev & (POLLERR | POLLHUP))) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// How many frames one coalesced flush gathers per syscall.  Well under
+/// IOV_MAX everywhere, and small enough that one batch cannot hog the
+/// link mutex while it is gathered.
+constexpr std::size_t kFlushBatchFrames = 256;
+
+/// Gathered-write counterpart of write_all: ships `count` iovecs with as
+/// few syscalls as the kernel allows, polling POLLOUT up to `timeout` per
+/// stall.  Uses sendmsg (writev semantics) so MSG_NOSIGNAL still applies.
+/// `syscalls` counts every send attempt; `written` reports bytes shipped
+/// even when the connection breaks mid-batch, so the caller can tell which
+/// complete frames made it out.
+bool writev_all(int fd, iovec* iov, std::size_t count,
+                std::chrono::microseconds timeout, long& syscalls,
+                std::size_t& written) {
+  std::size_t idx = 0;
+  while (idx < count) {
+    msghdr msg{};
+    msg.msg_iov = iov + idx;
+    // UIO_MAXIOV guard; our batches stay below it, but keep this helper safe.
+    msg.msg_iovlen = std::min<std::size_t>(count - idx, 1024);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    ++syscalls;
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (idx < count && left >= iov[idx].iov_len) {
+        left -= iov[idx].iov_len;
+        ++idx;
+      }
+      if (idx < count && left > 0) {
+        iov[idx].iov_base = static_cast<std::uint8_t*>(iov[idx].iov_base) + left;
+        iov[idx].iov_len -= left;
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -172,6 +219,30 @@ std::chrono::microseconds next_backoff(const BackoffPolicy& policy,
   return std::chrono::microseconds{std::min(draw, cap)};
 }
 
+bool write_all_until(int fd, const std::uint8_t* data, std::size_t len,
+                     std::chrono::steady_clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const auto now = Clock::now();
+      if (now >= deadline) return false;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+      const int ev = poll_one(fd, POLLOUT, remaining);
+      if (ev < 0 || (ev & (POLLERR | POLLHUP))) return false;
+      continue;  // ev == 0 re-checks the deadline above
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
 LinkCounters& LinkCounters::operator+=(const LinkCounters& o) {
   connect_attempts += o.connect_attempts;
   connect_failures += o.connect_failures;
@@ -183,6 +254,7 @@ LinkCounters& LinkCounters::operator+=(const LinkCounters& o) {
   injected_stalls += o.injected_stalls;
   injected_short_writes += o.injected_short_writes;
   injected_connect_failures += o.injected_connect_failures;
+  flush_syscalls += o.flush_syscalls;
   return *this;
 }
 
@@ -209,6 +281,7 @@ SocketCounters& SocketCounters::operator+=(const SocketCounters& o) {
   injected_connect_failures += o.injected_connect_failures;
   injected_accept_closes += o.injected_accept_closes;
   demux_drops += o.demux_drops;
+  flush_syscalls += o.flush_syscalls;
   return *this;
 }
 
@@ -217,14 +290,19 @@ SocketCounters& SocketCounters::operator+=(const SocketCounters& o) {
 
 /// One queued-but-unacknowledged copy on a link: the group and group-local
 /// endpoints identify the owning replica pair, the seq lives in the link's
-/// shared sequence space.
+/// shared sequence space.  The copy is held as its ENCODED wire frame —
+/// dispatch encodes once into a pooled buffer and stamps the seq, so a
+/// flush (and every resend after a reconnect) is a gather over these bytes
+/// with no re-encoding and no per-frame allocation.  `frame` is immutable
+/// from push until the ack pop releases it back to the pool, which is what
+/// lets the flush hand iovec views of it to the kernel outside the lock.
 struct HoldItem {
   std::uint64_t seq = 0;
   GroupId group = 0;
   ProcessId sender = -1;    ///< group-local
   ProcessId receiver = -1;  ///< group-local
   Round send_round = 0;
-  MessagePtr payload;
+  std::vector<std::uint8_t> frame;  ///< encoded ENVELOPE2, seq stamped
   bool ever_sent = false;
 };
 
@@ -259,6 +337,9 @@ struct SocketEndpoint::Link {
   FrameParser ack_parser;
   Clock::time_point last_rx{};
   Clock::time_point last_tx{};
+  /// Reused gather scratch for the coalesced flush (supervisor-only).
+  std::vector<iovec> iov_scratch;
+  std::vector<HoldItem*> batch_scratch;
 };
 
 /// One accepted inbound connection and its reader thread.
@@ -456,10 +537,24 @@ void SocketEndpoint::dispatch_group(GroupId group, ProcessId sender,
     throw std::logic_error("socket endpoint: dispatch for foreign sender p" +
                            std::to_string(sender));
   }
+  // Encode the envelope ONCE per dispatch (the wire bytes do not mention
+  // the receiver): every per-link copy is a memcpy of these bytes into a
+  // pooled buffer with its own seq stamped in place — no re-encode per
+  // receiver and, once the pool is warm, no allocation on this path.
+  NetEnvelope env;
+  env.group = group;
+  env.sender = sender;
+  env.send_round = round;
+  env.target_round = 0;
+  env.payload = std::move(payload);
+  WireWriter encoded(pool_.acquire());
+  encode_envelope_frame2_into(0, env, encoded);
   for (ProcessId receiver = 0; receiver < state->spec.config.n; ++receiver) {
     if (receiver == sender) continue;
     Link* link =
         link_for_node(state->spec.members[static_cast<std::size_t>(receiver)]);
+    std::vector<std::uint8_t> frame = pool_.acquire();
+    frame.assign(encoded.bytes().begin(), encoded.bytes().end());
     std::unique_lock<std::mutex> lock(link->mutex);
     link->cv.wait(lock, [&] {
       return link->hold.size() < options_.hold_queue_capacity ||
@@ -467,16 +562,20 @@ void SocketEndpoint::dispatch_group(GroupId group, ProcessId sender,
     });
     if (link->hold.size() >= options_.hold_queue_capacity) {
       // Stop raced a full queue; the copy never even entered the fabric.
+      lock.unlock();
+      pool_.release(std::move(frame));
       std::lock_guard<std::mutex> overflow_lock(overflow_mutex_);
       overflow_.push_back(UndeliveredCopy{sender, receiver, round, 0, group});
       continue;
     }
-    link->hold.push_back(
-        HoldItem{link->next_seq++, group, sender, receiver, round, payload,
-                 false});
+    const std::uint64_t seq = link->next_seq++;
+    patch_envelope_seq(frame, seq);
+    link->hold.push_back(HoldItem{seq, group, sender, receiver, round,
+                                  std::move(frame), false});
     lock.unlock();
     link->cv.notify_all();
   }
+  pool_.release(encoded.take());
 }
 
 void SocketEndpoint::mark_dead(ProcessId pid) {
@@ -583,19 +682,128 @@ void SocketEndpoint::drop_connection(Link* link) {
   }
 }
 
-/// Sends everything queued beyond sent_up_to, chaos applied per frame.
-/// Returns false when the connection broke (caller redials).
+/// Sends everything queued beyond sent_up_to.  Returns false when the
+/// connection broke (caller redials).
+///
+/// Two paths share the hold queue's invariants.  Chaos inactive (the
+/// steady state): the coalesced path gathers every pending frame into an
+/// iovec batch and ships it with one writev-style syscall.  Chaos active
+/// and scoped to this link: the per-frame path keeps the original
+/// frame-boundary injection points and, crucially, the original RNG draw
+/// order (reset -> stall -> short-write per frame), so seeded chaos runs
+/// replay identically to the pre-batching transport.  The split cannot
+/// flip mid-call: with `now` fixed, chaos_active() only changes through
+/// expedited_, which moves one way (off).
 bool SocketEndpoint::flush_link(Link* link, Clock::time_point now) {
-  for (;;) {
-    HoldItem item;
+  if (chaos_active(now) && chaos_scoped(link)) {
+    return flush_link_chaos(link, now);
+  }
+  return flush_link_batched(link, now);
+}
+
+/// The coalesced steady-state flush.  Gathers pointers under the lock,
+/// writes without it: deque elements are reference-stable under the
+/// dispatchers' push_back, and the supervisor (this thread) is the only
+/// popper, so the iovec views over hold-queue bytes stay valid for the
+/// whole write.
+///
+/// At most ONE batch per call: a deep backlog must not monopolize the
+/// supervisor, or the acks piling up on the reverse path never get pumped,
+/// last_rx goes stale, and the keepalive redials a healthy link mid-flush
+/// (resending everything).  The supervisor's work_pending check skips the
+/// idle wait while frames remain, so the next batch follows immediately —
+/// after acks and the keep-alive decision get their turn.
+bool SocketEndpoint::flush_link_batched(Link* link, Clock::time_point now) {
+  auto& iov = link->iov_scratch;
+  auto& batch = link->batch_scratch;
+  iov.clear();
+  batch.clear();
+  {
+    std::lock_guard<std::mutex> lock(link->mutex);
+    const std::size_t start =
+        link->hold.empty()
+            ? 0
+            : flush_resume_index(link->hold.front().seq, link->hold.size(),
+                                 link->sent_up_to);
+    for (std::size_t i = start;
+         i < link->hold.size() && batch.size() < kFlushBatchFrames; ++i) {
+      HoldItem& item = link->hold[i];
+      iov.push_back(iovec{
+          const_cast<std::uint8_t*>(item.frame.data()), item.frame.size()});
+      batch.push_back(&item);
+    }
+  }
+  if (batch.empty()) return true;
+
+  long syscalls = 0;
+  std::size_t written = 0;
+  const bool ok = writev_all(link->fd, iov.data(), iov.size(),
+                             options_.send_timeout, syscalls, written);
+
+  // Only COMPLETELY shipped frames count as transmitted: a frame cut by
+  // a broken batch is redelivered (and recounted) after the reconnect.
+  std::size_t complete = 0;
+  std::size_t bytes = 0;
+  while (complete < batch.size() &&
+         bytes + batch[complete]->frame.size() <= written) {
+    bytes += batch[complete]->frame.size();
+    ++complete;
+  }
+  if (complete > 0) {
+    // One consistent timestamp per poll cycle: the heartbeat check in
+    // the supervisor compares against the same `now`, so a long flush
+    // cannot skew the keep-alive decision within its own cycle.
+    link->last_tx = now;
+    link->sent_up_to = batch[complete - 1]->seq;
+    {
+      // ever_sent flips only on a COMPLETED write: a frame whose first
+      // attempt died with the connection was never transmitted, so its
+      // eventual write is the group's first send, not a link
+      // redelivery.  Resends — the frame really left on an earlier
+      // connection — are a link event.
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      link->counters.flush_syscalls += syscalls;
+      for (std::size_t i = 0; i < complete; ++i) {
+        if (batch[i]->ever_sent) {
+          ++link->counters.envelopes_resent;
+        } else {
+          ++find_group(batch[i]->group)->counters.envelopes_sent;
+        }
+      }
+    }
+    // The supervisor is the only reader/writer of ever_sent while the
+    // items are queued (stop_and_flush reads only after joining us).
+    for (std::size_t i = 0; i < complete; ++i) batch[i]->ever_sent = true;
+  } else {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    link->counters.flush_syscalls += syscalls;
+  }
+  if (!ok) {
+    drop_connection(link);
+    return false;
+  }
+  return true;
+}
+
+/// The per-frame chaos flush: every frame is its own injection opportunity
+/// (reset -> stall -> short-write, in that draw order — seeded runs replay
+/// byte-for-byte against the original transport).  Capped at one batch's
+/// worth of frames per call for the same reason the batched flush is:
+/// acks and the keep-alive decision must interleave with a deep backlog.
+bool SocketEndpoint::flush_link_chaos(Link* link, Clock::time_point now) {
+  for (std::size_t flushed = 0; flushed < kFlushBatchFrames; ++flushed) {
+    HoldItem* item = nullptr;
     {
       std::lock_guard<std::mutex> lock(link->mutex);
-      auto it = std::find_if(link->hold.begin(), link->hold.end(),
-                             [&](const HoldItem& h) {
-                               return h.seq > link->sent_up_to;
-                             });
-      if (it == link->hold.end()) return true;
-      item = *it;
+      const std::size_t index =
+          link->hold.empty()
+              ? 0
+              : flush_resume_index(link->hold.front().seq, link->hold.size(),
+                                   link->sent_up_to);
+      if (index >= link->hold.size()) return true;
+      // Safe outside the lock: see flush_link_batched on reference
+      // stability and single-popper discipline.
+      item = &link->hold[index];
     }
 
     bool short_write = false;
@@ -619,14 +827,8 @@ bool SocketEndpoint::flush_link(Link* link, Clock::time_point now) {
       short_write = link->chaos_rng.next_double() < chaos.short_write_prob;
     }
 
-    NetEnvelope env;
-    env.sender = item.sender;
-    env.send_round = item.send_round;
-    env.target_round = 0;
-    env.group = item.group;
-    env.payload = item.payload;
-    const std::vector<std::uint8_t> frame =
-        encode_envelope_frame2(item.seq, env);
+    const std::vector<std::uint8_t>& frame = item->frame;
+    long syscalls = 0;
     bool ok = true;
     if (short_write) {
       {
@@ -634,42 +836,40 @@ bool SocketEndpoint::flush_link(Link* link, Clock::time_point now) {
         ++link->counters.injected_short_writes;
       }
       // Dribble the frame byte by byte: the peer's FrameParser must
-      // reassemble it from n reads of 1 byte.
+      // reassemble it from n reads of 1 byte.  The WHOLE frame is charged
+      // against one send-timeout deadline — dribbling slows a frame down,
+      // it must not multiply its budget by the byte count.
+      const Clock::time_point deadline = Clock::now() + options_.send_timeout;
       for (std::size_t i = 0; ok && i < frame.size(); ++i) {
-        ok = write_all(link->fd, frame.data() + i, 1, options_.send_timeout);
+        ok = write_all_until(link->fd, frame.data() + i, 1, deadline);
+        ++syscalls;
       }
     } else {
       ok = write_all(link->fd, frame.data(), frame.size(),
                      options_.send_timeout);
+      ++syscalls;
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      link->counters.flush_syscalls += syscalls;
     }
     if (!ok) {
       drop_connection(link);
       return false;
     }
-    link->last_tx = Clock::now();
-    link->sent_up_to = item.seq;
+    link->last_tx = now;  // the cycle timestamp, not Clock::now(): bug 3
+    link->sent_up_to = item->seq;
     {
-      // ever_sent flips only on a COMPLETED write (here, below): a frame
-      // whose first attempt was eaten by a reset was never transmitted, so
-      // its eventual write is the group's first send, not a link
-      // redelivery.  Resends — the frame really left on an earlier
-      // connection — are a link event.
       std::lock_guard<std::mutex> lock(counters_mutex_);
-      if (item.ever_sent) {
+      if (item->ever_sent) {
         ++link->counters.envelopes_resent;
       } else {
-        ++find_group(item.group)->counters.envelopes_sent;
+        ++find_group(item->group)->counters.envelopes_sent;
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(link->mutex);
-      auto it = std::find_if(link->hold.begin(), link->hold.end(),
-                             [&](const HoldItem& h) {
-                               return h.seq == item.seq;
-                             });
-      if (it != link->hold.end()) it->ever_sent = true;
-    }
+    item->ever_sent = true;
   }
+  return true;  // batch cap reached; the supervisor comes right back
 }
 
 /// Drains acknowledgements from the connection.  Returns false when the
@@ -695,6 +895,9 @@ bool SocketEndpoint::pump_acks(Link* link) {
       link->acked = frame->seq;
       std::lock_guard<std::mutex> lock(link->mutex);
       while (!link->hold.empty() && link->hold.front().seq <= link->acked) {
+        // The ack retires the frame: its buffer goes back to the pool so
+        // the next dispatch reuses the capacity instead of allocating.
+        pool_.release(std::move(link->hold.front().frame));
         link->hold.pop_front();
       }
     }
@@ -747,29 +950,40 @@ void SocketEndpoint::supervisor_loop(Link* link) {
       drop_connection(link);
       continue;
     }
-    if (now - link->last_rx > options_.peer_silence) {
-      {
-        std::lock_guard<std::mutex> lock(counters_mutex_);
-        ++link->counters.peer_timeouts;
-      }
-      drop_connection(link);
-      continue;
-    }
-    if (now - link->last_tx > options_.heartbeat_every) {
-      const std::vector<std::uint8_t> hb = encode_heartbeat();
-      if (!write_all(link->fd, hb.data(), hb.size(), options_.send_timeout)) {
+    // One keep-alive decision per poll cycle, against the cycle's single
+    // `now` — the flush above stamped last_tx with that same timestamp, so
+    // a slow flush can neither trigger a spurious heartbeat nor suppress a
+    // due redial within its own cycle.
+    switch (keepalive_action(now, link->last_rx, link->last_tx, options_)) {
+      case KeepaliveAction::Redial: {
+        {
+          std::lock_guard<std::mutex> lock(counters_mutex_);
+          ++link->counters.peer_timeouts;
+        }
         drop_connection(link);
         continue;
       }
-      link->last_tx = now;
-      std::lock_guard<std::mutex> lock(counters_mutex_);
-      ++link->counters.heartbeats_sent;
+      case KeepaliveAction::Heartbeat: {
+        static const std::vector<std::uint8_t> hb = encode_heartbeat();
+        if (!write_all(link->fd, hb.data(), hb.size(),
+                       options_.send_timeout)) {
+          drop_connection(link);
+          continue;
+        }
+        link->last_tx = now;
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++link->counters.heartbeats_sent;
+        break;
+      }
+      case KeepaliveAction::None:
+        break;
     }
 
     std::unique_lock<std::mutex> lock(link->mutex);
-    const bool work_pending = std::any_of(
-        link->hold.begin(), link->hold.end(),
-        [&](const HoldItem& h) { return h.seq > link->sent_up_to; });
+    // Hold seqs form a contiguous ascending run, so "anything unsent?" is
+    // one comparison against the tail — not a scan.
+    const bool work_pending =
+        !link->hold.empty() && link->hold.back().seq > link->sent_up_to;
     if (!work_pending && !stopping_.load(std::memory_order_acquire)) {
       link->cv.wait_for(lock, std::chrono::microseconds{2'000});
     }
@@ -808,6 +1022,7 @@ void SocketEndpoint::accept_loop() {
 
 void SocketEndpoint::reader_loop(Inbound* conn) {
   FrameParser parser;
+  WireWriter ack_writer;  ///< reused across acks; capacity persists
   int peer = -1;  ///< peer node, learned from the connection's HELLO
   std::uint8_t buf[4096];
   while (running_.load(std::memory_order_acquire)) {
@@ -822,6 +1037,14 @@ void SocketEndpoint::reader_loop(Inbound* conn) {
     }
     parser.feed(buf, static_cast<std::size_t>(n));
     bool broken = false;
+    // Acks are cumulative, so one ack after the whole chunk acknowledges
+    // every envelope in it.  Acking per frame both wasted syscalls and
+    // could deadlock a loaded link: the reader blocked writing acks into
+    // a reverse buffer the sender only drains between flushes, while the
+    // sender blocked on POLLOUT in the forward direction — both sides
+    // timing out and dropping a healthy connection.
+    bool want_ack = false;
+    std::uint64_t ack_cumulative = 0;
     while (std::optional<Frame> frame = parser.next()) {
       switch (frame->type) {
         case FrameType::Hello:
@@ -887,31 +1110,32 @@ void SocketEndpoint::reader_loop(Inbound* conn) {
           }
           // Ack only after the mailbox push: an acked copy is a delivered
           // copy (or a deliberate drop to a dead replica / unroutable
-          // group).
-          const std::vector<std::uint8_t> ack = encode_ack(cumulative);
-          if (!write_all(conn->fd, ack.data(), ack.size(),
-                         options_.send_timeout)) {
-            broken = true;
-          }
+          // group).  Deferred to the end of the chunk — cumulative acks
+          // make the last one cover the lot.
+          want_ack = true;
+          ack_cumulative = cumulative;
           break;
         }
         case FrameType::Heartbeat: {
-          std::uint64_t cumulative = 0;
           if (peer >= 0) {
             std::lock_guard<std::mutex> lock(delivered_mutex_);
-            cumulative = delivered_seq_[static_cast<std::size_t>(peer)];
+            ack_cumulative = delivered_seq_[static_cast<std::size_t>(peer)];
           }
-          const std::vector<std::uint8_t> ack = encode_ack(cumulative);
-          if (!write_all(conn->fd, ack.data(), ack.size(),
-                         options_.send_timeout)) {
-            broken = true;
-          }
+          want_ack = true;
           break;
         }
         case FrameType::Ack:
           break;  // acks only flow on outbound connections
       }
       if (broken) break;
+    }
+    if (want_ack && !broken) {
+      ack_writer.clear();
+      encode_ack_into(ack_cumulative, ack_writer);
+      if (!write_all(conn->fd, ack_writer.data(), ack_writer.size(),
+                     options_.send_timeout)) {
+        broken = true;
+      }
     }
     if (broken || parser.poisoned()) break;
   }
@@ -1002,6 +1226,7 @@ SocketCounters SocketEndpoint::counters() const {
     total.injected_short_writes += link->counters.injected_short_writes;
     total.injected_connect_failures +=
         link->counters.injected_connect_failures;
+    total.flush_syscalls += link->counters.flush_syscalls;
   }
   for (const auto& [group, state] : groups_) {
     total.envelopes_sent += state->counters.envelopes_sent;

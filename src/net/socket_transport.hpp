@@ -110,6 +110,42 @@ std::chrono::microseconds next_backoff(const BackoffPolicy& policy,
                                        std::chrono::microseconds prev,
                                        Rng& rng);
 
+/// Deadline-budgeted blocking write: the WHOLE buffer is charged against
+/// one absolute deadline, however many short writes and POLLOUT waits it
+/// takes.  This is the chaos dribble path's budget fix — a frame written
+/// byte-at-a-time must cost at most one send-timeout, not one per byte.
+/// Returns false on error or when the deadline passes first.
+bool write_all_until(int fd, const std::uint8_t* data, std::size_t len,
+                     std::chrono::steady_clock::time_point deadline);
+
+/// First unflushed position in a link's hold queue.  The queue's seqs are
+/// always the contiguous ascending run [front_seq, front_seq + size):
+/// dispatch appends next_seq++ and only the cumulative ack pops the front,
+/// so the resume point is arithmetic, not a scan — O(1) where the old
+/// per-frame std::find_if from begin() made a backlog flush O(n^2).
+inline std::size_t flush_resume_index(std::uint64_t front_seq,
+                                      std::size_t size,
+                                      std::uint64_t sent_up_to) {
+  if (size == 0 || sent_up_to < front_seq) return 0;
+  const std::uint64_t skip = sent_up_to - front_seq + 1;
+  return skip >= size ? size : static_cast<std::size_t>(skip);
+}
+
+/// What the supervisor owes a connected link at its poll cycle's single
+/// timestamp `now`: nothing, a keep-alive heartbeat (tx idle), or a redial
+/// (the peer has been silent past peer_silence — acks included).  Pure so
+/// the boundaries are unit-testable without sockets.  The supervisor
+/// stamps last_tx with the SAME cycle timestamp its flush used, so a long
+/// flush can neither suppress a due heartbeat nor fire a spurious one
+/// within a cycle.
+enum class KeepaliveAction { None, Heartbeat, Redial };
+
+inline KeepaliveAction keepalive_action(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point last_rx,
+    std::chrono::steady_clock::time_point last_tx,
+    const struct SocketTransportOptions& options);
+
 /// The per-link reconnect state machine, clock-agnostic: time flows in
 /// through the `now` arguments only.
 class ReconnectSchedule {
@@ -192,6 +228,18 @@ struct SocketTransportOptions {
   std::uint64_t seed = 1;
 };
 
+inline KeepaliveAction keepalive_action(
+    std::chrono::steady_clock::time_point now,
+    std::chrono::steady_clock::time_point last_rx,
+    std::chrono::steady_clock::time_point last_tx,
+    const SocketTransportOptions& options) {
+  // Silence outranks keep-alive: a heartbeat onto a dead peer only delays
+  // the redial that would revive the link.
+  if (now - last_rx > options.peer_silence) return KeepaliveAction::Redial;
+  if (now - last_tx > options.heartbeat_every) return KeepaliveAction::Heartbeat;
+  return KeepaliveAction::None;
+}
+
 /// Connection-lifecycle observability, kept per peer link so a reconnect
 /// storm on one peer cannot be misattributed to a healthy group that never
 /// uses that link.
@@ -206,6 +254,9 @@ struct LinkCounters {
   long injected_stalls = 0;
   long injected_short_writes = 0;
   long injected_connect_failures = 0;
+  /// Envelope-flush syscalls (writev-style batches plus their stall
+  /// retries).  Frames per syscall = (group sends + resends) / this.
+  long flush_syscalls = 0;
 
   LinkCounters& operator+=(const LinkCounters& o);
 };
@@ -241,6 +292,10 @@ struct SocketCounters {
   /// Well-formed envelopes no hosted group owned (unknown group, spoofed
   /// or misplaced sender).  Acked at the link layer, dropped by the demux.
   long demux_drops = 0;
+  /// Envelope-flush syscalls across all links; the coalesced flush ships
+  /// many frames per syscall, so (sent + resent) / flush_syscalls is the
+  /// batching factor the E10 transport microbench tracks.
+  long flush_syscalls = 0;
 
   SocketCounters& operator+=(const SocketCounters& o);
 };
@@ -355,6 +410,10 @@ class SocketEndpoint final : public SupervisedTransport {
   SocketCounters counters() const;  ///< endpoint-wide aggregate
   LinkCounters link_counters(int node) const;
   GroupCounters group_counters(GroupId group) const;
+  /// The frame-buffer pool recycling encoded envelopes across flushes
+  /// (observability: the E10 microbench and the pool tests read its
+  /// reuse/miss stats).
+  const FrameBufferPool& frame_pool() const { return pool_; }
   /// The group set `node` advertised in its HELLO2 (empty until it dialed
   /// us, or if it spoke the v1 wire format).
   std::vector<GroupId> peer_advertised_groups(int node) const;
@@ -372,6 +431,8 @@ class SocketEndpoint final : public SupervisedTransport {
   void supervisor_loop(Link* link);
   bool connect_link(Link* link, Clock::time_point now);
   bool flush_link(Link* link, Clock::time_point now);
+  bool flush_link_batched(Link* link, Clock::time_point now);
+  bool flush_link_chaos(Link* link, Clock::time_point now);
   bool pump_acks(Link* link);
   void drop_connection(Link* link);
   bool chaos_active(Clock::time_point now) const;
@@ -426,6 +487,10 @@ class SocketEndpoint final : public SupervisedTransport {
   /// hold queue was full.
   std::mutex overflow_mutex_;
   std::vector<UndeliveredCopy> overflow_;
+
+  /// Recycles encoded-frame buffers: dispatch acquires, the cumulative-ack
+  /// pop releases.  Endpoint-wide so every link shares the warm set.
+  FrameBufferPool pool_;
 };
 
 /// A per-group SupervisedTransport view over a shared multi-group

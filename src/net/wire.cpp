@@ -213,14 +213,17 @@ MessagePtr decode_message_at_depth(WireReader& in, int depth) {
   return nullptr;
 }
 
-std::vector<std::uint8_t> finish_frame(FrameType type, WireWriter&& body) {
-  std::vector<std::uint8_t> payload = body.take();
-  WireWriter framed;
-  framed.u32(static_cast<std::uint32_t>(payload.size()));
-  framed.u8(static_cast<std::uint8_t>(type));
-  std::vector<std::uint8_t> bytes = framed.take();
-  bytes.insert(bytes.end(), payload.begin(), payload.end());
-  return bytes;
+/// Appends `u32 body-len | u8 type | body` to `out` in place: the length
+/// prefix is written as a placeholder and patched once the body's size is
+/// known, so a frame costs zero intermediate buffers.
+template <typename BodyFn>
+std::size_t append_frame(FrameType type, WireWriter& out, BodyFn&& body) {
+  const std::size_t mark = out.size();
+  out.u32(0);  // length placeholder, patched below
+  out.u8(static_cast<std::uint8_t>(type));
+  body(out);
+  out.patch_u32(mark, static_cast<std::uint32_t>(out.size() - mark - 5));
+  return out.size() - mark;
 }
 
 }  // namespace
@@ -231,6 +234,12 @@ void WireWriter::u32(std::uint32_t v) {
 
 void WireWriter::u64(std::uint64_t v) {
   for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void WireWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_[offset + static_cast<std::size_t>(i)] = (v >> (8 * i)) & 0xff;
+  }
 }
 
 std::optional<std::uint8_t> WireReader::u8() {
@@ -274,52 +283,137 @@ MessagePtr decode_message(WireReader& in) {
   return decode_message_at_depth(in, 0);
 }
 
+std::size_t encode_hello_into(ProcessId sender, WireWriter& out) {
+  return append_frame(FrameType::Hello, out,
+                      [&](WireWriter& body) { body.i32(sender); });
+}
+
+std::size_t encode_hello2_into(ProcessId sender,
+                               const std::vector<GroupId>& groups,
+                               WireWriter& out) {
+  return append_frame(FrameType::Hello2, out, [&](WireWriter& body) {
+    body.u32(kWireVersion);
+    body.i32(sender);
+    body.u32(static_cast<std::uint32_t>(groups.size()));
+    for (GroupId group : groups) body.i32(group);
+  });
+}
+
+std::size_t encode_envelope_frame_into(std::uint64_t seq,
+                                       const NetEnvelope& envelope,
+                                       WireWriter& out) {
+  return append_frame(FrameType::Envelope, out, [&](WireWriter& body) {
+    body.u64(seq);
+    body.i32(envelope.send_round);
+    body.i32(envelope.target_round);
+    encode_message(*envelope.payload, body);
+  });
+}
+
+std::size_t encode_envelope_frame2_into(std::uint64_t seq,
+                                        const NetEnvelope& envelope,
+                                        WireWriter& out) {
+  return append_frame(FrameType::Envelope2, out, [&](WireWriter& body) {
+    body.u64(seq);
+    body.i32(envelope.group);
+    body.i32(envelope.sender);
+    body.i32(envelope.send_round);
+    body.i32(envelope.target_round);
+    encode_message(*envelope.payload, body);
+  });
+}
+
+std::size_t encode_ack_into(std::uint64_t cumulative_seq, WireWriter& out) {
+  return append_frame(FrameType::Ack, out,
+                      [&](WireWriter& body) { body.u64(cumulative_seq); });
+}
+
+std::size_t encode_heartbeat_into(WireWriter& out) {
+  return append_frame(FrameType::Heartbeat, out, [](WireWriter&) {});
+}
+
 std::vector<std::uint8_t> encode_hello(ProcessId sender) {
-  WireWriter body;
-  body.i32(sender);
-  return finish_frame(FrameType::Hello, std::move(body));
+  WireWriter out;
+  encode_hello_into(sender, out);
+  return out.take();
 }
 
 std::vector<std::uint8_t> encode_hello2(ProcessId sender,
                                         const std::vector<GroupId>& groups) {
-  WireWriter body;
-  body.u32(kWireVersion);
-  body.i32(sender);
-  body.u32(static_cast<std::uint32_t>(groups.size()));
-  for (GroupId group : groups) body.i32(group);
-  return finish_frame(FrameType::Hello2, std::move(body));
+  WireWriter out;
+  encode_hello2_into(sender, groups, out);
+  return out.take();
 }
 
 std::vector<std::uint8_t> encode_envelope_frame(std::uint64_t seq,
                                                 const NetEnvelope& envelope) {
-  WireWriter body;
-  body.u64(seq);
-  body.i32(envelope.send_round);
-  body.i32(envelope.target_round);
-  encode_message(*envelope.payload, body);
-  return finish_frame(FrameType::Envelope, std::move(body));
+  WireWriter out;
+  encode_envelope_frame_into(seq, envelope, out);
+  return out.take();
 }
 
 std::vector<std::uint8_t> encode_envelope_frame2(std::uint64_t seq,
                                                  const NetEnvelope& envelope) {
-  WireWriter body;
-  body.u64(seq);
-  body.i32(envelope.group);
-  body.i32(envelope.sender);
-  body.i32(envelope.send_round);
-  body.i32(envelope.target_round);
-  encode_message(*envelope.payload, body);
-  return finish_frame(FrameType::Envelope2, std::move(body));
+  WireWriter out;
+  encode_envelope_frame2_into(seq, envelope, out);
+  return out.take();
 }
 
 std::vector<std::uint8_t> encode_ack(std::uint64_t cumulative_seq) {
-  WireWriter body;
-  body.u64(cumulative_seq);
-  return finish_frame(FrameType::Ack, std::move(body));
+  WireWriter out;
+  encode_ack_into(cumulative_seq, out);
+  return out.take();
 }
 
 std::vector<std::uint8_t> encode_heartbeat() {
-  return finish_frame(FrameType::Heartbeat, WireWriter{});
+  WireWriter out;
+  encode_heartbeat_into(out);
+  return out.take();
+}
+
+void patch_envelope_seq(std::vector<std::uint8_t>& frame, std::uint64_t seq) {
+  if (frame.size() < kEnvelopeSeqOffset + 8) {
+    throw std::invalid_argument("wire: frame too short for a seq patch");
+  }
+  for (int i = 0; i < 8; ++i) {
+    frame[kEnvelopeSeqOffset + static_cast<std::size_t>(i)] =
+        (seq >> (8 * i)) & 0xff;
+  }
+}
+
+std::vector<std::uint8_t> FrameBufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.empty()) {
+    ++misses_;
+    return {};
+  }
+  ++reuses_;
+  std::vector<std::uint8_t> buffer = std::move(free_.back());
+  free_.pop_back();
+  buffer.clear();  // keeps capacity
+  return buffer;
+}
+
+void FrameBufferPool::release(std::vector<std::uint8_t>&& buffer) {
+  if (buffer.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.size() >= max_pooled_) return;  // drop: the bound wins
+  free_.push_back(std::move(buffer));
+}
+
+std::size_t FrameBufferPool::pooled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+long FrameBufferPool::reuses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reuses_;
+}
+
+long FrameBufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
 }
 
 void FrameParser::feed(const std::uint8_t* data, std::size_t size) {

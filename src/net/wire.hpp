@@ -40,6 +40,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -61,14 +62,34 @@ enum class FrameType : std::uint8_t {
 /// The framing version v2-aware senders advertise in HELLO2.
 inline constexpr std::uint32_t kWireVersion = 2;
 
-/// Little-endian append-only byte buffer.
+/// Little-endian append-only byte buffer.  The hot path reuses one writer
+/// across frames: `clear()` keeps the capacity, and a writer can adopt
+/// recycled storage from a FrameBufferPool so steady-state encoding
+/// allocates nothing.
 class WireWriter {
  public:
+  WireWriter() = default;
+  /// Adopts `storage` (cleared, capacity kept) as the backing buffer —
+  /// the pool-recycling constructor.
+  explicit WireWriter(std::vector<std::uint8_t> storage)
+      : bytes_(std::move(storage)) {
+    bytes_.clear();
+  }
+
   void u8(std::uint8_t v) { bytes_.push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
   void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Overwrites 4 bytes at `offset` (already written) — how the frame
+  /// encoders patch a length prefix after the body's size is known.
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+  void clear() { bytes_.clear(); }  ///< keeps capacity
+  std::size_t size() const { return bytes_.size(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
 
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
@@ -132,6 +153,71 @@ std::vector<std::uint8_t> encode_envelope_frame2(std::uint64_t seq,
                                                  const NetEnvelope& envelope);
 std::vector<std::uint8_t> encode_ack(std::uint64_t cumulative_seq);
 std::vector<std::uint8_t> encode_heartbeat();
+
+// --- zero-copy variants ------------------------------------------------------
+//
+// Each `_into` encoder appends ONE complete frame (length prefix included)
+// to a caller-owned writer and returns the frame's byte count.  The writer
+// is not cleared first, so many frames coalesce into one buffer — the
+// transport's batched flush feeds such runs to one writev-style syscall.
+// The vector-returning encoders above are thin wrappers over these, so the
+// two forms are byte-identical by construction (the golden-equivalence
+// tests pin it anyway).
+
+std::size_t encode_hello_into(ProcessId sender, WireWriter& out);
+std::size_t encode_hello2_into(ProcessId sender,
+                               const std::vector<GroupId>& groups,
+                               WireWriter& out);
+std::size_t encode_envelope_frame_into(std::uint64_t seq,
+                                       const NetEnvelope& envelope,
+                                       WireWriter& out);
+std::size_t encode_envelope_frame2_into(std::uint64_t seq,
+                                        const NetEnvelope& envelope,
+                                        WireWriter& out);
+std::size_t encode_ack_into(std::uint64_t cumulative_seq, WireWriter& out);
+std::size_t encode_heartbeat_into(WireWriter& out);
+
+/// Byte offset of the u64 seq inside an ENVELOPE / ENVELOPE2 frame (after
+/// the 4-byte length and 1-byte type).  Lets the transport encode an
+/// envelope once with a placeholder seq and stamp the real one per link
+/// under the lock, without re-encoding the payload.
+inline constexpr std::size_t kEnvelopeSeqOffset = 5;
+
+/// Stamps `seq` (little-endian) into an already-encoded envelope frame.
+void patch_envelope_seq(std::vector<std::uint8_t>& frame, std::uint64_t seq);
+
+/// A thread-safe freelist of frame buffers: acquire() hands back a cleared
+/// vector that keeps its old capacity, release() returns it after the
+/// frame is acknowledged.  Steady-state encoding therefore allocates only
+/// until the pool warms up to the link's in-flight depth.
+///
+/// Ownership rule: a buffer has exactly one owner at a time — the pool,
+/// or the caller that acquired it.  The transport's hold queue owns each
+/// frame buffer from dispatch until the cumulative ack pops it (releasing
+/// it here); iovec views handed to the kernel alias hold-queue bytes and
+/// must not outlive the item (the supervisor thread is the only popper, so
+/// a flush's views stay valid for the duration of the write).
+class FrameBufferPool {
+ public:
+  /// `max_pooled` bounds retained buffers so a burst cannot pin memory
+  /// forever.
+  explicit FrameBufferPool(std::size_t max_pooled = 4096)
+      : max_pooled_(max_pooled) {}
+
+  std::vector<std::uint8_t> acquire();
+  void release(std::vector<std::uint8_t>&& buffer);
+
+  std::size_t pooled() const;
+  long reuses() const;  ///< acquires served from the freelist
+  long misses() const;  ///< acquires that had to allocate fresh
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t max_pooled_;
+  long reuses_ = 0;
+  long misses_ = 0;
+};
 
 /// Incremental frame parser: feed bytes as they arrive (short reads
 /// welcome), pop complete frames.  A frame whose declared body exceeds

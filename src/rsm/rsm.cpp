@@ -32,7 +32,11 @@ RsmReplica::RsmReplica(ProcessId self, const SystemConfig& config,
   if (options_.num_slots < 1) {
     throw std::invalid_argument("RsmReplica: need at least one slot");
   }
+  if (options_.slot_burst < 1) {
+    throw std::invalid_argument("RsmReplica: slot_burst must be >= 1");
+  }
   window_ = options_.slot_window > 0 ? options_.slot_window : config.t + 3;
+  burst_ = options_.slot_burst;
   slots_.resize(options_.num_slots);
   proposed_.resize(options_.num_slots);
   log_.resize(options_.num_slots);
@@ -50,7 +54,10 @@ void RsmReplica::propose(Value v) {
 }
 
 int RsmReplica::last_started_slot(Round k) const {
-  const int by_round = static_cast<int>((k - 1) / window_);
+  // Window step i (rounds i*window+1 .. (i+1)*window) has bursts
+  // 0..i open, i.e. slots [0, (i+1)*burst).
+  const int step = static_cast<int>((k - 1) / window_);
+  const int by_round = (step + 1) * burst_ - 1;
   return std::min(by_round, options_.num_slots - 1);
 }
 
@@ -158,6 +165,21 @@ AlgorithmFactory rsm_factory(
              -> std::unique_ptr<RoundAlgorithm> {
     return std::make_unique<RsmReplica>(self, config, slot_factory,
                                         commands_for(self), options);
+  };
+}
+
+std::function<AlgorithmFactory(GroupId)> sharded_rsm_factory(
+    AlgorithmFactory slot_factory,
+    std::function<std::vector<Value>(GroupId, ProcessId)> commands_for,
+    RsmOptions options) {
+  return [slot_factory = std::move(slot_factory),
+          commands_for = std::move(commands_for), options](GroupId group) {
+    return rsm_factory(
+        slot_factory,
+        [commands_for, group](ProcessId pid) {
+          return commands_for(group, pid);
+        },
+        options);
   };
 }
 

@@ -41,6 +41,11 @@ struct RsmOptions {
   int num_slots = 8;     ///< how many log positions to run
   Round slot_window = 0; ///< rounds between slot starts; 0 means t + 3
                          ///< (A_{t+2}'s synchronous worst case, no overlap)
+  int slot_burst = 1;    ///< slots opened together per window step: burst b
+                         ///< starts slots [i*b, (i+1)*b) at round
+                         ///< i*window + 1, so b commands share each bundle
+                         ///< round-trip.  1 reproduces the classic one-slot
+                         ///< cadence.
 };
 
 /// The per-round bundle: one part per active slot.
@@ -97,8 +102,10 @@ class RsmReplica : public RoundAlgorithm {
   Round commit_round(int slot) const { return commit_rounds_[slot]; }
 
  private:
+  /// Round 1 of slot s.  Slots in the same burst share a start round, so a
+  /// burst of b commits b commands per window of rounds once warmed up.
   Round slot_start(int slot) const {
-    return static_cast<Round>(slot) * window_ + 1;
+    return static_cast<Round>(slot / burst_) * window_ + 1;
   }
   int last_started_slot(Round k) const;
   void start_slot(int slot);
@@ -109,6 +116,7 @@ class RsmReplica : public RoundAlgorithm {
   std::vector<Value> queue_;
   RsmOptions options_;
   Round window_ = 1;
+  int burst_ = 1;
 
   std::vector<std::unique_ptr<RoundAlgorithm>> slots_;  ///< index = slot
   std::vector<std::optional<Value>> proposed_;          ///< ours, per slot
@@ -127,5 +135,14 @@ AlgorithmFactory rsm_factory(AlgorithmFactory slot_factory,
                              std::function<std::vector<Value>(ProcessId)>
                                  commands_for,
                              RsmOptions options = {});
+
+/// Group-factory adaptor for the sharded runtime (`run_sharded` /
+/// `ShardedNode`): every group runs the same slot algorithm and RsmOptions
+/// — including the slot_burst pipelining knob — with per-(group, replica)
+/// command streams.  Plugs directly into run_sharded's `factory_for`.
+std::function<AlgorithmFactory(GroupId)> sharded_rsm_factory(
+    AlgorithmFactory slot_factory,
+    std::function<std::vector<Value>(GroupId, ProcessId)> commands_for,
+    RsmOptions options = {});
 
 }  // namespace indulgence

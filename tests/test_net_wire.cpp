@@ -394,5 +394,196 @@ TEST(WireV2, Envelope2TruncatedGroupTagIsSkippedNotThrown) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy (`_into`) encoders: golden equivalence with the legacy
+// vector-returning forms, coalesced multi-frame buffers, and the buffer pool
+// ---------------------------------------------------------------------------
+
+/// One representative instance of every tag in the closed message registry.
+std::vector<MessagePtr> registry_samples() {
+  std::vector<MessagePtr> all;
+  all.push_back(std::make_shared<HaltedMessage>(42));
+  all.push_back(std::make_shared<DecideMessage>(-7));
+  all.push_back(std::make_shared<FillerMessage>());
+  all.push_back(std::make_shared<FloodEstimateMessage>(3));
+  all.push_back(std::make_shared<HrCoordMessage>(11));
+  all.push_back(std::make_shared<HrVoteMessage>(5));
+  all.push_back(std::make_shared<CtEstimateMessage>(9, 4));
+  all.push_back(std::make_shared<CtProposeMessage>(13));
+  all.push_back(std::make_shared<CtAckMessage>(true));
+  all.push_back(std::make_shared<AmrEstimateMessage>(21));
+  all.push_back(std::make_shared<AmrVoteMessage>(-1));
+  all.push_back(
+      std::make_shared<WsEstimateMessage>(8, ProcessSet::from_mask(0b1011)));
+  all.push_back(std::make_shared<Af2EstimateMessage>(kBottom));
+  all.push_back(
+      std::make_shared<At2EstimateMessage>(17, ProcessSet::from_mask(0b110)));
+  all.push_back(std::make_shared<At2NewEstimateMessage>(kBottom));
+  all.push_back(std::make_shared<At2UnderlyingMessage>(
+      std::make_shared<HrCoordMessage>(99)));
+  std::map<int, MessagePtr> parts;
+  parts.emplace(0, std::make_shared<CtProposeMessage>(1));
+  parts.emplace(3, std::make_shared<At2UnderlyingMessage>(
+                       std::make_shared<FloodEstimateMessage>(2)));
+  all.push_back(std::make_shared<RsmBundleMessage>(std::move(parts)));
+  return all;
+}
+
+NetEnvelope envelope_of(MessagePtr payload) {
+  NetEnvelope env;
+  env.group = 3;
+  env.sender = 1;
+  env.send_round = 7;
+  env.target_round = 7;
+  env.payload = std::move(payload);
+  return env;
+}
+
+TEST(WireInto, ControlFramesMatchLegacyBytes) {
+  WireWriter w;
+  const std::size_t hello_len = encode_hello_into(4, w);
+  EXPECT_EQ(w.bytes(), encode_hello(4));
+  EXPECT_EQ(hello_len, w.size());
+
+  w.clear();
+  const std::vector<GroupId> groups{0, 2, 5};
+  encode_hello2_into(4, groups, w);
+  EXPECT_EQ(w.bytes(), encode_hello2(4, groups));
+
+  w.clear();
+  encode_ack_into(0xdeadbeefcafeULL, w);
+  EXPECT_EQ(w.bytes(), encode_ack(0xdeadbeefcafeULL));
+
+  w.clear();
+  encode_heartbeat_into(w);
+  EXPECT_EQ(w.bytes(), encode_heartbeat());
+}
+
+TEST(WireInto, EnvelopeFramesMatchLegacyBytesForEveryRegistryTag) {
+  for (const MessagePtr& payload : registry_samples()) {
+    const NetEnvelope env = envelope_of(payload);
+    WireWriter w;
+    const std::size_t n1 = encode_envelope_frame_into(91, env, w);
+    EXPECT_EQ(w.bytes(), encode_envelope_frame(91, env))
+        << payload->describe();
+    EXPECT_EQ(n1, w.size()) << payload->describe();
+
+    w.clear();
+    const std::size_t n2 = encode_envelope_frame2_into(92, env, w);
+    EXPECT_EQ(w.bytes(), encode_envelope_frame2(92, env))
+        << payload->describe();
+    EXPECT_EQ(n2, w.size()) << payload->describe();
+  }
+}
+
+TEST(WireInto, AppendsWithoutClearingSoFramesCoalesce) {
+  // The batched flush relies on `_into` appending: many frames in one
+  // buffer, each starting where the previous ended.
+  const NetEnvelope env = envelope_of(std::make_shared<DecideMessage>(5));
+  WireWriter w;
+  const std::size_t a = encode_heartbeat_into(w);
+  const std::size_t b = encode_envelope_frame2_into(1, env, w);
+  const std::size_t c = encode_ack_into(9, w);
+  EXPECT_EQ(w.size(), a + b + c);
+  std::vector<std::uint8_t> expected = encode_heartbeat();
+  const std::vector<std::uint8_t> mid = encode_envelope_frame2(1, env);
+  const std::vector<std::uint8_t> tail = encode_ack(9);
+  expected.insert(expected.end(), mid.begin(), mid.end());
+  expected.insert(expected.end(), tail.begin(), tail.end());
+  EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(WireInto, CoalescedBatchSurvivesArbitraryFragmentation) {
+  // Encode a writev-shaped batch — every registry tag as an Envelope2 plus
+  // interleaved control frames — into ONE buffer, then feed it to the
+  // parser in 1-, 3-, and 7-byte chunks: frame boundaries must be
+  // recovered exactly, in order.
+  const std::vector<MessagePtr> samples = registry_samples();
+  WireWriter batch;
+  encode_hello2_into(0, {3}, batch);
+  std::uint64_t seq = 1;
+  for (const MessagePtr& payload : samples) {
+    encode_envelope_frame2_into(seq++, envelope_of(payload), batch);
+  }
+  encode_heartbeat_into(batch);
+  encode_ack_into(seq - 1, batch);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}}) {
+    FrameParser parser;
+    std::vector<Frame> frames;
+    for (std::size_t at = 0; at < batch.size(); at += chunk) {
+      parser.feed(batch.data() + at, std::min(chunk, batch.size() - at));
+      while (auto frame = parser.next()) frames.push_back(std::move(*frame));
+    }
+    ASSERT_EQ(frames.size(), samples.size() + 3) << "chunk " << chunk;
+    EXPECT_EQ(frames.front().type, FrameType::Hello2);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Frame& f = frames[i + 1];
+      ASSERT_EQ(f.type, FrameType::Envelope2) << "chunk " << chunk;
+      EXPECT_EQ(f.seq, i + 1);
+      EXPECT_EQ(f.envelope.group, 3);
+      ASSERT_NE(f.envelope.payload, nullptr);
+      EXPECT_EQ(f.envelope.payload->describe(), samples[i]->describe());
+    }
+    EXPECT_EQ(frames[frames.size() - 2].type, FrameType::Heartbeat);
+    EXPECT_EQ(frames.back().type, FrameType::Ack);
+    EXPECT_FALSE(parser.poisoned());
+    EXPECT_EQ(parser.buffered(), 0u);
+  }
+}
+
+TEST(WireInto, PatchEnvelopeSeqRewritesOnlyTheSeqField) {
+  const NetEnvelope env = envelope_of(std::make_shared<HrVoteMessage>(6));
+  std::vector<std::uint8_t> patched = encode_envelope_frame2(0, env);
+  patch_envelope_seq(patched, 0x0102030405060708ULL);
+  EXPECT_EQ(patched, encode_envelope_frame2(0x0102030405060708ULL, env));
+}
+
+TEST(FrameBufferPool, RecyclesBuffersAndCountsReuse) {
+  FrameBufferPool pool;
+  std::vector<std::uint8_t> a = pool.acquire();
+  EXPECT_EQ(pool.misses(), 1);
+  EXPECT_EQ(pool.reuses(), 0);
+  a.assign(128, 0xab);
+  const std::uint8_t* storage = a.data();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+
+  std::vector<std::uint8_t> b = pool.acquire();
+  EXPECT_EQ(pool.reuses(), 1);
+  EXPECT_TRUE(b.empty());              // cleared...
+  EXPECT_GE(b.capacity(), 128u);       // ...but capacity retained
+  EXPECT_EQ(b.data(), storage);        // the same storage came back
+  pool.release(std::move(b));
+}
+
+TEST(FrameBufferPool, RetentionIsBounded) {
+  FrameBufferPool pool(2);
+  std::vector<std::vector<std::uint8_t>> bufs;
+  for (int i = 0; i < 4; ++i) {
+    bufs.push_back(pool.acquire());
+    bufs.back().reserve(64);  // zero-capacity buffers are never pooled
+  }
+  for (auto& b : bufs) pool.release(std::move(b));
+  EXPECT_EQ(pool.pooled(), 2u);  // the other two were freed, not pinned
+}
+
+TEST(FrameBufferPool, WriterAdoptsRecycledStorageWithoutAllocating) {
+  FrameBufferPool pool;
+  {
+    std::vector<std::uint8_t> warm = pool.acquire();
+    warm.reserve(1024);
+    pool.release(std::move(warm));
+  }
+  WireWriter w(pool.acquire());
+  EXPECT_EQ(w.size(), 0u);
+  encode_envelope_frame2_into(
+      1, envelope_of(std::make_shared<DecideMessage>(3)), w);
+  pool.release(w.take());
+  EXPECT_EQ(pool.reuses(), 1);
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
 }  // namespace
 }  // namespace indulgence

@@ -16,12 +16,13 @@ struct WindowCase {
   Round window;
   int slots;
   int algo;  // 0 = A_{t+2}, 1 = A_{t+2}+ff, 2 = HR, 3 = A_{f+2}
+  int burst = 1;  ///< slots started together per window step
 };
 
 class RsmWindowSweep : public ::testing::TestWithParam<WindowCase> {};
 
 TEST_P(RsmWindowSweep, LogsAgreeUnderCrashAndAsynchrony) {
-  const auto [window, slots, algo] = GetParam();
+  const auto [window, slots, algo, burst] = GetParam();
   const SystemConfig cfg{.n = 7, .t = 2};  // t < n/3 so A_{f+2} also works
   AlgorithmFactory slot_factory;
   switch (algo) {
@@ -45,6 +46,7 @@ TEST_P(RsmWindowSweep, LogsAgreeUnderCrashAndAsynchrony) {
   RsmOptions opt;
   opt.num_slots = slots;
   opt.slot_window = window;
+  opt.slot_burst = burst;
   auto streams = [](ProcessId id) {
     return std::vector<Value>{500 + id, 600 + id};
   };
@@ -95,7 +97,69 @@ INSTANTIATE_TEST_SUITE_P(
                       WindowCase{5, 4, 0}, WindowCase{1, 6, 1},
                       WindowCase{3, 5, 1}, WindowCase{2, 6, 2},
                       WindowCase{4, 4, 2}, WindowCase{1, 6, 3},
-                      WindowCase{2, 5, 3}));
+                      WindowCase{2, 5, 3},
+                      // burst > 1: k slots in flight per window step
+                      WindowCase{2, 6, 0, 2}, WindowCase{2, 6, 1, 3},
+                      WindowCase{3, 6, 1, 6},  // whole log in one burst
+                      WindowCase{2, 5, 2, 2}, WindowCase{2, 6, 3, 2},
+                      WindowCase{4, 7, 1, 3}   // slots % burst != 0
+                      ));
+
+TEST(RsmBurst, InvalidBurstThrows) {
+  const SystemConfig cfg{.n = 5, .t = 2};
+  RsmOptions opt;
+  opt.slot_burst = 0;
+  EXPECT_THROW(
+      RsmReplica(0, cfg, at2_factory(hurfin_raynal_factory()), {42}, opt),
+      std::invalid_argument);
+  opt.slot_burst = -3;
+  EXPECT_THROW(
+      RsmReplica(0, cfg, at2_factory(hurfin_raynal_factory()), {42}, opt),
+      std::invalid_argument);
+}
+
+TEST(RsmBurst, DeeperPipelineCommitsTheLogInFewerRounds) {
+  // Same log, same algorithm, same failure-free schedule: burst=slots must
+  // finish the whole log strictly earlier than burst=1, and slots in one
+  // burst must share their start round (visible as equal commit rounds
+  // under a deterministic schedule).
+  const SystemConfig cfg{.n = 5, .t = 2};
+  constexpr int kSlots = 6;
+  constexpr Round kWindow = 2;
+  const auto run_with_burst = [&](int burst) {
+    At2Options ff;
+    ff.failure_free_opt = true;
+    RsmOptions opt;
+    opt.num_slots = kSlots;
+    opt.slot_window = kWindow;
+    opt.slot_burst = burst;
+    auto streams = [](ProcessId id) {
+      return std::vector<Value>{700 + id, 800 + id};
+    };
+    KernelOptions koptions;
+    koptions.model = Model::ES;
+    koptions.max_rounds = 40;
+    koptions.stop_on_global_decision = false;
+    AlgorithmInstances instances;
+    RunResult r = run_and_check(
+        cfg, koptions,
+        rsm_factory(at2_factory(hurfin_raynal_factory(), ff), streams, opt),
+        distinct_proposals(cfg.n), failure_free_schedule(cfg), &instances);
+    EXPECT_TRUE(r.validation.ok()) << r.validation.to_string();
+    const auto* replica = dynamic_cast<const RsmReplica*>(instances[0].get());
+    EXPECT_NE(replica, nullptr);
+    EXPECT_TRUE(replica->all_slots_committed()) << "burst=" << burst;
+    Round last_commit = 0;
+    for (int s = 0; s < kSlots; ++s) {
+      last_commit = std::max(last_commit, replica->commit_round(s));
+    }
+    return std::pair(last_commit, instances.size());
+  };
+  const auto [serial_finish, n1] = run_with_burst(1);
+  const auto [parallel_finish, n2] = run_with_burst(kSlots);
+  EXPECT_LT(parallel_finish, serial_finish)
+      << "pipelining " << kSlots << " slots did not shorten the run";
+}
 
 TEST(RsmWindows, KernelProposalOfReservedValueIsSkipped) {
   const SystemConfig cfg{.n = 5, .t = 2};

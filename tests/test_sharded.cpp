@@ -201,6 +201,55 @@ TEST(Sharded, RsmGroupsCommitDisjointHashPartitionedCommandStreams) {
   }
 }
 
+TEST(Sharded, PipelinedBurstCommitsEveryGroupLog) {
+  // The slot_burst knob through the sharded stack: every group runs its
+  // whole 4-slot log as one burst over the shared fabric, via the
+  // sharded_rsm_factory adaptor, and every merged trace still validates.
+  constexpr int kGroups = 4;
+  constexpr int kSlots = 4;
+  ShardedOptions options = base_options(kGroups, 4);
+  options.done = [](const RoundAlgorithm& algorithm) {
+    const auto* rep = dynamic_cast<const RsmReplica*>(&algorithm);
+    return rep && rep->all_slots_committed();
+  };
+
+  const int n = options.config.n;
+  RsmOptions rsm;
+  rsm.num_slots = kSlots;
+  rsm.slot_window = 2;
+  rsm.slot_burst = kSlots;  // the whole log in flight at once
+  const GroupFactory factory_for = sharded_rsm_factory(
+      at2(),
+      [n](GroupId g, ProcessId pid) {
+        std::vector<Value> mine;
+        for (int i = 0; i < kSlots; ++i) {
+          if (static_cast<ProcessId>(i % n) == pid) {
+            mine.push_back(1000 * (g + 1) + i);
+          }
+        }
+        return mine;
+      },
+      rsm);
+  const GroupProposals no_proposals = [&](GroupId) {
+    return std::vector<Value>(static_cast<std::size_t>(n), kNoOpCommand);
+  };
+  const ShardedResult result =
+      run_sharded(options, factory_for, no_proposals);
+  EXPECT_TRUE(result.all_valid());
+  for (const auto& [g, outcome] : result.groups) {
+    const auto* first =
+        dynamic_cast<const RsmReplica*>(outcome.algorithms[0].get());
+    ASSERT_NE(first, nullptr);
+    EXPECT_TRUE(first->all_slots_committed()) << "group " << g;
+    for (ProcessId pid = 1; pid < n; ++pid) {
+      const auto* rep = dynamic_cast<const RsmReplica*>(
+          outcome.algorithms[static_cast<std::size_t>(pid)].get());
+      ASSERT_NE(rep, nullptr);
+      EXPECT_EQ(first->log(), rep->log()) << "group " << g << " p" << pid;
+    }
+  }
+}
+
 TEST(Sharded, RejectsPlacementThatCannotUseDistinctNodes) {
   const ShardedOptions options = base_options(2, 2);  // M < n
   EXPECT_THROW(run_sharded(options, [](GroupId) { return at2(); },

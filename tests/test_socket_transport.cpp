@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -394,6 +398,224 @@ TEST(SocketHub, ChaoticUdsRunStillDecidesAndValidates) {
                         counters.injected_connect_failures +
                         counters.injected_accept_closes;
   EXPECT_GT(injected, 0) << "chaos layer never fired";
+}
+
+// ---------------------------------------------------------------------------
+// Batched flush: resume arithmetic, timeout budgets, keepalive boundaries
+// ---------------------------------------------------------------------------
+
+TEST(FlushResumeIndex, ArithmeticCoversTheStateSpace) {
+  // Empty queue: nothing to skip.
+  EXPECT_EQ(flush_resume_index(1, 0, 0), 0u);
+  // Nothing acked/flushed yet (sent_up_to below the front): start at 0.
+  EXPECT_EQ(flush_resume_index(5, 4, 0), 0u);
+  EXPECT_EQ(flush_resume_index(5, 4, 4), 0u);
+  // Mid-queue resume: seqs [5..8], flushed through 6 -> resume at index 2.
+  EXPECT_EQ(flush_resume_index(5, 4, 6), 2u);
+  // Fully flushed (and anything beyond): resume == size, i.e. no work.
+  EXPECT_EQ(flush_resume_index(5, 4, 8), 4u);
+  EXPECT_EQ(flush_resume_index(5, 4, 100), 4u);
+  // Seq 0 front with first frame flushed.
+  EXPECT_EQ(flush_resume_index(0, 3, 0), 1u);
+}
+
+TEST(Keepalive, BoundariesAreStrictAndSilenceOutranksHeartbeat) {
+  SocketTransportOptions opts;
+  opts.heartbeat_every = std::chrono::microseconds{25'000};
+  opts.peer_silence = std::chrono::microseconds{150'000};
+  const auto t0 = std::chrono::steady_clock::time_point{} +
+                  std::chrono::seconds{10};
+
+  // Fresh traffic in both directions: nothing owed.
+  EXPECT_EQ(keepalive_action(t0, t0, t0, opts), KeepaliveAction::None);
+  // Exactly at the heartbeat interval: strict >, still nothing owed.
+  EXPECT_EQ(keepalive_action(t0 + opts.heartbeat_every, t0, t0, opts),
+            KeepaliveAction::None);
+  // One tick past it: heartbeat due.
+  EXPECT_EQ(keepalive_action(
+                t0 + opts.heartbeat_every + std::chrono::microseconds{1}, t0,
+                t0, opts),
+            KeepaliveAction::Heartbeat);
+  // Exactly at peer_silence: strict >, the rx side is still in grace (but
+  // tx is long idle, so a heartbeat is owed).
+  EXPECT_EQ(keepalive_action(t0 + opts.peer_silence, t0, t0, opts),
+            KeepaliveAction::Heartbeat);
+  // Past peer_silence: redial, even though a heartbeat is also overdue —
+  // silence outranks keep-alive.
+  EXPECT_EQ(keepalive_action(
+                t0 + opts.peer_silence + std::chrono::microseconds{1}, t0, t0,
+                opts),
+            KeepaliveAction::Redial);
+  // Recent rx keeps the link alive no matter how stale tx is.
+  EXPECT_EQ(keepalive_action(t0 + std::chrono::seconds{5},
+                             t0 + std::chrono::seconds{5} -
+                                 std::chrono::microseconds{1},
+                             t0, opts),
+            KeepaliveAction::Heartbeat);
+}
+
+TEST(WriteAllUntil, WholeBufferChargedAgainstOneDeadline) {
+  // Fill a socketpair until the kernel buffer is solid, then try to push
+  // one more chunk with a short deadline: the old code charged one
+  // send_timeout PER write_all call (per byte on the dribble path); the
+  // budget fix must give up when the single absolute deadline passes.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK), 0);
+  std::vector<std::uint8_t> junk(1 << 16, 0xcd);
+  while (::send(fds[0], junk.data(), junk.size(), MSG_NOSIGNAL) > 0) {
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds{50};
+  EXPECT_FALSE(write_all_until(fds[0], junk.data(), junk.size(), deadline));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Generous ceiling: well under even TWO stacked budgets, so a per-call
+  // (let alone per-byte) timeout regression fails loudly.
+  EXPECT_LT(elapsed, std::chrono::milliseconds{500});
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WriteAllUntil, DrainedPeerLetsTheWriteFinish) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<std::uint8_t> payload(1 << 20, 0xee);
+  std::thread drain([&] {
+    std::vector<std::uint8_t> sink(1 << 16);
+    std::size_t got = 0;
+    while (got < payload.size()) {
+      const ssize_t n = ::recv(fds[1], sink.data(), sink.size(), 0);
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds{5};
+  EXPECT_TRUE(
+      write_all_until(fds[0], payload.data(), payload.size(), deadline));
+  ::close(fds[0]);
+  drain.join();
+  ::close(fds[1]);
+}
+
+TEST(SocketEndpoint, DeepBacklogFlushesLinearlyAndCoalesced) {
+  // The resend-scan regression test: queue a 10k-envelope backlog BEFORE
+  // the supervisors start, so the first flush cycles face the whole pile.
+  // The old per-frame find_if from begin() made this quadratic in the
+  // backlog and the old write loop spent one syscall per frame; the fix
+  // must deliver every copy, promptly, at >= 4 frames per flush syscall.
+  constexpr int kBacklog = 10'000;
+  const SystemConfig cfg{.n = 3, .t = 1};
+  const std::string dir = fresh_socket_dir();
+  std::vector<SocketAddress> addrs;
+  for (int i = 0; i < cfg.n; ++i) {
+    addrs.push_back(
+        SocketAddress::unix_path(dir + "/p" + std::to_string(i) + ".sock"));
+  }
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::vector<std::unique_ptr<SocketEndpoint>> endpoints;
+  for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+    mailboxes.push_back(std::make_unique<Mailbox>(kBacklog + 64));
+    SocketTransportOptions opts;
+    opts.seed = 700 + static_cast<std::uint64_t>(pid);
+    endpoints.push_back(std::make_unique<SocketEndpoint>(
+        pid, cfg, addrs, opts, mailboxes.back().get()));
+  }
+  for (int i = 0; i < kBacklog; ++i) {
+    endpoints[0]->dispatch(0, 1,
+                           std::make_shared<FloodEstimateMessage>(Value{i}));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& ep : endpoints) ep->start(start);
+  const long expected = static_cast<long>(kBacklog) * (cfg.n - 1);
+  const auto deadline = start + std::chrono::seconds{30};
+  while (std::chrono::steady_clock::now() < deadline) {
+    const SocketCounters c = endpoints[0]->counters();
+    if (c.envelopes_sent + c.envelopes_resent >= expected) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  std::vector<UndeliveredCopy> rest;
+  for (auto& ep : endpoints) {
+    auto part = ep->stop_and_flush();
+    rest.insert(rest.end(), part.begin(), part.end());
+  }
+  EXPECT_TRUE(rest.empty());
+  SocketCounters total;
+  for (auto& ep : endpoints) total += ep->counters();
+  EXPECT_EQ(total.envelopes_sent + total.envelopes_resent, expected);
+  EXPECT_EQ(total.envelopes_delivered, expected);
+  ASSERT_GT(total.flush_syscalls, 0);
+  const double frames_per_syscall =
+      static_cast<double>(total.envelopes_sent + total.envelopes_resent) /
+      static_cast<double>(total.flush_syscalls);
+  EXPECT_GE(frames_per_syscall, 4.0);
+  // Linear-time guard: 20k copies over loopback UDS take well under a
+  // second batched; the quadratic rescan blew past this by orders of
+  // magnitude.  Generous for slow CI machines.
+  EXPECT_LT(elapsed, std::chrono::seconds{20});
+  endpoints.clear();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SocketEndpoint, ChaosDribbleDeliversWithinPerFrameBudgets) {
+  // Short-write chaos on every frame, byte-at-a-time: with the per-byte
+  // timeout bug each dribbled frame could stall up to frame_len *
+  // send_timeout; with one deadline per frame the whole exchange still
+  // completes promptly and correctly.
+  const SystemConfig cfg{.n = 3, .t = 1};
+  const std::string dir = fresh_socket_dir();
+  std::vector<SocketAddress> addrs;
+  for (int i = 0; i < cfg.n; ++i) {
+    addrs.push_back(
+        SocketAddress::unix_path(dir + "/p" + std::to_string(i) + ".sock"));
+  }
+  constexpr int kMessages = 50;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::vector<std::unique_ptr<SocketEndpoint>> endpoints;
+  for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+    mailboxes.push_back(std::make_unique<Mailbox>(1024));
+    SocketTransportOptions opts;
+    opts.seed = 800 + static_cast<std::uint64_t>(pid);
+    opts.chaos.seed = 900 + static_cast<std::uint64_t>(pid);
+    opts.chaos.until = std::chrono::hours{1};  // chaos for the whole test
+    opts.chaos.short_write_prob = 1.0;         // dribble EVERY frame
+    endpoints.push_back(std::make_unique<SocketEndpoint>(
+        pid, cfg, addrs, opts, mailboxes.back().get()));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& ep : endpoints) ep->start(start);
+  for (int i = 0; i < kMessages; ++i) {
+    endpoints[0]->dispatch(0, 1,
+                           std::make_shared<FloodEstimateMessage>(Value{i}));
+  }
+  for (ProcessId pid = 1; pid < cfg.n; ++pid) {
+    for (int i = 0; i < kMessages; ++i) {
+      auto env = mailboxes[static_cast<std::size_t>(pid)]->pop_for(
+          std::chrono::seconds{30});
+      ASSERT_TRUE(env.has_value()) << "p" << pid << " message " << i;
+      EXPECT_EQ(env->payload->describe(),
+                FloodEstimateMessage(Value{i}).describe());
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  SocketCounters total;
+  std::vector<UndeliveredCopy> rest;
+  for (auto& ep : endpoints) {
+    auto part = ep->stop_and_flush();
+    rest.insert(rest.end(), part.begin(), part.end());
+  }
+  for (auto& ep : endpoints) total += ep->counters();
+  EXPECT_TRUE(rest.empty());
+  EXPECT_GT(total.injected_short_writes, 0) << "dribble path never exercised";
+  // ~37-byte frames at 100% short-write probability: the per-byte budget
+  // bug allowed minutes; one deadline per frame keeps this in seconds.
+  EXPECT_LT(elapsed, std::chrono::seconds{60});
+  endpoints.clear();
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SocketHub, At2RunsOverSocketsToo) {
