@@ -361,7 +361,7 @@ bool run_wire_measurement() {
   const bool syscall_gate = link.frames_per_syscall >= 4.0;
   const bool ok = alloc_gate && syscall_gate && link.completed;
 
-  bench::JsonWriter json("BENCH_e10_wire.json");
+  bench::JsonWriter json(bench::artifact_path("BENCH_e10_wire.json"));
   json.begin_object();
   json.key("bench").value("e10_wire");
   json.key("codec").begin_object();

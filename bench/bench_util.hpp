@@ -53,6 +53,20 @@ inline void print_header(const std::string& id, const std::string& claim) {
 
 inline std::string check_mark(bool ok) { return ok ? "yes" : "NO"; }
 
+/// Canonical location for a persisted BENCH_*.json artifact: the repository
+/// root (baked in at configure time), not whatever CWD the bench happens to
+/// run from.  CI runs the benches from the workspace root and a developer
+/// typically runs them from build/ — with this helper both land the same
+/// canonical top-level copy, so `scripts/check_bench_keys.sh <repo-root>`
+/// always sees every artifact.
+inline std::string artifact_path(const std::string& name) {
+#ifdef INDULGENCE_REPO_ROOT
+  return std::string(INDULGENCE_REPO_ROOT) + "/" + name;
+#else
+  return name;
+#endif
+}
+
 /// The campaign options benches sweep with: jobs from INDULGENCE_JOBS (or
 /// all cores), default chunking, fixed seed so sampled sweeps are
 /// reproducible.

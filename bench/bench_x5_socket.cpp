@@ -159,7 +159,7 @@ int main() {
   long runs = 0;
   double uds_clean_p50 = 0;
   bench::Stopwatch watch;
-  bench::JsonWriter json("BENCH_x5_socket.json");
+  bench::JsonWriter json(bench::artifact_path("BENCH_x5_socket.json"));
   json.begin_object();
   json.key("bench").value("x5_socket");
   json.key("slots").value(kSlots);

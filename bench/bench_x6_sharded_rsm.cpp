@@ -177,7 +177,7 @@ int main() {
   double clean_g1_rate = 0;
   double clean_g64_rate = 0;
   bench::Stopwatch watch;
-  bench::JsonWriter json("BENCH_x6_sharded.json");
+  bench::JsonWriter json(bench::artifact_path("BENCH_x6_sharded.json"));
   json.begin_object();
   json.key("bench").value("x6_sharded_rsm");
   json.key("nodes").value(kNodes);

@@ -89,6 +89,29 @@ for manifest in "${expected_dir}"/*.keys; do
   fi
 done
 
+# The checked-in baselines (bench/baselines/BENCH_<name>.pr<N>.json) are what
+# later PRs diff against; every baseline key must still exist in the current
+# manifest, or the before/after comparison silently reads fallback zeros.
+for baseline in "${repo_root}"/bench/baselines/BENCH_*.pr*.json; do
+  [[ -f "${baseline}" ]] || continue
+  name="$(basename "${baseline}" .json)"
+  name="${name%.pr*}"
+  manifest="${expected_dir}/${name}.keys"
+  if [[ ! -f "${manifest}" ]]; then
+    echo "check_bench_keys: baseline $(basename "${baseline}") has no manifest ${name}.keys" >&2
+    status=1
+    continue
+  fi
+  stale="$(comm -23 <(extract_keys "${baseline}") "${manifest}")"
+  if [[ -n "${stale}" ]]; then
+    echo "check_bench_keys: baseline $(basename "${baseline}") keys no longer in the ${name} schema:" >&2
+    printf '  - %s\n' ${stale} >&2
+    status=1
+  else
+    echo "check_bench_keys: baseline $(basename "${baseline}") ok"
+  fi
+done
+
 if [[ ${seen_any} -eq 0 && ${status} -eq 0 ]]; then
   echo "check_bench_keys: nothing checked" >&2
   exit 1

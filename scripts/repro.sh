@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # One-command reproduction: build, run the full test suite, regenerate every
-# experiment table (E1..E10, X1..X6 — including the live-runtime RSM service
-# over real threads, real sockets, and the sharded multi-group fabric), and
-# leave the outputs in test_output.txt / bench_output.txt at the repository
-# root.
+# experiment table (E1..E10, X1..X7 — including the live-runtime RSM service
+# over real threads, real sockets, the sharded multi-group fabric, and the
+# client workload campaigns), and leave the outputs in test_output.txt /
+# bench_output.txt at the repository root.
 #
 # INDULGENCE_JOBS controls the campaign engine's worker count (default: all
 # cores).  The tables are bit-identical at any setting; INDULGENCE_JOBS=1 is
@@ -13,7 +13,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Ninja for fresh trees; an existing build/ keeps whatever generator it was
+# configured with (CMake refuses to switch generators in place).
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
 cmake --build build
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 
@@ -68,6 +74,14 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 # agree across its members, chaos included.
 ./build/examples/sharded_rsm_demo --groups 8 2>> bench_timing.txt
 ./build/examples/sharded_rsm_demo --groups 8 --chaos 2>> bench_timing.txt
+
+# The client-campaign smoke: closed- and open-loop fleets over the
+# in-process, socket, and sharded runtimes (X7 ran its full grid plus the
+# million-command campaign in the bench loop above; this exercises the
+# example entry point).  Afterwards, every persisted BENCH_*.json artifact
+# must keep its key schema, baselines included.
+./build/examples/client_rsm_demo 2>> bench_timing.txt
+scripts/check_bench_keys.sh .
 
 echo "Reproduction complete: see test_output.txt and bench_output.txt" \
      "(campaign timing: bench_timing.txt)."

@@ -1,0 +1,63 @@
+#include "client/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace indulgence::client {
+
+ArrivalProcess::ArrivalProcess(const ArrivalOptions& options,
+                               std::uint64_t seed, std::uint64_t stream)
+    : options_(options), rng_(Rng::for_stream(seed, stream)) {
+  if (!(options_.rate_per_sec > 0.0)) {
+    throw std::invalid_argument("ArrivalProcess: rate must be positive");
+  }
+  if (options_.kind == ArrivalKind::Bursty &&
+      (options_.on_period.count() <= 0 || options_.off_period.count() < 0)) {
+    throw std::invalid_argument("ArrivalProcess: bad burst periods");
+  }
+}
+
+double ArrivalProcess::exponential_gap_us() {
+  // Inverse-transform sampling; next_double() < 1 keeps the log finite.
+  const double u = rng_.next_double();
+  return -std::log(1.0 - u) / options_.rate_per_sec * 1e6;
+}
+
+std::uint64_t ArrivalProcess::next_arrival_us() {
+  double gap = exponential_gap_us();
+  if (options_.kind == ArrivalKind::Poisson) {
+    clock_us_ += gap;
+    return static_cast<std::uint64_t>(clock_us_);
+  }
+  // Bursty: the gap consumes ON time only; OFF windows are skipped whole,
+  // so arrivals cluster inside ON windows at the full rate.
+  const double on = static_cast<double>(options_.on_period.count());
+  const double off = static_cast<double>(options_.off_period.count());
+  const double cycle = on + off;
+  double pos = std::fmod(clock_us_, cycle);
+  if (pos >= on) {  // parked in an OFF window: snap to the next ON start
+    clock_us_ += cycle - pos;
+    pos = 0.0;
+  }
+  while (gap > 0.0) {
+    const double available = on - pos;
+    if (gap <= available) {
+      clock_us_ += gap;
+      gap = 0.0;
+    } else {
+      gap -= available;
+      clock_us_ += available + off;
+      pos = 0.0;
+    }
+  }
+  return static_cast<std::uint64_t>(clock_us_);
+}
+
+double ArrivalProcess::mean_rate_per_sec() const {
+  if (options_.kind == ArrivalKind::Poisson) return options_.rate_per_sec;
+  const double on = static_cast<double>(options_.on_period.count());
+  const double off = static_cast<double>(options_.off_period.count());
+  return options_.rate_per_sec * on / (on + off);
+}
+
+}  // namespace indulgence::client

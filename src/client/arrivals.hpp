@@ -1,0 +1,56 @@
+// Deterministic open-loop arrival processes for the client workload layer.
+//
+// Each client owns one ArrivalProcess seeded from (seed, client index) via
+// Rng::for_stream, so a fleet's arrival times are a pure function of the
+// WorkloadOptions — independent across clients, bit-identical across runs
+// and thread counts, and replayable in isolation.
+//
+// Two shapes:
+//   * Poisson — exponential inter-arrival gaps at `rate_per_sec`: the
+//     memoryless open-loop baseline every SMR latency study starts from.
+//   * Bursty — an on/off modulated Poisson: gaps are drawn at
+//     `rate_per_sec` but the clock only advances through the ON windows of
+//     an on/off cycle, so traffic arrives in bursts at the ON rate with a
+//     long-run mean of rate * on / (on + off).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace indulgence::client {
+
+enum class ArrivalKind { Poisson, Bursty };
+
+struct ArrivalOptions {
+  ArrivalKind kind = ArrivalKind::Poisson;
+  double rate_per_sec = 1000.0;  ///< Poisson rate; Bursty: rate inside ON
+  std::chrono::microseconds on_period{20'000};   ///< Bursty ON window
+  std::chrono::microseconds off_period{20'000};  ///< Bursty OFF window
+};
+
+class ArrivalProcess {
+ public:
+  /// Deterministic per-client stream: (seed, stream) fully determine every
+  /// arrival time.
+  ArrivalProcess(const ArrivalOptions& options, std::uint64_t seed,
+                 std::uint64_t stream);
+
+  /// The next arrival instant as an offset (µs) from the process epoch;
+  /// non-decreasing across calls.
+  std::uint64_t next_arrival_us();
+
+  /// Long-run mean arrival rate (commands/s) the process converges to.
+  double mean_rate_per_sec() const;
+
+ private:
+  double exponential_gap_us();
+
+  ArrivalOptions options_;
+  Rng rng_;
+  double clock_us_ = 0.0;  ///< double accumulation avoids rounding drift
+};
+
+}  // namespace indulgence::client

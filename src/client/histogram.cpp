@@ -1,0 +1,79 @@
+#include "client/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace indulgence::client {
+
+int LatencyHistogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int msb = 63 - __builtin_clzll(static_cast<unsigned long long>(value));
+  const int octave = msb - kPrecisionBits + 1;
+  const int sub = static_cast<int>((static_cast<std::uint64_t>(value) >>
+                                    (msb - kPrecisionBits)) -
+                                   kSubBuckets);
+  return octave * kSubBuckets + sub;
+}
+
+std::int64_t LatencyHistogram::bucket_floor(int index) {
+  if (index < kSubBuckets) return index;
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return static_cast<std::int64_t>(kSubBuckets + sub) << (octave - 1);
+}
+
+std::int64_t LatencyHistogram::bucket_ceil(int index) {
+  if (index >= kBucketCount - 1) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return bucket_floor(index + 1) - 1;
+}
+
+void LatencyHistogram::record(std::int64_t value) {
+  if (value < 0) value = 0;
+  ++counts_[static_cast<std::size_t>(bucket_index(value))];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<std::uint64_t>(value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBucketCount; ++i) {
+    counts_[static_cast<std::size_t>(i)] +=
+        other.counts_[static_cast<std::size_t>(i)];
+  }
+}
+
+std::int64_t LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(q * static_cast<double>(count_))),
+      1, count_);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[static_cast<std::size_t>(i)];
+    if (cumulative >= rank) return std::min(bucket_ceil(i), max_);
+  }
+  return max_;
+}
+
+}  // namespace indulgence::client

@@ -1,0 +1,75 @@
+// A mergeable log-bucketed latency histogram in the HDR style: values are
+// binned into octaves split into 2^kPrecisionBits linear sub-buckets, so
+// relative quantile error is bounded by 2^-kPrecisionBits (~3.1%) at every
+// magnitude while the whole table stays a small fixed array of counters.
+//
+// Like the campaign stats of the parallel sweep engine, the histogram is a
+// commutative monoid under merge(): a fleet of clients records privately
+// and the campaign folds the per-client histograms in a fixed order, so
+// the merged quantiles are identical at any INDULGENCE_JOBS setting.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace indulgence::client {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 linear buckets per octave, i.e. a
+  /// recorded value is off by at most 1/32 of its magnitude.
+  static constexpr int kPrecisionBits = 5;
+  static constexpr int kSubBuckets = 1 << kPrecisionBits;
+  /// One linear group for values < kSubBuckets plus one group per octave
+  /// above it covers the full non-negative 63-bit range.
+  static constexpr int kBucketCount = (64 - kPrecisionBits) * kSubBuckets;
+
+  LatencyHistogram() : counts_(kBucketCount, 0) {}
+
+  /// Records one value (microseconds in this repo; negatives clamp to 0).
+  void record(std::int64_t value);
+
+  /// Monoid merge: counters add, min/max fold.  Commutative, associative,
+  /// identity = default-constructed histogram.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in (0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest recorded value — so the reported
+  /// quantile never understates the true one by more than the bucket
+  /// width.  Returns 0 on an empty histogram.
+  std::int64_t quantile(double q) const;
+
+  /// Bucket index of a value, and the value range [floor, ceil] a bucket
+  /// covers (exposed for the accuracy tests).
+  static int bucket_index(std::int64_t value);
+  static std::int64_t bucket_floor(int index);
+  static std::int64_t bucket_ceil(int index);
+
+  /// Exact state equality — the determinism tests' oracle.
+  bool operator==(const LatencyHistogram& other) const {
+    return count_ == other.count_ && sum_ == other.sum_ &&
+           min_ == other.min_ && max_ == other.max_ &&
+           counts_ == other.counts_;
+  }
+  bool operator!=(const LatencyHistogram& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;  ///< exact for < 2^64 total microseconds
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace indulgence::client

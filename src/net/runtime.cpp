@@ -110,6 +110,7 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
 
   const auto epoch = std::chrono::steady_clock::now();
   if (supervised) supervised->start(epoch);
+  if (start_hook_) start_hook_(epoch);
 
   std::vector<std::unique_ptr<RoundDriver>> drivers;
   drivers.reserve(static_cast<std::size_t>(config_.n));

@@ -32,6 +32,14 @@ class LiveRuntime {
   /// Benches hang per-round latency probes here.
   void set_observer(RoundObserver observer) { observer_ = std::move(observer); }
 
+  /// Called once per run with the run's epoch (the steady_clock instant
+  /// driver latencies are measured from), after the transport is up and
+  /// before the driver threads start.  Client workload layers release
+  /// their submitter threads here so client-to-commit latencies share the
+  /// drivers' clock base.
+  using StartHook = std::function<void(std::chrono::steady_clock::time_point)>;
+  void set_start_hook(StartHook hook) { start_hook_ = std::move(hook); }
+
   /// Routes live runs over real sockets (a SocketHub — one endpoint per
   /// process, UDS or TCP loopback) instead of the fault-injecting router.
   /// The router's latency/loss/partition knobs do not apply; wire chaos in
@@ -70,6 +78,7 @@ class LiveRuntime {
   LiveOptions options_;
   DonePredicate done_;
   RoundObserver observer_;
+  StartHook start_hook_;
   AlgorithmInstances algorithms_;
   long dropped_ = 0;
   std::optional<SocketAddress::Kind> socket_kind_;

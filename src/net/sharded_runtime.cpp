@@ -185,6 +185,7 @@ ShardedResult run_sharded(const ShardedOptions& options,
 
   const auto epoch = std::chrono::steady_clock::now();
   for (auto& endpoint : endpoints) endpoint->start(epoch);
+  if (options.on_start) options.on_start(epoch);
 
   std::vector<std::vector<std::unique_ptr<RoundDriver>>> drivers(
       static_cast<std::size_t>(groups));

@@ -63,6 +63,10 @@ struct ShardedOptions {
   /// > 0: every replica runs exactly rounds 1..fixed_rounds (the
   /// multi-process discipline); 0 = per-group armed-stop shutdown.
   Round fixed_rounds = 0;
+  /// Called once with the run epoch after every endpoint is up and before
+  /// the driver threads start — the sharded mirror of
+  /// LiveRuntime::set_start_hook (client fleets launch here).
+  std::function<void(std::chrono::steady_clock::time_point)> on_start;
 };
 
 /// What one group produced: the validated per-group RunResult, its replica

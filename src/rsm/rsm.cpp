@@ -24,7 +24,7 @@ RsmReplica::RsmReplica(ProcessId self, const SystemConfig& config,
                        AlgorithmFactory slot_factory,
                        std::vector<Value> commands, RsmOptions options)
     : slot_factory_(std::move(slot_factory)),
-      queue_(std::move(commands)),
+      queue_(commands.begin(), commands.end()),
       options_(options),
       self_(self),
       config_(config) {
@@ -34,6 +34,9 @@ RsmReplica::RsmReplica(ProcessId self, const SystemConfig& config,
   }
   if (options_.slot_burst < 1) {
     throw std::invalid_argument("RsmReplica: slot_burst must be >= 1");
+  }
+  if (options_.decide_retention < 0) {
+    throw std::invalid_argument("RsmReplica: decide_retention must be >= 0");
   }
   window_ = options_.slot_window > 0 ? options_.slot_window : config.t + 3;
   burst_ = options_.slot_burst;
@@ -50,7 +53,7 @@ RsmReplica::RsmReplica(ProcessId self, const SystemConfig& config,
 
 void RsmReplica::propose(Value v) {
   if (v == kNoOpCommand) return;  // reserved; kernel proposals may skip it
-  queue_.insert(queue_.begin(), v);
+  queue_.push_front(v);
 }
 
 int RsmReplica::last_started_slot(Round k) const {
@@ -62,8 +65,26 @@ int RsmReplica::last_started_slot(Round k) const {
 }
 
 Value RsmReplica::next_command() {
-  for (Value v : queue_) {
-    if (!committed_values_.count(v) && !inflight_.count(v)) return v;
+  if (!source_) {
+    // Fixed-queue mode: scan without consuming — a command stays pooled
+    // until committed, so losing a slot needs no re-insertion.
+    for (Value v : queue_) {
+      if (!committed_values_.count(v) && !inflight_.count(v)) return v;
+    }
+    return kNoOpCommand;
+  }
+  // Ingest mode: the local queue holds retries (slot losers) and kernel
+  // proposals; it is consumed front-first, then the source is pulled.
+  while (!queue_.empty()) {
+    const Value v = queue_.front();
+    queue_.pop_front();
+    if (committed_values_.count(v) || inflight_.count(v)) continue;
+    return v;
+  }
+  while (auto v = source_()) {
+    if (*v == kBottom || *v == kNoOpCommand) continue;  // reserved
+    if (committed_values_.count(*v) || inflight_.count(*v)) continue;
+    return *v;
   }
   return kNoOpCommand;
 }
@@ -79,6 +100,15 @@ void RsmReplica::start_slot(int slot) {
   slots_[slot]->propose(cmd == kNoOpCommand
                             ? std::numeric_limits<Value>::max() - self_
                             : cmd);
+  open_.push_back(slot);
+}
+
+void RsmReplica::ensure_started(Round k) {
+  const int last = last_started_slot(k);
+  for (int slot = started_hwm_; slot <= last; ++slot) {
+    if (!log_[slot]) start_slot(slot);
+  }
+  if (last + 1 > started_hwm_) started_hwm_ = last + 1;
 }
 
 void RsmReplica::record_commit(int slot, Value v, Round round) {
@@ -86,23 +116,38 @@ void RsmReplica::record_commit(int slot, Value v, Round round) {
   log_[slot] = v;
   commit_rounds_[slot] = round;
   committed_values_.insert(v);
-  // If our proposal lost this slot, put the command back in the pool.
-  if (proposed_[slot] && *proposed_[slot] != kNoOpCommand &&
-      *proposed_[slot] != v) {
+  ++committed_count_;
+  if (proposed_[slot] && *proposed_[slot] != kNoOpCommand) {
+    // Either way the command is no longer riding this slot; if ours lost,
+    // it returns to the pool (ingest mode re-queues it explicitly — the
+    // fixed queue never consumed it in the first place).
     inflight_.erase(*proposed_[slot]);
+    if (source_ && *proposed_[slot] != v) queue_.push_front(*proposed_[slot]);
   }
+  retained_.push_back(Retained{
+      slot, options_.decide_retention > 0 ? round + options_.decide_retention
+                                          : 0});
+  while (prefix_ < options_.num_slots && log_[prefix_]) ++prefix_;
+  // The slot's consensus instance is settled; free it so a long log does
+  // not hold every instance alive.
+  slots_[slot].reset();
+  const auto it = std::find(open_.begin(), open_.end(), slot);
+  if (it != open_.end()) open_.erase(it);
+  if (commit_callback_) commit_callback_(slot, v, round);
 }
 
 MessagePtr RsmReplica::message_for_round(Round k) {
+  ensure_started(k);
+  while (!retained_.empty() && retained_.front().until != 0 &&
+         k > retained_.front().until) {
+    retained_.pop_front();
+  }
   std::map<int, MessagePtr> parts;
-  const int last = last_started_slot(k);
-  for (int slot = 0; slot <= last; ++slot) {
-    if (log_[slot]) {
-      // Keep broadcasting the outcome so every replica catches up.
-      parts[slot] = std::make_shared<DecideMessage>(*log_[slot]);
-      continue;
-    }
-    start_slot(slot);
+  for (const Retained& r : retained_) {
+    // Keep broadcasting the outcome so every replica catches up.
+    parts[r.slot] = std::make_shared<DecideMessage>(*log_[r.slot]);
+  }
+  for (int slot : open_) {
     if (slots_[slot]->halted()) {
       parts[slot] = std::make_shared<DecideMessage>(*slots_[slot]->decision());
       continue;
@@ -114,7 +159,17 @@ MessagePtr RsmReplica::message_for_round(Round k) {
 
 void RsmReplica::on_round(Round k, const Delivery& delivered) {
   const int last = last_started_slot(k);
-  for (int slot = 0; slot <= last; ++slot) {
+  // This round's working set: the open slots plus any slot the send phase
+  // has not opened yet (possible when a crash swallowed the send) —
+  // ascending, since open slots all precede started_hwm_.
+  round_slots_.assign(open_.begin(), open_.end());
+  for (int slot = started_hwm_; slot <= last; ++slot) {
+    if (!log_[slot]) round_slots_.push_back(slot);
+  }
+  if (last + 1 > started_hwm_) started_hwm_ = last + 1;
+
+  for (int slot : round_slots_) {
+    if (log_[slot]) continue;  // already committed here
     const Round inner_round = k - slot_start(slot) + 1;
     if (inner_round < 1) continue;
 
@@ -131,8 +186,6 @@ void RsmReplica::on_round(Round k, const Delivery& delivered) {
       }
     }
 
-    if (log_[slot]) continue;  // already committed here
-
     // A DECIDE notice settles the slot even if our instance lags.
     if (auto d = find_decide_notice(inner)) {
       record_commit(slot, *d, k);
@@ -143,16 +196,6 @@ void RsmReplica::on_round(Round k, const Delivery& delivered) {
     slots_[slot]->on_round(inner_round, inner);
     if (auto d = slots_[slot]->decision()) record_commit(slot, *d, k);
   }
-}
-
-int RsmReplica::committed_prefix() const {
-  int prefix = 0;
-  while (prefix < options_.num_slots && log_[prefix]) ++prefix;
-  return prefix;
-}
-
-bool RsmReplica::all_slots_committed() const {
-  return committed_prefix() == options_.num_slots;
 }
 
 AlgorithmFactory rsm_factory(
@@ -168,6 +211,24 @@ AlgorithmFactory rsm_factory(
   };
 }
 
+AlgorithmFactory rsm_ingest_factory(
+    AlgorithmFactory slot_factory,
+    std::function<RsmCommandSource(ProcessId)> source_for,
+    std::function<RsmCommitCallback(ProcessId)> commit_for,
+    RsmOptions options) {
+  return [slot_factory = std::move(slot_factory),
+          source_for = std::move(source_for),
+          commit_for = std::move(commit_for),
+          options](ProcessId self, const SystemConfig& config)
+             -> std::unique_ptr<RoundAlgorithm> {
+    auto replica = std::make_unique<RsmReplica>(
+        self, config, slot_factory, std::vector<Value>{}, options);
+    replica->set_command_source(source_for(self));
+    replica->set_commit_callback(commit_for(self));
+    return replica;
+  };
+}
+
 std::function<AlgorithmFactory(GroupId)> sharded_rsm_factory(
     AlgorithmFactory slot_factory,
     std::function<std::vector<Value>(GroupId, ProcessId)> commands_for,
@@ -179,6 +240,22 @@ std::function<AlgorithmFactory(GroupId)> sharded_rsm_factory(
         [commands_for, group](ProcessId pid) {
           return commands_for(group, pid);
         },
+        options);
+  };
+}
+
+std::function<AlgorithmFactory(GroupId)> sharded_rsm_ingest_factory(
+    AlgorithmFactory slot_factory,
+    std::function<RsmCommandSource(GroupId, ProcessId)> source_for,
+    std::function<RsmCommitCallback(GroupId, ProcessId)> commit_for,
+    RsmOptions options) {
+  return [slot_factory = std::move(slot_factory),
+          source_for = std::move(source_for),
+          commit_for = std::move(commit_for), options](GroupId group) {
+    return rsm_ingest_factory(
+        slot_factory,
+        [source_for, group](ProcessId pid) { return source_for(group, pid); },
+        [commit_for, group](ProcessId pid) { return commit_for(group, pid); },
         options);
   };
 }

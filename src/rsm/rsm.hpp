@@ -14,17 +14,26 @@
 //   * Each round a replica broadcasts a bundle holding one part per active
 //     slot: the slot algorithm's message, or a DECIDE notice once the
 //     replica knows the slot's outcome (so slow replicas always catch up).
+//     `decide_retention` bounds how long outcomes are re-broadcast; the
+//     default (forever) matches the original behavior, while long-running
+//     campaigns set a finite retention so per-round bundles stay O(active
+//     slots) rather than O(log length).
 //   * Command selection: every replica keeps a client-command queue; for a
 //     new slot it proposes its first command that is neither committed nor
 //     in flight; a command that loses its slot returns to the pool and is
 //     re-proposed later.  When the queue is empty the replica proposes
-//     kNoOpCommand.
+//     kNoOpCommand.  A live client layer can replace the fixed queue with a
+//     pull-based RsmCommandSource and observe commits through an
+//     RsmCommitCallback (src/client builds on exactly this pair).
 //
 // The RSM never "decides" in the single-shot sense — drive the kernel with
 // stop_on_global_decision = false and query logs afterwards.
 
 #pragma once
 
+#include <deque>
+#include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -37,6 +46,27 @@ namespace indulgence {
 /// Committed when a replica had nothing to propose.
 inline constexpr Value kNoOpCommand = -1;
 
+/// On the wire a no-op is the per-replica sentinel max - self (consensus
+/// proposals must be comparable and non-reserved, and with a min-wins slot
+/// algorithm the sentinel loses to every real command).  Classifier for log
+/// readers; assumes self < 4096, far above any real group size here.
+inline bool is_rsm_noop(Value v) {
+  return v > std::numeric_limits<Value>::max() - 4096;
+}
+
+/// Pull-based command ingest: "the next client command for a fresh slot",
+/// or nullopt when nothing is pending (the slot proposes a no-op).  Called
+/// on the replica's own driver thread; implementations synchronize their
+/// own state.
+using RsmCommandSource = std::function<std::optional<Value>()>;
+
+/// Commit notification, fired on the replica's driver thread as soon as
+/// this replica learns a slot's outcome — including no-op outcomes and
+/// commands proposed by other replicas.  Every replica reports every slot
+/// it learns, so a client layer must deduplicate across replicas.
+using RsmCommitCallback =
+    std::function<void(int slot, Value value, Round round)>;
+
 struct RsmOptions {
   int num_slots = 8;     ///< how many log positions to run
   Round slot_window = 0; ///< rounds between slot starts; 0 means t + 3
@@ -46,6 +76,12 @@ struct RsmOptions {
                          ///< i*window + 1, so b commands share each bundle
                          ///< round-trip.  1 reproduces the classic one-slot
                          ///< cadence.
+  Round decide_retention = 0;  ///< how many rounds after a local commit the
+                               ///< DECIDE notice keeps riding the bundle;
+                               ///< 0 = forever (the original behavior).
+                               ///< Post-GST a laggard hears a retained
+                               ///< notice within one round, so a small
+                               ///< value suffices once bounds hold.
 };
 
 /// The per-round bundle: one part per active slot.
@@ -75,6 +111,19 @@ class RsmReplica : public RoundAlgorithm {
              AlgorithmFactory slot_factory, std::vector<Value> commands,
              RsmOptions options = {});
 
+  /// Live ingest: once the fixed queue drains, fresh slots pull commands
+  /// from `source` instead of proposing no-ops.  A command that loses its
+  /// slot re-enters this replica's local retry queue (it is NOT handed back
+  /// to the source — exactly-once submission stays with the home replica).
+  void set_command_source(RsmCommandSource source) {
+    source_ = std::move(source);
+  }
+
+  /// Fired from record_commit for every slot outcome this replica learns.
+  void set_commit_callback(RsmCommitCallback callback) {
+    commit_callback_ = std::move(callback);
+  }
+
   // --- RoundAlgorithm ------------------------------------------------------
 
   /// The kernel-supplied proposal becomes the front of the command queue.
@@ -93,10 +142,14 @@ class RsmReplica : public RoundAlgorithm {
   /// log()[s] holds slot s's committed command once known to this replica.
   const std::vector<std::optional<Value>>& log() const { return log_; }
 
-  /// Number of leading slots committed at this replica.
-  int committed_prefix() const;
+  /// Number of leading slots committed at this replica (O(1): maintained
+  /// incrementally so done-predicates can poll it every round).
+  int committed_prefix() const { return prefix_; }
 
-  bool all_slots_committed() const;
+  bool all_slots_committed() const { return prefix_ == options_.num_slots; }
+
+  /// Slots committed at this replica so far (not necessarily a prefix).
+  long committed_count() const { return committed_count_; }
 
   /// Round at which this replica learned slot s (0 if not yet).
   Round commit_round(int slot) const { return commit_rounds_[slot]; }
@@ -108,12 +161,22 @@ class RsmReplica : public RoundAlgorithm {
     return static_cast<Round>(slot / burst_) * window_ + 1;
   }
   int last_started_slot(Round k) const;
+  void ensure_started(Round k);
   void start_slot(int slot);
   Value next_command();
   void record_commit(int slot, Value v, Round round);
 
+  /// A committed slot whose DECIDE notice is still riding the bundle;
+  /// `until` = 0 means forever.
+  struct Retained {
+    int slot = 0;
+    Round until = 0;
+  };
+
   AlgorithmFactory slot_factory_;
-  std::vector<Value> queue_;
+  std::deque<Value> queue_;
+  RsmCommandSource source_;
+  RsmCommitCallback commit_callback_;
   RsmOptions options_;
   Round window_ = 1;
   int burst_ = 1;
@@ -124,6 +187,16 @@ class RsmReplica : public RoundAlgorithm {
   std::vector<Round> commit_rounds_;
   std::set<Value> committed_values_;
   std::set<Value> inflight_;
+
+  /// Started-but-uncommitted slots, ascending — the per-round working set.
+  std::vector<int> open_;
+  std::vector<int> round_slots_;  ///< scratch for on_round's iteration
+  /// Committed slots still re-broadcasting DECIDE, in commit order (so
+  /// expiry pruning pops from the front).
+  std::deque<Retained> retained_;
+  int started_hwm_ = 0;  ///< every slot below is started or committed
+  int prefix_ = 0;       ///< cached committed_prefix()
+  long committed_count_ = 0;
 
   ProcessId self_;
   SystemConfig config_;
@@ -136,6 +209,15 @@ AlgorithmFactory rsm_factory(AlgorithmFactory slot_factory,
                                  commands_for,
                              RsmOptions options = {});
 
+/// Live-ingest factory: replicas start with empty queues and pull commands
+/// from per-replica sources, reporting commits through per-replica
+/// callbacks.  The client workload layer (src/client) plugs in here.
+AlgorithmFactory rsm_ingest_factory(
+    AlgorithmFactory slot_factory,
+    std::function<RsmCommandSource(ProcessId)> source_for,
+    std::function<RsmCommitCallback(ProcessId)> commit_for,
+    RsmOptions options = {});
+
 /// Group-factory adaptor for the sharded runtime (`run_sharded` /
 /// `ShardedNode`): every group runs the same slot algorithm and RsmOptions
 /// — including the slot_burst pipelining knob — with per-(group, replica)
@@ -143,6 +225,13 @@ AlgorithmFactory rsm_factory(AlgorithmFactory slot_factory,
 std::function<AlgorithmFactory(GroupId)> sharded_rsm_factory(
     AlgorithmFactory slot_factory,
     std::function<std::vector<Value>(GroupId, ProcessId)> commands_for,
+    RsmOptions options = {});
+
+/// Sharded live ingest: per-(group, replica) sources and commit callbacks.
+std::function<AlgorithmFactory(GroupId)> sharded_rsm_ingest_factory(
+    AlgorithmFactory slot_factory,
+    std::function<RsmCommandSource(GroupId, ProcessId)> source_for,
+    std::function<RsmCommitCallback(GroupId, ProcessId)> commit_for,
     RsmOptions options = {});
 
 }  // namespace indulgence

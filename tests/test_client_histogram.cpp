@@ -1,0 +1,169 @@
+// The log-bucketed latency histogram: bucket math, bounded quantile
+// error against an exact sort, and the merge monoid the fleet relies on
+// for jobs-independent campaign reports.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "client/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace indulgence::client {
+namespace {
+
+TEST(ClientHistogram, BucketIndexRoundTripsEveryMagnitude) {
+  // Every probe value must land in a bucket whose [floor, ceil] range
+  // contains it, across the full 63-bit range.
+  std::vector<std::int64_t> probes = {0, 1, 31, 32, 33, 63, 64, 65, 1000};
+  for (int shift = 7; shift < 62; ++shift) {
+    const std::int64_t base = std::int64_t{1} << shift;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + 1);
+    probes.push_back(base + base / 2);
+  }
+  for (const std::int64_t v : probes) {
+    const int index = LatencyHistogram::bucket_index(v);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, LatencyHistogram::kBucketCount);
+    EXPECT_LE(LatencyHistogram::bucket_floor(index), v) << "value " << v;
+    EXPECT_GE(LatencyHistogram::bucket_ceil(index), v) << "value " << v;
+  }
+}
+
+TEST(ClientHistogram, BucketBoundariesTile) {
+  // Consecutive buckets tile the line: ceil(i) + 1 == floor(i + 1).
+  for (int i = 0; i + 1 < LatencyHistogram::kBucketCount - 1; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_ceil(i) + 1,
+              LatencyHistogram::bucket_floor(i + 1))
+        << "bucket " << i;
+  }
+}
+
+TEST(ClientHistogram, EmptyHistogramIsInert) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(0.999), 0);
+}
+
+TEST(ClientHistogram, NegativesClampToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(ClientHistogram, QuantilesTrackExactSortWithinBucketError) {
+  // Relative quantile error is bounded by one sub-bucket (2^-5 ~ 3.1%);
+  // allow 2x slack plus a couple of microseconds at the small end.
+  Rng rng(12345);
+  std::vector<std::int64_t> values;
+  LatencyHistogram h;
+  for (int i = 0; i < 20'000; ++i) {
+    // Latency-shaped mixture: a tight mode and a long tail.
+    const double u = rng.next_double();
+    std::int64_t v;
+    if (u < 0.9) {
+      v = 200 + rng.next_int(0, 400);
+    } else {
+      v = 1000 + rng.next_int(0, 50'000);
+    }
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(values.size()))) - 1;
+    const double exact = static_cast<double>(values[rank]);
+    const double reported = static_cast<double>(h.quantile(q));
+    EXPECT_GE(reported + 2.0, exact) << "q=" << q;
+    EXPECT_LE(reported, exact * 1.07 + 2.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.max(), values.back());
+  EXPECT_EQ(h.min(), values.front());
+}
+
+TEST(ClientHistogram, QuantileNeverExceedsMax) {
+  LatencyHistogram h;
+  h.record(1'000'000);
+  h.record(1'000'001);
+  EXPECT_EQ(h.quantile(1.0), 1'000'001);
+  EXPECT_LE(h.quantile(0.999), 1'000'001);
+}
+
+TEST(ClientHistogram, MergeEqualsSequentialRecording) {
+  Rng rng(7);
+  LatencyHistogram all;
+  std::vector<LatencyHistogram> parts(8);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.next_int(1, 1'000'000);
+    all.record(v);
+    parts[static_cast<std::size_t>(i % 8)].record(v);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& p : parts) merged.merge(p);
+  EXPECT_EQ(merged, all);
+}
+
+TEST(ClientHistogram, MergeIsCommutativeAndAssociative) {
+  Rng rng(99);
+  LatencyHistogram a, b, c;
+  for (int i = 0; i < 3000; ++i) a.record(rng.next_int(0, 500));
+  for (int i = 0; i < 2000; ++i) b.record(rng.next_int(400, 90'000));
+  for (int i = 0; i < 1000; ++i) c.record(rng.next_int(0, 5));
+
+  LatencyHistogram ab = a;
+  ab.merge(b);
+  LatencyHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+
+  LatencyHistogram ab_c = ab;
+  ab_c.merge(c);
+  LatencyHistogram bc = b;
+  bc.merge(c);
+  LatencyHistogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+
+  LatencyHistogram identity;
+  LatencyHistogram a_id = a;
+  a_id.merge(identity);
+  EXPECT_EQ(a_id, a);
+}
+
+TEST(ClientHistogram, ParallelReduceIsJobsIndependent) {
+  // The same reduction the campaign engine runs: chunked per-client
+  // recording merged in chunk order must be bit-identical at jobs = 1
+  // (inline reference) and jobs = 8 (oversubscribed).
+  const long total = 50'000;
+  auto reduce_with = [&](int jobs) {
+    return parallel_reduce<LatencyHistogram>(
+        total, /*chunk=*/1024, jobs, LatencyHistogram{},
+        [](long /*chunk_index*/, long begin, long end) {
+          LatencyHistogram h;
+          for (long i = begin; i < end; ++i) {
+            Rng rng = Rng::for_stream(424242, static_cast<std::uint64_t>(i));
+            h.record(rng.next_int(1, 2'000'000));
+          }
+          return h;
+        });
+  };
+  const LatencyHistogram sequential = reduce_with(1);
+  const LatencyHistogram parallel = reduce_with(8);
+  EXPECT_EQ(sequential, parallel);
+  EXPECT_EQ(sequential.count(), static_cast<std::uint64_t>(total));
+}
+
+}  // namespace
+}  // namespace indulgence::client
