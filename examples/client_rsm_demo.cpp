@@ -24,11 +24,16 @@
 #include "common/table.hpp"
 #include "consensus/hurfin_raynal.hpp"
 #include "core/at2.hpp"
+#include "net/synchronizer.hpp"
 
 namespace {
 
 using namespace indulgence;
 using namespace indulgence::client;
+
+/// --sync KIND: the round synchronizer every campaign runs (the campaign
+/// controller simply carries it inside CampaignConfig::live).
+SyncKind g_sync = SyncKind::Lockstep;
 
 AlgorithmFactory slot_factory() {
   At2Options ff;
@@ -46,6 +51,7 @@ CampaignConfig base_config(CampaignTarget target) {
   config.rsm.decide_retention = 8;
   config.live.max_rounds = 6000;
   config.live.seed = 7;
+  config.live.synchronizer = g_sync;
   return config;
 }
 
@@ -75,9 +81,29 @@ bool row_ok(const Row& row) {
 
 }  // namespace
 
-int main() {
-  std::cout << "Client workload campaigns over the indulgent RSM\n"
-            << "(every run: trace merged + validated, committed logs "
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sync" && i + 1 < argc) {
+      const auto kind = parse_sync_kind(argv[++i]);
+      if (!kind) {
+        std::cerr << "client_rsm_demo: --sync must be lockstep, pacemaker, "
+                     "or faststep\n";
+        return 2;
+      }
+      g_sync = *kind;
+    } else {
+      std::cerr << "usage: client_rsm_demo [--sync lockstep|pacemaker|"
+                   "faststep]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "Client workload campaigns over the indulgent RSM"
+            << (g_sync != SyncKind::Lockstep
+                    ? std::string(" (sync=") + to_string(g_sync) + ")"
+                    : "")
+            << "\n(every run: trace merged + validated, committed logs "
                "cross-checked against the fleet's books)\n\n";
 
   std::vector<Row> rows;

@@ -39,6 +39,7 @@
 #include "fuzz/fuzzer.hpp"
 #include "fuzz/live_fuzzer.hpp"
 #include "fuzz/targets.hpp"
+#include "net/synchronizer.hpp"
 #include "sim/schedule_io.hpp"
 
 namespace {
@@ -251,6 +252,8 @@ int live_fuzz(const DriverOptions& opts) {
   live_options.campaign = default_campaign();
   live_options.socket = opts.socket;
   live_options.groups = opts.groups;
+  // CLI validation guarantees the name parses.
+  live_options.gen.synchronizer = *parse_sync_kind(opts.sync);
   if (opts.wall_secs > 0) {
     live_options.deadline =
         std::chrono::steady_clock::now() +
@@ -323,7 +326,9 @@ int live_fuzz(const DriverOptions& opts) {
                   " budget=" + std::to_string(live_options.budget) +
                   (opts.groups > 1
                        ? " groups=" + std::to_string(opts.groups)
-                       : ""));
+                       : "") +
+                  // Default titles stay byte-identical for existing seeds.
+                  (opts.sync != "lockstep" ? " sync=" + opts.sync : ""));
   std::cout << "\n"
             << (all_ok ? "all live runs matched expectations"
                        : "UNEXPECTED LIVE RESULTS — see table")

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # One-command reproduction: build, run the full test suite, regenerate every
-# experiment table (E1..E10, X1..X7 — including the live-runtime RSM service
-# over real threads, real sockets, the sharded multi-group fabric, and the
-# client workload campaigns), and leave the outputs in test_output.txt /
-# bench_output.txt at the repository root.
+# experiment table (E1..E10, X1..X8 — including the live-runtime RSM service
+# over real threads, real sockets, the sharded multi-group fabric, the
+# client workload campaigns, and the round-synchronizer comparison), and
+# leave the outputs in test_output.txt / bench_output.txt at the repository
+# root.
 #
 # INDULGENCE_JOBS controls the campaign engine's worker count (default: all
 # cores).  The tables are bit-identical at any setting; INDULGENCE_JOBS=1 is
@@ -44,6 +45,15 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 # lossy draw must be flagged invalid, no target may produce a finding, and
 # the stdout table is bit-identical per seed.
 ./build/fuzz/fuzz_consensus --live --seed 1 --budget 8 2>> bench_timing.txt
+
+# The synchronizer fuzz smoke: the same live oracles under the pacemaker
+# and fast-path round-close policies, with random transient corruption of
+# the synchronizer soft state injected per draw (X8 ran the bench grid in
+# the loop above; this exercises the randomized path).
+./build/fuzz/fuzz_consensus --live --sync pacemaker --seed 2 --budget 6 \
+    2>> bench_timing.txt
+./build/fuzz/fuzz_consensus --live --sync faststep --seed 3 --budget 6 \
+    2>> bench_timing.txt
 
 # The socket fuzz smoke: randomized runs over Unix-domain sockets with
 # seeded wire chaos; every run must merge into a validator-clean trace and

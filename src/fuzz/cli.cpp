@@ -30,6 +30,10 @@ void driver_usage(std::ostream& os) {
         "  --groups G     --socket: run G independent groups of the target\n"
         "                 per draw over one shared multiplexed fabric,\n"
         "                 judging every group's merged trace (default 1)\n"
+        "  --sync KIND    live/socket: round synchronizer — lockstep,\n"
+        "                 pacemaker, or faststep (default lockstep);\n"
+        "                 non-lockstep draws also inject transient\n"
+        "                 synchronizer-state corruptions\n"
         "  --wall SECS    stop after SECS wall-clock seconds (any mode)\n"
         "  --samples DIR  live mode: write the deterministic corpus-seed\n"
         "                 repros (loss, crash/partition) to DIR and exit\n"
@@ -95,6 +99,9 @@ std::optional<DriverOptions> parse_driver_args(int argc,
       if (!(v = value(i)) || !numeric("--groups", v, opts.groups)) {
         return std::nullopt;
       }
+    } else if (arg == "--sync") {
+      if (!(v = value(i))) return std::nullopt;
+      opts.sync = v;
     } else if (arg == "--n") {
       if (!(v = value(i)) || !numeric("--n", v, opts.n)) return std::nullopt;
     } else if (arg == "--t") {
@@ -147,6 +154,17 @@ std::optional<DriverOptions> parse_driver_args(int argc,
   if (opts.groups > 1 && !opts.socket) {
     err << "fuzz_consensus: --groups needs --socket (the multi-group sweep "
            "exercises the shared-fabric demux)\n";
+    return std::nullopt;
+  }
+  if (opts.sync != "lockstep" && opts.sync != "pacemaker" &&
+      opts.sync != "faststep") {
+    err << "fuzz_consensus: --sync must be one of lockstep, pacemaker, "
+           "faststep (got '" << opts.sync << "')\n";
+    return std::nullopt;
+  }
+  if (opts.sync != "lockstep" && !opts.live) {
+    err << "fuzz_consensus: --sync needs --live or --socket (the "
+           "synchronizers only exist in the live runtime)\n";
     return std::nullopt;
   }
   return opts;

@@ -51,6 +51,23 @@ struct CrashInjection {
   bool before_send = false;
 };
 
+/// Which round-closing policy the drivers run (net/synchronizer.hpp):
+/// the historical lockstep quorum gate, the leader-based pacemaker, or
+/// the two-step fast path.  All three sit above the same quorum floor the
+/// validator demands, so every choice yields validator-clean traces.
+enum class SyncKind { Lockstep, Pacemaker, FastStep };
+
+/// Transient-fault injection into synchronizer soft state: when process
+/// `pid` opens round `round`, flip the state bits named by `bits` (the
+/// meaning is per-synchronizer; see RoundSynchronizer::corrupt).  Models
+/// the self-stabilization literature's transient corruption — the run
+/// must still terminate with a validator-clean trace.
+struct SyncCorruption {
+  ProcessId pid = -1;
+  Round round = 0;
+  std::uint64_t bits = 0;
+};
+
 struct LiveOptions {
   /// Wall-clock GST as an offset from run start; 0 means the network obeys
   /// the synchronous bounds from the first instant.
@@ -69,10 +86,21 @@ struct LiveOptions {
   std::vector<PartitionSpec> partitions;
   std::vector<CrashInjection> crashes;
 
+  /// Round-closing policy (see net/synchronizer.hpp).  Lockstep is the
+  /// historical default; pacemaker and faststep trade the grace window
+  /// for leader pulses / full-set fast decisions.
+  SyncKind synchronizer = SyncKind::Lockstep;
+
+  /// Transient synchronizer-state corruptions to inject (fuzzing only;
+  /// empty in normal runs).
+  std::vector<SyncCorruption> sync_corruptions;
+
   /// Straggler window: after a round's quorum (n - t in-round messages) is
   /// reached, the synchronizer waits this long for the rest before closing
   /// the round.  Larger values mean fewer false suspicions and fewer
-  /// delayed deliveries; smaller values mean faster rounds.
+  /// delayed deliveries; smaller values mean faster rounds.  Doubles as
+  /// the pacemaker's pulse-loss fallback and the fast path's full-set
+  /// timeout.
   std::chrono::microseconds quorum_grace{400};
 
   /// 0 = a round waits indefinitely for its quorum (the indulgent mode:

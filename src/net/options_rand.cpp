@@ -20,6 +20,26 @@ ProcessSet draw_group(const SystemConfig& config, Rng& rng) {
   return ProcessSet::from_mask(1 + rng.next_below(full - 1));
 }
 
+/// Transient synchronizer-state corruption draws, appended AFTER every
+/// other draw and only for non-lockstep policies, so the draw streams of
+/// existing (lockstep) seeds are bit-stable.  Up to two corruptions per
+/// run, each flipping up to three soft-state bits in an early round.
+void draw_sync_corruptions(LiveOptions& o, const SystemConfig& config,
+                           Rng& rng, const LiveGenOptions& gen) {
+  o.synchronizer = gen.synchronizer;
+  if (gen.synchronizer == SyncKind::Lockstep) return;
+  const int corruptions = rng.next_int(0, 2);
+  for (int i = 0; i < corruptions; ++i) {
+    SyncCorruption c;
+    c.pid = static_cast<ProcessId>(
+        rng.next_below(static_cast<std::uint64_t>(config.n)));
+    c.round = 1 + static_cast<Round>(rng.next_below(
+                      static_cast<std::uint64_t>(gen.max_crash_round)));
+    c.bits = 1 + rng.next_below(7);  // any nonempty subset of bits 0..2
+    o.sync_corruptions.push_back(c);
+  }
+}
+
 }  // namespace
 
 LiveOptions random_valid_live_options(const SystemConfig& config, Rng& rng,
@@ -63,6 +83,7 @@ LiveOptions random_valid_live_options(const SystemConfig& config, Rng& rng,
                                    gen.max_crash_round))),
                        rng.chance(1, 2)});
   }
+  draw_sync_corruptions(o, config, rng, gen);
   return o;
 }
 
@@ -100,6 +121,10 @@ LiveOptions random_lossy_live_options(const SystemConfig& config, Rng& rng,
   // copies loss already ate will never come, so a long drain buys nothing.
   o.drain_wait = us(20'000);
   o.seed = rng.next_u64();
+  // Lossy draws carry the selected policy but no corruption injections:
+  // the run is already invalid by construction, so a corrupted-state
+  // recovery check would prove nothing.
+  o.synchronizer = gen.synchronizer;
   return o;
 }
 

@@ -29,6 +29,11 @@
 namespace indulgence {
 
 struct LiveGenOptions {
+  /// Round-closing policy stamped onto every draw (`fuzz_consensus
+  /// --sync`).  Non-lockstep draws also sample transient synchronizer
+  /// corruptions (appended after all other draws, so lockstep streams are
+  /// unchanged for existing seeds).
+  SyncKind synchronizer = SyncKind::Lockstep;
   /// Valid draws: upper bound on the wall-clock GST offset (µs).
   long max_gst_us = 2000;
   /// Valid draws: partitions drawn per run is uniform in [0, max_partitions]

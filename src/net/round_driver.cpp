@@ -14,7 +14,8 @@ RunControl::RunControl(SystemConfig config)
     : config_(config),
       done_(static_cast<std::size_t>(config.n), 0),
       crashed_(static_cast<std::size_t>(config.n), 0),
-      armed_(static_cast<std::size_t>(config.n), 0) {}
+      armed_(static_cast<std::size_t>(config.n), 0),
+      candidate_(static_cast<std::size_t>(config.n), 0) {}
 
 void RunControl::request_stop_locked(bool completed, bool& fire) {
   if (!completed) aborted_.store(true, std::memory_order_release);
@@ -33,6 +34,14 @@ bool RunControl::all_live_armed_locked() const {
     if (!crashed_[i] && !armed_[i]) return false;
   }
   return true;
+}
+
+Round RunControl::stop_round_locked() const {
+  Round s = 0;
+  for (std::size_t i = 0; i < candidate_.size(); ++i) {
+    if (!crashed_[i]) s = std::max(s, candidate_[i]);
+  }
+  return s;
 }
 
 void RunControl::report_done(ProcessId pid) {
@@ -58,6 +67,11 @@ void RunControl::report_crash(ProcessId pid) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!crashed_[static_cast<std::size_t>(pid)]) {
       crashed_[static_cast<std::size_t>(pid)] = 1;
+      // A driver that dies after arming must not keep pinning the stop
+      // round: its armed bit and boundary candidate are both stale (the
+      // rounds it committed to will never be sent), so peers recompute S
+      // from the live processes only.
+      armed_[static_cast<std::size_t>(pid)] = 0;
       crashed_n_.fetch_add(1, std::memory_order_acq_rel);
       bool all = true;
       for (std::size_t i = 0; i < done_.size(); ++i) {
@@ -83,13 +97,19 @@ void RunControl::force_stop(bool completed) {
 
 bool RunControl::boundary(ProcessId pid, Round next_round) {
   std::lock_guard<std::mutex> lock(mutex_);
-  armed_[static_cast<std::size_t>(pid)] = 1;
-  stop_round_ = std::max(stop_round_, next_round - 1);
-  if (all_live_armed_locked() && next_round > stop_round_) return true;
+  const std::size_t i = static_cast<std::size_t>(pid);
+  armed_[i] = 1;
+  candidate_[i] = std::max(candidate_[i], next_round - 1);
+  if (all_live_armed_locked() && next_round > stop_round_locked()) return true;
   // Can't exit yet: commit the round about to be sent, so every live peer
   // must complete it too before it may exit.
-  stop_round_ = std::max(stop_round_, next_round);
+  candidate_[i] = std::max(candidate_[i], next_round);
   return false;
+}
+
+bool RunControl::is_crashed(ProcessId pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_[static_cast<std::size_t>(pid)] != 0;
 }
 
 bool RunControl::completed_normally() const {
@@ -121,6 +141,15 @@ bool RoundDriver::is_done() const {
 }
 
 void RoundDriver::route(NetEnvelope env, Round k) {
+  // Distinct senders, not envelopes: a reliable channel replaying its
+  // window after a socket reset can deliver the same (sender, send_round)
+  // copy twice, and counting it twice would close the quorum gate early —
+  // with one real sender short.  Exactly-once is also what the validator's
+  // reliable-channel check demands of the merged trace.
+  if (!seen_copies_.emplace(env.send_round, env.sender).second) {
+    ++log_.duplicate_copies;
+    return;
+  }
   const Round slot = env.target_round > 0 ? env.target_round : env.send_round;
   if (slot > k) {
     future_[slot].push_back(
@@ -175,21 +204,41 @@ void RoundDriver::collect_scripted(Round k) {
 void RoundDriver::collect_live(Round k) {
   const LiveOptions& opt = *ctx_.options;
   const Clock::time_point round_start = Clock::now();
-  std::optional<Clock::time_point> quorum_since;
   std::optional<Clock::time_point> drain_since;
+
+  SyncView view;
+  view.round = k;
+  view.quorum = ctx_.config.n - ctx_.config.t;
+  view.round_start = round_start;
+  synchronizer_->round_open(view);
+  // Transient-fault injection fires after round_open (which resets soft
+  // state and would otherwise erase the corruption).
+  for (const SyncCorruption& c : opt.sync_corruptions) {
+    if (c.pid == ctx_.self && c.round == k) synchronizer_->corrupt(c.bits);
+  }
+  const ProcessId coord = synchronizer_->coordinator(k);
+
   for (;;) {
     const Clock::time_point now = Clock::now();
     // The RTT-emulation floor holds a round open even after everyone has
-    // been heard from — but never delays a draining stop.
+    // been heard from — but only for timer-paced policies, and never once
+    // a stop is draining.
     const bool floor_passed = opt.round_floor.count() == 0 ||
                               now - round_start >= opt.round_floor ||
+                              !synchronizer_->paced_by_floor() ||
                               ctx_.control->stop_requested();
+
+    view.in_round = in_round_count_;
+    view.possible = ctx_.config.n - ctx_.control->crashed_count();
+    view.coordinator_crashed = coord >= 0 && ctx_.control->is_crashed(coord);
+    // The pacemaker's publish hook: a coordinator must pulse even when its
+    // own round is about to close on a full set.
+    synchronizer_->observe(view, now);
 
     // Everyone who could still send has: close immediately.  Senders not
     // counted here are crashed, and their round-k copies (if any) arriving
     // later are crash-round deliveries the synchrony check exempts.
-    const int possible = ctx_.config.n - ctx_.control->crashed_count();
-    if (in_round_count_ >= possible && floor_passed) break;
+    if (in_round_count_ >= view.possible && floor_passed) break;
 
     if (ctx_.control->stop_requested()) {
       if (!drain_since) {
@@ -198,12 +247,12 @@ void RoundDriver::collect_live(Round k) {
         break;  // scheduling-jitter valve; expedited copies land in microseconds
       }
     } else {
-      if (in_round_count_ >= ctx_.config.n - ctx_.config.t) {
-        if (!quorum_since) {
-          quorum_since = now;
-        } else if (now - *quorum_since >= opt.quorum_grace && floor_passed) {
-          break;  // quorum held through the grace window; suspect the rest
-        }
+      // The synchronizer is only consulted at or above the n − t quorum —
+      // the validator's t-resilience floor.  No policy (or corrupted
+      // policy state) can close a round below it.
+      if (in_round_count_ >= view.quorum &&
+          synchronizer_->should_close(view, now) && floor_passed) {
+        break;
       }
       if (opt.round_cap.count() > 0 && now - round_start >= opt.round_cap) {
         break;  // model-violating escape valve (lossy runs); validator flags it
@@ -261,6 +310,9 @@ void RoundDriver::run_impl() {
   algorithm_ = ctx_.factory(ctx_.self, ctx_.config);
   algorithm_->propose(ctx_.proposal);
   log_.proposal = ctx_.proposal;
+  synchronizer_ =
+      make_round_synchronizer(*ctx_.options, ctx_.config, ctx_.self,
+                              ctx_.pulses);
 
   std::optional<CrashInjection> crash;
   if (ctx_.script) {

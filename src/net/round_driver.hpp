@@ -7,7 +7,9 @@
 // kernel's), then gate on the mailbox until the round can close —
 // scripted mode waits for the exact envelope counts the schedule implies,
 // live mode waits for every possibly-live sender, or a quorum of n - t
-// plus a grace window.  Early envelopes (from rounds the receiver has not
+// plus whatever straggler policy the configured RoundSynchronizer runs
+// (net/synchronizer.hpp: lockstep grace window, leader pacemaker, or the
+// two-step fast path).  Early envelopes (from rounds the receiver has not
 // reached) are buffered and adopted when their round starts, so a fast
 // peer can never make a slow one mis-classify an in-round message as
 // delayed: "in round" is a property of the receiver's own round counter,
@@ -33,11 +35,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 #include "net/options.hpp"
 #include "net/script.hpp"
+#include "net/synchronizer.hpp"
 #include "net/transport.hpp"
 #include "sim/message.hpp"
 #include "sim/process.hpp"
@@ -56,6 +61,10 @@ struct ProcessLog {
   Round halt_round = 0;  ///< 0 = never halted
   Round completed = 0;   ///< last fully executed round
   bool done = false;     ///< done-predicate held at exit
+  /// Reliable-channel resends suppressed before they could double-count
+  /// toward the quorum gate: copies of a (sender, send_round) pair this
+  /// process had already received.
+  long duplicate_copies = 0;
   /// Reorder-buffer leftovers at exit: scripted delays targeting rounds
   /// beyond the stop round.  They become the trace's pending records.
   std::vector<UndeliveredCopy> leftovers;
@@ -102,6 +111,10 @@ class RunControl {
     return crashed_n_.load(std::memory_order_acquire);
   }
 
+  /// Whether `pid` has reported a crash — the pacemaker's failure
+  /// detector for coordinator rotation.
+  bool is_crashed(ProcessId pid) const;
+
   /// True when the run stopped because every live process was done (as
   /// opposed to a round-cap abort).
   bool completed_normally() const;
@@ -109,17 +122,23 @@ class RunControl {
  private:
   void request_stop_locked(bool completed, bool& fire);
   bool all_live_armed_locked() const;
+  /// The stop round S: the maximum boundary candidate over processes that
+  /// are still live.  A crashed process' candidate is dropped — its
+  /// committed rounds will never be sent, so holding live peers to them
+  /// would spin empty grace windows (and its armed bit is cleared by
+  /// report_crash for the same reason).
+  Round stop_round_locked() const;
 
   SystemConfig config_;
   mutable std::mutex mutex_;
   std::vector<char> done_;
   std::vector<char> crashed_;
   std::vector<char> armed_;
+  std::vector<Round> candidate_;
   bool stopped_ = false;
   bool completed_ = false;
   std::atomic<bool> stop_{false};
   std::atomic<bool> aborted_{false};
-  Round stop_round_ = 0;
   std::atomic<int> crashed_n_{0};
 };
 
@@ -134,6 +153,10 @@ struct DriverContext {
   /// Live mode: the transport's control plane (mark_dead on crash).  Null in
   /// scripted mode, where the transport needs no supervision.
   SupervisedTransport* supervision = nullptr;
+  /// The group's shared pulse board (pacemaker synchronizer).  Null when no
+  /// board is reachable — scripted mode, or a remote shard follower whose
+  /// coordinator lives in another address space.
+  PulseBoard* pulses = nullptr;
   /// > 0: run exactly rounds 1..fixed_rounds and exit — the multi-process
   /// mode, where no shared-memory RunControl can run the armed-stop
   /// protocol across address spaces, so every process agrees on the round
@@ -172,6 +195,7 @@ class RoundDriver {
 
   DriverContext ctx_;
   std::unique_ptr<RoundAlgorithm> algorithm_;
+  std::unique_ptr<RoundSynchronizer> synchronizer_;
   ProcessLog log_;
   std::exception_ptr error_;
 
@@ -179,6 +203,11 @@ class RoundDriver {
   int in_round_count_ = 0;      ///< batch_ members with send_round == k
   int delayed_count_ = 0;       ///< batch_ members with send_round < k
   std::map<Round, Delivery> future_;  ///< early arrivals, keyed by round
+  /// Every (send_round, sender) pair ever accepted: the reliable channels
+  /// resend across socket resets, and a duplicate copy must not count a
+  /// second time toward the n − t quorum gate (or reach the algorithm —
+  /// the validator calls a double delivery a violation).
+  std::set<std::pair<Round, ProcessId>> seen_copies_;
   bool decided_ = false;
   bool halted_ = false;
   bool reported_done_ = false;

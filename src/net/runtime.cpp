@@ -103,6 +103,7 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
   }
 
   RunControl control(config_);
+  PulseBoard pulses;  // the group's shared pacemaker signal (in-process)
   if (supervised) {
     SupervisedTransport* raw = supervised.get();
     control.on_stop = [raw] { raw->expedite(); };
@@ -124,6 +125,7 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
     ctx.control = &control;
     ctx.script = script ? &*script : nullptr;
     ctx.supervision = supervised.get();
+    ctx.pulses = script ? nullptr : &pulses;
     ctx.factory = factory;
     ctx.proposal = proposals[static_cast<std::size_t>(pid)];
     ctx.done = done_;

@@ -174,9 +174,12 @@ ShardedResult run_sharded(const ShardedOptions& options,
   }
 
   std::vector<std::unique_ptr<RunControl>> controls;
+  std::vector<std::unique_ptr<PulseBoard>> boards;
   controls.reserve(static_cast<std::size_t>(groups));
+  boards.reserve(static_cast<std::size_t>(groups));
   for (GroupId g = 0; g < groups; ++g) {
     controls.push_back(std::make_unique<RunControl>(config));
+    boards.push_back(std::make_unique<PulseBoard>());
     auto& group_ports = ports[static_cast<std::size_t>(g)];
     controls.back()->on_stop = [&group_ports] {
       for (auto& port : group_ports) port->expedite();
@@ -215,6 +218,7 @@ ShardedResult run_sharded(const ShardedOptions& options,
       ctx.supervision = ports[static_cast<std::size_t>(g)]
                              [static_cast<std::size_t>(pid)]
                                  .get();
+      ctx.pulses = boards[static_cast<std::size_t>(g)].get();
       ctx.fixed_rounds = options.fixed_rounds;
       ctx.factory = factory;
       ctx.proposal = proposals[static_cast<std::size_t>(pid)];
@@ -365,6 +369,9 @@ std::vector<ShippedLog> ShardedNode::run(Round fixed_rounds,
   // Each hosted replica gets its own RunControl: the armed-stop protocol
   // cannot span address spaces, and fixed_rounds makes it vestigial — the
   // control only carries the crash/done accounting of a 1-driver run.
+  // Pulse boards cannot span address spaces either, so ctx.pulses stays
+  // null: a remote pacemaker follower runs its grace-timeout fallback,
+  // which is exactly the policy's pulse-loss story.
   std::vector<std::unique_ptr<RunControl>> controls;
   std::vector<std::unique_ptr<RoundDriver>> drivers;
   controls.reserve(hosted_.size());

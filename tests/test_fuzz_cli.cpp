@@ -108,6 +108,40 @@ TEST(FuzzCli, SocketImpliesLiveMode) {
   EXPECT_TRUE(parse({"--socket", "--wall", "1", "--algo", "hr"}).has_value());
 }
 
+TEST(FuzzCli, RejectsZeroAndNegativeGroupCounts) {
+  // --groups 0 (or a negative count) must be a usage error with a clear
+  // diagnostic, not a silent clamp into a 1-group sweep.
+  for (const char* bad : {"0", "-1", "-64"}) {
+    std::string diag;
+    EXPECT_FALSE(parse({"--socket", "--groups", bad}, &diag).has_value())
+        << bad;
+    EXPECT_NE(diag.find("--groups must be in 1..64"), std::string::npos)
+        << diag;
+  }
+  EXPECT_FALSE(parse({"--socket", "--groups", "65"}).has_value());
+  EXPECT_TRUE(parse({"--socket", "--groups", "4"}).has_value());
+}
+
+TEST(FuzzCli, ValidatesSynchronizerNames) {
+  // Only the three registered policies parse; anything else (including a
+  // would-be numeric index) names the valid choices in the diagnostic.
+  for (const char* bad : {"bogus", "0", "-1", "LOCKSTEP", ""}) {
+    std::string diag;
+    EXPECT_FALSE(parse({"--live", "--sync", bad}, &diag).has_value()) << bad;
+    EXPECT_NE(diag.find("lockstep, pacemaker, faststep"), std::string::npos)
+        << diag;
+  }
+  for (const char* good : {"lockstep", "pacemaker", "faststep"}) {
+    const auto opts = parse({"--live", "--sync", good});
+    ASSERT_TRUE(opts.has_value()) << good;
+    EXPECT_EQ(opts->sync, good);
+  }
+  // The synchronizers only exist in the live runtime.
+  EXPECT_FALSE(parse({"--sync", "pacemaker"}).has_value());
+  EXPECT_TRUE(parse({"--socket", "--sync", "faststep"}).has_value());
+  EXPECT_FALSE(parse({"--sync"}).has_value());
+}
+
 TEST(FuzzCli, ParseNumberIsStrict) {
   EXPECT_EQ(parse_number<int>("42"), 42);
   EXPECT_EQ(parse_number<int>("-3"), -3);

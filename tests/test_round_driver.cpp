@@ -107,6 +107,63 @@ TEST(RoundDriver, BeforeSendCrashOnTheCommittedStopRoundIsSuppressed) {
   EXPECT_EQ(rig.transport.dispatches(), 1);
 }
 
+TEST(RoundDriver, DuplicateCopiesDoNotCloseTheQuorumGateEarly) {
+  // A reliable channel replaying its window after a socket reset delivers
+  // the same (sender, send_round) copy twice.  The quorum gate must count
+  // DISTINCT senders: with the old per-envelope counting, self + two
+  // copies of p1's round-1 message looked like a full set of 3 and closed
+  // the round with p2 unread — one real sender short.
+  DriverRig rig;
+  const auto peer_message = [&](ProcessId pid) {
+    auto alg = find_fuzz_target("hr")->factory(pid, rig.config);
+    alg->propose(40 + pid);
+    return alg->message_for_round(1);
+  };
+  rig.mailbox.push(NetEnvelope{1, 1, 1, 0, peer_message(1)});
+  rig.mailbox.push(NetEnvelope{1, 1, 1, 0, peer_message(1)});  // the resend
+  rig.mailbox.push(NetEnvelope{2, 1, 1, 0, peer_message(2)});
+
+  DriverContext ctx = rig.context();
+  ctx.fixed_rounds = 1;  // exactly one round; no armed-stop interference
+  RoundDriver driver(std::move(ctx));
+  driver.run();
+  ASSERT_EQ(driver.error(), nullptr);
+
+  // The round closed on the true full set — all three distinct senders
+  // delivered in round 1 — and the duplicate was suppressed, not counted.
+  EXPECT_EQ(driver.log().duplicate_copies, 1);
+  ASSERT_EQ(driver.log().deliveries.size(), 3u);
+  bool seen[3] = {false, false, false};
+  for (const DeliveryRecord& d : driver.log().deliveries) {
+    EXPECT_EQ(d.recv_round, 1);
+    EXPECT_EQ(d.send_round, 1);
+    ASSERT_GE(d.sender, 0);
+    ASSERT_LT(d.sender, 3);
+    EXPECT_FALSE(seen[d.sender]) << "sender " << d.sender
+                                 << " delivered twice";
+    seen[d.sender] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(RoundDriver, CrashAfterArmingReleasesItsStopRoundCandidate) {
+  // The armed-stop/crash race: p1 arms at its round-5 boundary and — not
+  // everyone being armed yet — commits to executing round 5; then it dies
+  // between boundary() calls (the exception path reports a crash with the
+  // armed bit still set).  Its committed rounds will never be sent, so the
+  // stale candidate must not hold the survivors to them.
+  SystemConfig config{.n = 3, .t = 1};
+  RunControl control(config);
+  control.report_crash(2);
+  control.force_stop(true);
+  EXPECT_FALSE(control.boundary(1, 5));  // commits candidate round 5
+  control.report_crash(1);               // dies after arming
+  // p0 stands at round 4: every live process (itself) is armed, and the
+  // dead peer's candidate 5 is dropped — it may exit instead of spinning
+  // two empty grace windows waiting for messages that never come.
+  EXPECT_TRUE(control.boundary(0, 4));
+}
+
 TEST(RoundDriver, ScriptedCrashExecutesEvenAfterTheStop) {
   DriverRig rig;
   // Same arranged stop as above, but the crash comes from a schedule: the

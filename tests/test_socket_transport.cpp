@@ -400,6 +400,28 @@ TEST(SocketHub, ChaoticUdsRunStillDecidesAndValidates) {
   EXPECT_GT(injected, 0) << "chaos layer never fired";
 }
 
+TEST(SocketHub, ResendsUnderResetChaosNeverDoubleCountTowardTheQuorum) {
+  // Reset-heavy chaos forces the reliable channels to replay their send
+  // windows on reconnect, so some envelopes genuinely travel twice.  A
+  // duplicate copy reaching a driver must not count a second time toward
+  // the n - t quorum gate (the old per-envelope counting could close a
+  // round one real sender short); the validator's reliable-channel and
+  // t-resilience checks over the merged trace are exactly the "round did
+  // not close early" assertion.
+  SocketTransportOptions opts;
+  opts.seed = 31;
+  opts.chaos.seed = 313;
+  opts.chaos.until = 300ms;
+  opts.chaos.reset_prob = 0.9;
+  SocketCounters counters;
+  const RunResult result =
+      run_over_hub(SocketAddress::Kind::Unix, opts, &counters);
+  EXPECT_TRUE(result.ok()) << result.validation.to_string() << "\n"
+                           << result.trace.to_string();
+  EXPECT_GT(counters.injected_resets, 0) << "chaos never reset a link";
+  EXPECT_GT(counters.envelopes_resent, 0) << "no resend was forced";
+}
+
 // ---------------------------------------------------------------------------
 // Batched flush: resume arithmetic, timeout budgets, keepalive boundaries
 // ---------------------------------------------------------------------------
