@@ -116,7 +116,8 @@ int main() {
     ok &= r.validation.ok() && r.agreement;
     std::string values;
     for (const DecisionRecord& d : r.trace.decisions()) {
-      values += (values.empty() ? "" : ",") + std::to_string(d.value);
+      if (!values.empty()) values += ',';
+      values += std::to_string(d.value);
     }
     fig1.add(name, bench::check_mark(r.validation.ok()),
              r.global_decision_round ? std::to_string(

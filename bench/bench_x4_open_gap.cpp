@@ -148,8 +148,12 @@ int main() {
         const Round worst = stats.worst;
         const Round bound = k + f + 2;
         const bool early = worst < k + 2;
-        table.add(row.name, k, f, worst, bound,
-                  worst > bound ? "+" + std::to_string(worst - bound) : "0",
+        std::string overshoot = "0";
+        if (worst > bound) {
+          overshoot = "+";
+          overshoot += std::to_string(worst - bound);
+        }
+        table.add(row.name, k, f, worst, bound, overshoot,
                   early ? "decided inside the async prefix" : "");
       }
     }

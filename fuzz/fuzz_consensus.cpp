@@ -127,12 +127,23 @@ void write_repro(const std::string& dir, const std::string& file_name,
 int fuzz(const DriverOptions& opts) {
   std::vector<const FuzzTarget*> targets;
   if (opts.algo == "all") {
-    for (const FuzzTarget& t : fuzz_targets()) targets.push_back(&t);
+    for (const FuzzTarget& t : fuzz_targets()) {
+      // The auth ablations carry no crash-only verdict; they only run
+      // when liars are on the table.
+      if (t.byz_only && opts.byz == 0) continue;
+      targets.push_back(&t);
+    }
   } else {
     const FuzzTarget* t = find_fuzz_target(opts.algo);
     if (!t) {
       std::cerr << "fuzz_consensus: unknown target '" << opts.algo
                 << "' (see --list)\n";
+      return 1;
+    }
+    if (t->byz_only && opts.byz == 0) {
+      std::cerr << "fuzz_consensus: target '" << opts.algo
+                << "' only runs under --byz (it has no crash-only "
+                   "verdict)\n";
       return 1;
     }
     targets.push_back(t);
@@ -142,6 +153,7 @@ int fuzz(const DriverOptions& opts) {
   fuzz_options.seed = opts.seed;
   fuzz_options.budget = opts.budget;
   fuzz_options.shrink = opts.shrink;
+  fuzz_options.gen.byz = opts.byz;
   fuzz_options.campaign = default_campaign();
   if (opts.wall_secs > 0) {
     fuzz_options.deadline =
@@ -175,8 +187,12 @@ int fuzz(const DriverOptions& opts) {
     const bool ok = report.as_expected();
     all_ok = all_ok && ok;
     any_cutoff = any_cutoff || report.wall_cutoff;
+    const char* expect_label =
+        report.expectation == ByzExpectation::Survives    ? "safe"
+        : report.expectation == ByzExpectation::Breaks    ? "broken"
+                                                          : "vulnerable";
     table.add(report.target, target->model == Model::ES ? "ES" : "SCS",
-              report.expect_safe ? "safe" : "broken", report.runs,
+              expect_label, report.runs,
               report.violations,
               report.first ? std::to_string(report.first->run_index) : "-",
               report.first ? std::to_string(report.first->planned_rounds)
@@ -201,7 +217,9 @@ int fuzz(const DriverOptions& opts) {
               "Schedule fuzz: n=" + std::to_string(opts.n) +
                   " t=" + std::to_string(opts.t) +
                   " seed=" + std::to_string(opts.seed) +
-                  " budget=" + std::to_string(opts.budget));
+                  " budget=" + std::to_string(opts.budget) +
+                  // Default titles stay byte-identical for existing seeds.
+                  (opts.byz > 0 ? " byz=" + std::to_string(opts.byz) : ""));
   std::cout << "\n"
             << (all_ok ? "all targets matched the paper's verdict"
                        : "VERDICT MISMATCH — see table")

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # One-command reproduction: build, run the full test suite, regenerate every
-# experiment table (E1..E10, X1..X8 — including the live-runtime RSM service
+# experiment table (E1..E10, X1..X9 — including the live-runtime RSM service
 # over real threads, real sockets, the sharded multi-group fabric, the
-# client workload campaigns, and the round-synchronizer comparison), and
-# leave the outputs in test_output.txt / bench_output.txt at the repository
-# root.
+# client workload campaigns, the round-synchronizer comparison, and the
+# Byzantine-adversary grid), and leave the outputs in test_output.txt /
+# bench_output.txt at the repository root.
 #
 # INDULGENCE_JOBS controls the campaign engine's worker count (default: all
 # cores).  The tables are bit-identical at any setting; INDULGENCE_JOBS=1 is
@@ -40,6 +40,13 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 # fixed default seed, and every checked-in repro must still reproduce.
 ./build/fuzz/fuzz_consensus --corpus tests/corpus 2>> bench_timing.txt
 ./build/fuzz/fuzz_consensus 2>> bench_timing.txt
+
+# The Byzantine fuzz smoke: budgeted liars draw the five lie classes;
+# A_{t+2}^auth must survive every draw, its ablations must break, and the
+# crash-only algorithms are scored as vulnerable (the corpus replay above
+# already re-judged the shrunk byz-*.sched seeds).
+./build/fuzz/fuzz_consensus --byz 1 --n 4 --t 1 --seed 3 --budget 300 \
+    2>> bench_timing.txt
 
 # The live fuzz smoke: randomized LiveOptions over real threads — every
 # lossy draw must be flagged invalid, no target may produce a finding, and

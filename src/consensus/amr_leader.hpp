@@ -38,6 +38,10 @@ class AmrEstimateMessage final : public Message {
     return "AMR-EST(" + std::to_string(est_) + ")";
   }
 
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<AmrEstimateMessage>(v);
+  }
+
  private:
   Value est_;
 };
@@ -48,6 +52,10 @@ class AmrVoteMessage final : public Message {
   Value est() const { return est_; }
   std::string describe() const override {
     return "AMR-VOTE(" + std::to_string(est_) + ")";
+  }
+
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<AmrVoteMessage>(v);
   }
 
  private:

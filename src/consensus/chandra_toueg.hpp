@@ -40,6 +40,10 @@ class CtEstimateMessage final : public Message {
            ")";
   }
 
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<CtEstimateMessage>(v, ts_);
+  }
+
  private:
   Value est_;
   int ts_;
@@ -51,6 +55,10 @@ class CtProposeMessage final : public Message {
   Value value() const { return v_; }
   std::string describe() const override {
     return "CT-PROPOSE(" + std::to_string(v_) + ")";
+  }
+
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<CtProposeMessage>(v);
   }
 
  private:

@@ -101,6 +101,10 @@ class DecideMessage final : public Message {
     return "DECIDE(" + std::to_string(value_) + ")";
   }
 
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<DecideMessage>(v);
+  }
+
  private:
   Value value_;
 };

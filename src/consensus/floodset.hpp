@@ -29,6 +29,10 @@ class FloodEstimateMessage final : public Message {
     return "FLOOD-EST(" + std::to_string(est_) + ")";
   }
 
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<FloodEstimateMessage>(v);
+  }
+
  private:
   Value est_;
 };

@@ -31,6 +31,11 @@ class WsEstimateMessage final : public Message {
            halt_.to_string() + ")";
   }
 
+  /// Only the estimate is lie-mutable; the halt set rides along unchanged.
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<WsEstimateMessage>(v, halt_);
+  }
+
  private:
   Value est_;
   ProcessSet halt_;

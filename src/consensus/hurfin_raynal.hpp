@@ -43,6 +43,10 @@ class HrCoordMessage final : public Message {
     return "HR-COORD(" + std::to_string(est_) + ")";
   }
 
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<HrCoordMessage>(v);
+  }
+
  private:
   Value est_;
 };
@@ -54,6 +58,10 @@ class HrVoteMessage final : public Message {
   bool is_bottom() const { return aux_ == kBottom; }
   std::string describe() const override {
     return "HR-VOTE(" + (is_bottom() ? "BOTTOM" : std::to_string(aux_)) + ")";
+  }
+
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<HrVoteMessage>(v);
   }
 
  private:

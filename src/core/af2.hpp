@@ -33,6 +33,10 @@ class Af2EstimateMessage final : public Message {
     return "AF2-EST(" + std::to_string(est_) + ")";
   }
 
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<Af2EstimateMessage>(v);
+  }
+
  private:
   Value est_;
 };

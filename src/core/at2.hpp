@@ -54,6 +54,11 @@ class At2EstimateMessage final : public Message {
            halt_.to_string() + ")";
   }
 
+  /// Only the estimate is lie-mutable; the halt set rides along unchanged.
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<At2EstimateMessage>(v, halt_);
+  }
+
  private:
   Value est_;
   ProcessSet halt_;
@@ -72,6 +77,10 @@ class At2NewEstimateMessage final : public Message {
            ")";
   }
 
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<At2NewEstimateMessage>(v);
+  }
+
  private:
   Value ne_;
 };
@@ -85,6 +94,13 @@ class At2UnderlyingMessage final : public Message {
 
   std::string describe() const override {
     return "C[" + inner_->describe() + "]";
+  }
+
+  /// Lies reach through to the wrapped module's payload.
+  MessagePtr mutated(Value v) const override {
+    MessagePtr inner = inner_->mutated(v);
+    if (!inner) return nullptr;
+    return std::make_shared<At2UnderlyingMessage>(std::move(inner));
   }
 
  private:

@@ -1,0 +1,233 @@
+#include "core/at2_auth.hpp"
+
+#include <stdexcept>
+
+namespace indulgence {
+
+At2Auth::At2Auth(ProcessId self, const SystemConfig& config,
+                 At2AuthOptions options)
+    : ConsensusBase(self, config), options_(options) {
+  if (config.n <= 3 * config.t) {
+    throw std::invalid_argument(
+        "A_{t+2}^auth: Byzantine resilience requires n > 3t");
+  }
+}
+
+std::string At2Auth::name() const {
+  std::string base = "A_{t+2}^auth";
+  if (options_.ablate_tags) base += "-notags";
+  if (options_.ablate_echo) base += "-noecho";
+  if (options_.ablate_dedup) base += "-nodedup";
+  return base;
+}
+
+void At2Auth::begin_view(Round view) {
+  cur_view_ = view;
+  candidate_.reset();
+  locked_this_view_ = false;
+  prepare_support_.clear();
+  commit_support_.clear();
+  prepare_copies_.clear();
+  commit_copies_.clear();
+}
+
+MessagePtr At2Auth::message_for_round(Round k) {
+  if (announce_pending_) {
+    return std::make_shared<AuthDecideMessage>(self(), k, *decision());
+  }
+  const Round view = view_of(k);
+  if (view != cur_view_) begin_view(view);
+  switch (phase_of(k)) {
+    case 0:
+      if (leader_of(view) == self()) {
+        const bool locked = lock_view_ >= 0;
+        return std::make_shared<AuthProposeMessage>(
+            self(), k, view, locked ? lock_value_ : est_, lock_view_,
+            lock_value_, lock_cert_);
+      }
+      return std::make_shared<FillerMessage>();
+    case 1:
+      return std::make_shared<AuthPrepareMessage>(
+          self(), k, view, candidate_ ? *candidate_ : kBottom);
+    default:
+      return std::make_shared<AuthCommitMessage>(
+          self(), k, view, locked_this_view_ ? lock_value_ : kBottom,
+          lock_view_, lock_value_, lock_cert_);
+  }
+}
+
+bool At2Auth::admit(const Envelope& env, ProcessId signer, Round stamp) {
+  // The auth tag: the payload's claimed identity and round must match the
+  // channel's — a mismatch is a forged sender id or a replayed stamp.
+  if (!options_.ablate_tags &&
+      (signer != env.sender || stamp != env.send_round)) {
+    return false;
+  }
+  if (options_.ablate_dedup) return true;
+  const ProcessId who = options_.ablate_tags ? env.sender : signer;
+  if (convicted_.contains(who)) return false;
+  const std::string desc = env.payload->describe();
+  auto [it, inserted] = seen_.try_emplace({who, env.send_round}, desc);
+  if (inserted) return true;
+  if (it->second == desc) return false;  // duplicate copy of a counted vote
+  // Two DIFFERENT payloads under one (signer, round) tag: a self-signed
+  // proof of equivocation.  Convict; nothing from this signer counts again.
+  convicted_.insert(who);
+  return false;
+}
+
+void At2Auth::note_decide_claim(ProcessId signer, Value value) {
+  if (value == kBottom) return;
+  decide_claims_[value].insert(signer);
+  // t+1 matching claims contain one honest decider; a lone claim (or an
+  // unsigned HALT dummy) is only trusted by the ablated variants.
+  const int needed = options_.ablate_dedup ? 1 : t() + 1;
+  if (!has_decided() &&
+      static_cast<int>(decide_claims_[value].size()) >= needed) {
+    decide(value);
+    announce_pending_ = true;
+  }
+}
+
+int At2Auth::support(const std::map<Value, ProcessSet>& table,
+                     const std::map<Value, int>& copies, Value value) const {
+  const auto st = standing_.find(value);
+  const int standing = st == standing_.end() ? 0 : st->second.size();
+  if (options_.ablate_dedup) {
+    const auto it = copies.find(value);
+    return (it == copies.end() ? 0 : it->second) + standing;
+  }
+  ProcessSet voters;
+  if (const auto it = table.find(value); it != table.end()) voters = it->second;
+  if (st != standing_.end()) voters |= st->second;
+  return voters.size();
+}
+
+void At2Auth::on_round(Round k, const Delivery& delivered) {
+  if (announce_pending_) {
+    // The signed DECIDE went out in this round's send phase; return from
+    // propose(*) — the kernel answers with HaltedMessage dummies, and the
+    // DECIDE keeps standing in for this process' votes at the receivers.
+    announce_pending_ = false;
+    halt();
+    return;
+  }
+
+  const Round view = view_of(k);
+  if (view != cur_view_) begin_view(view);
+  const int phase = phase_of(k);
+
+  for (const Envelope& env : delivered) {
+    if (!env.payload) continue;
+    if (const auto* h = env.as<HaltedMessage>()) {
+      // Kernel dummies carry no tag; only the ablated variants trust them
+      // (and even they ignore convicted senders).
+      if ((options_.ablate_tags || options_.ablate_dedup) &&
+          !convicted_.contains(env.sender)) {
+        note_decide_claim(env.sender, h->decision());
+      }
+      continue;
+    }
+    if (const auto* m = env.as<AuthDecideMessage>()) {
+      if (!admit(env, m->signer(), m->stamp())) continue;
+      const ProcessId who = options_.ablate_tags ? env.sender : m->signer();
+      // A signed DECIDE is a standing PREPARE/COMMIT for its value in every
+      // later view: the decider halts but keeps quorums reachable.
+      standing_[m->value()].insert(who);
+      note_decide_claim(who, m->value());
+      continue;
+    }
+    if (const auto* m = env.as<AuthProposeMessage>()) {
+      if (!admit(env, m->signer(), m->stamp())) continue;
+      const ProcessId who = options_.ablate_tags ? env.sender : m->signer();
+      if (m->view() != view || phase != 0 || who != leader_of(view)) continue;
+      if (m->value() == kBottom) continue;
+      // Justification: a carried lock needs its echo certificate and must
+      // propose the locked value; unlocked proposals need none.
+      const bool cert_ok =
+          m->lock_view() < 0 ||
+          (static_cast<int>(m->cert().size()) >= cert_quorum() &&
+           m->value() == m->lock_value());
+      // Lock rule: never prepare against my own lock unless the proposal is
+      // justified by an equal-or-later view (or re-proposes my value).
+      const bool lock_ok = lock_view_ < 0 || m->lock_view() >= lock_view_ ||
+                           m->value() == lock_value_;
+      if (cert_ok && lock_ok) candidate_ = m->value();
+      continue;
+    }
+    if (const auto* m = env.as<AuthPrepareMessage>()) {
+      if (!admit(env, m->signer(), m->stamp())) continue;
+      if (m->view() != view || m->value() == kBottom) continue;
+      const ProcessId who = options_.ablate_tags ? env.sender : m->signer();
+      prepare_support_[m->value()].insert(who);
+      ++prepare_copies_[m->value()];
+      continue;
+    }
+    if (const auto* m = env.as<AuthCommitMessage>()) {
+      if (!admit(env, m->signer(), m->stamp())) continue;
+      const ProcessId who = options_.ablate_tags ? env.sender : m->signer();
+      // Lock catch-up (any view, delayed copies included): adopt a later
+      // CERTIFIED lock so a future leadership turn can justify it.  The
+      // cert is unforgeable content; an uncertified claim is ignored.
+      if (m->lock_view() > lock_view_ &&
+          static_cast<int>(m->lock_cert().size()) >= cert_quorum()) {
+        lock_view_ = m->lock_view();
+        lock_value_ = m->lock_value();
+        lock_cert_ = m->lock_cert();
+      }
+      if (m->view() != view || m->value() == kBottom) continue;
+      commit_support_[m->value()].insert(who);
+      ++commit_copies_[m->value()];
+      continue;
+    }
+    // FillerMessage (non-leader propose rounds) and foreign payloads.
+  }
+
+  if (phase == 1 && candidate_ && !locked_this_view_ &&
+      support(prepare_support_, prepare_copies_, *candidate_) >=
+          cert_quorum()) {
+    lock_view_ = view;
+    lock_value_ = *candidate_;
+    lock_cert_ = prepare_support_[*candidate_];
+    if (const auto st = standing_.find(*candidate_); st != standing_.end()) {
+      lock_cert_ |= st->second;
+    }
+    locked_this_view_ = true;
+  }
+
+  if (phase == 2 && !has_decided()) {
+    // Candidate values: anything with live commits or standing votes.
+    for (const auto& [value, voters] : commit_support_) {
+      (void)voters;
+      if (support(commit_support_, commit_copies_, value) >= cert_quorum()) {
+        decide(value);
+        announce_pending_ = true;
+        return;
+      }
+    }
+    if (options_.ablate_dedup) {
+      for (const auto& [value, count] : commit_copies_) {
+        (void)count;
+        if (support(commit_support_, commit_copies_, value) >= cert_quorum()) {
+          decide(value);
+          announce_pending_ = true;
+          return;
+        }
+      }
+    }
+    for (const auto& [value, voters] : standing_) {
+      (void)voters;
+      if (support(commit_support_, commit_copies_, value) >= cert_quorum()) {
+        decide(value);
+        announce_pending_ = true;
+        return;
+      }
+    }
+  }
+}
+
+AlgorithmFactory at2_auth_factory(At2AuthOptions options) {
+  return make_algorithm_factory<At2Auth>(options);
+}
+
+}  // namespace indulgence

@@ -1,0 +1,299 @@
+// A_{t+2}^auth — the authenticated, Byzantine-resilient consensus variant
+// (ISSUE 10; grounded in Abraham et al., "Efficient Synchronous Byzantine
+// Consensus", and Attiya-Flam-Welch, "Why Canonical Rounds Fail for
+// Optimal Byzantine Resilience", PAPERS.md).
+//
+// The crash-only algorithms break under a single liar because one round's
+// broadcast is trusted as one value (equivocation splits the flood) and a
+// sender id is trusted as an identity (forgery launders stale or mutated
+// state).  A_{t+2}^auth survives b < n/3 output-mutation liars
+// (sim/byzantine.hpp) with three mechanisms, each separately ablatable for
+// the X1-style necessity matrix:
+//
+//   * AUTH TAGS — every payload carries (signer, stamp); a copy whose
+//     envelope sender or send round disagrees is dropped.  In the kernel
+//     this models per-link HMAC tags (the injection layer cannot write the
+//     signer field of another process); over the socket transport the tags
+//     are physically on the wire and survive header forgery.
+//   * ECHO CERTIFICATES — nothing is locked, committed, or adopted on one
+//     process' word: locks need n-t distinct-signer PREPARE echoes, and a
+//     carried lock is believed only with its n-t certificate.  Equivocation
+//     additionally CONVICTS the signer (two different payloads under one
+//     (signer, stamp) tag), silencing it for the rest of the run.
+//   * QUORUM DEDUP — votes are counted per distinct signer, never per
+//     copy, and a decision is adopted only on t+1 matching signed DECIDE
+//     claims (at least one honest), never on a lone notice.
+//
+// Protocol shape: rotating-leader locked consensus over the unchanged
+// round kernel, requiring n > 3t.  Rounds group into views of 3:
+//
+//   view v = (k-1)/3, leader = v mod n
+//   round 3v+1  PROPOSE  leader broadcasts (value, lock_view, lock_value,
+//                        cert); justified by its highest certified lock,
+//                        or its own estimate when unlocked.
+//   round 3v+2  PREPARE  everyone echoes the accepted proposal (or BOTTOM);
+//                        n-t matching echoes => lock (value, v) + cert.
+//   round 3v+3  COMMIT   everyone broadcasts its view-v lock (or BOTTOM);
+//                        n-t matching non-BOTTOM commits => decide.
+//
+// A proposal is accepted iff its certificate is valid and it does not
+// contradict the receiver's own lock (same value, or a cert from an equal
+// or later view).  Quorum intersection gives safety: two n-t quorums share
+// n-2t >= t+1 processes, at least one honest, whose lock rule blocks any
+// conflicting later certificate.  Liveness after GST: the first fully
+// synchronous view with an honest leader collects every live lock in its
+// COMMIT round, proposes the highest, and decides — crashes and silent
+// liars cost views, never safety (the indulgence the paper prices, now
+// priced for lies: 3 rounds per view vs A_{t+2}'s t+2 fast path).
+//
+// A decided process broadcasts a signed DECIDE for one round and halts;
+// received signed DECIDEs are remembered as STANDING votes (the halted
+// process forever supports its value), so quorums stay reachable after
+// early deciders leave.  The guarantee assumes crashes + liars <= t.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "consensus/consensus.hpp"
+
+namespace indulgence {
+
+/// PROPOSE: the leader's (value, lock justification); signer/stamp are the
+/// auth tag.  Non-leaders broadcast FillerMessage in propose rounds.
+class AuthProposeMessage final : public Message {
+ public:
+  AuthProposeMessage(ProcessId signer, Round stamp, Round view, Value value,
+                     Round lock_view, Value lock_value, ProcessSet cert)
+      : signer_(signer),
+        stamp_(stamp),
+        view_(view),
+        value_(value),
+        lock_view_(lock_view),
+        lock_value_(lock_value),
+        cert_(cert) {}
+
+  ProcessId signer() const { return signer_; }
+  Round stamp() const { return stamp_; }
+  Round view() const { return view_; }
+  Value value() const { return value_; }
+  Round lock_view() const { return lock_view_; }
+  Value lock_value() const { return lock_value_; }
+  const ProcessSet& cert() const { return cert_; }
+
+  std::string describe() const override {
+    return "AUTH-PROPOSE(p" + std::to_string(signer_) + "@" +
+           std::to_string(stamp_) + " view=" + std::to_string(view_) +
+           " value=" + std::to_string(value_) +
+           " lock=" + std::to_string(lock_view_) + "/" +
+           std::to_string(lock_value_) + " cert=" + cert_.to_string() + ")";
+  }
+
+  /// Only the CLAIM is lie-mutable; the tag and certificate model signed
+  /// content (see sim/byzantine.hpp).
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<AuthProposeMessage>(signer_, stamp_, view_, v,
+                                                lock_view_, lock_value_,
+                                                cert_);
+  }
+
+ private:
+  ProcessId signer_;
+  Round stamp_;
+  Round view_;
+  Value value_;
+  Round lock_view_;
+  Value lock_value_;
+  ProcessSet cert_;
+};
+
+/// PREPARE: echo of the accepted proposal (kBottom = no acceptable one).
+class AuthPrepareMessage final : public Message {
+ public:
+  AuthPrepareMessage(ProcessId signer, Round stamp, Round view, Value value)
+      : signer_(signer), stamp_(stamp), view_(view), value_(value) {}
+
+  ProcessId signer() const { return signer_; }
+  Round stamp() const { return stamp_; }
+  Round view() const { return view_; }
+  Value value() const { return value_; }
+
+  std::string describe() const override {
+    return "AUTH-PREPARE(p" + std::to_string(signer_) + "@" +
+           std::to_string(stamp_) + " view=" + std::to_string(view_) +
+           " value=" +
+           (value_ == kBottom ? std::string("BOTTOM")
+                              : std::to_string(value_)) +
+           ")";
+  }
+
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<AuthPrepareMessage>(signer_, stamp_, view_, v);
+  }
+
+ private:
+  ProcessId signer_;
+  Round stamp_;
+  Round view_;
+  Value value_;
+};
+
+/// COMMIT: the sender's view-v lock (kBottom = none), plus its current
+/// certified lock so the next leader can justify a proposal.
+class AuthCommitMessage final : public Message {
+ public:
+  AuthCommitMessage(ProcessId signer, Round stamp, Round view, Value value,
+                    Round lock_view, Value lock_value, ProcessSet lock_cert)
+      : signer_(signer),
+        stamp_(stamp),
+        view_(view),
+        value_(value),
+        lock_view_(lock_view),
+        lock_value_(lock_value),
+        lock_cert_(lock_cert) {}
+
+  ProcessId signer() const { return signer_; }
+  Round stamp() const { return stamp_; }
+  Round view() const { return view_; }
+  Value value() const { return value_; }
+  Round lock_view() const { return lock_view_; }
+  Value lock_value() const { return lock_value_; }
+  const ProcessSet& lock_cert() const { return lock_cert_; }
+
+  std::string describe() const override {
+    return "AUTH-COMMIT(p" + std::to_string(signer_) + "@" +
+           std::to_string(stamp_) + " view=" + std::to_string(view_) +
+           " value=" +
+           (value_ == kBottom ? std::string("BOTTOM")
+                              : std::to_string(value_)) +
+           " lock=" + std::to_string(lock_view_) + "/" +
+           std::to_string(lock_value_) +
+           " cert=" + lock_cert_.to_string() + ")";
+  }
+
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<AuthCommitMessage>(signer_, stamp_, view_, v,
+                                               lock_view_, lock_value_,
+                                               lock_cert_);
+  }
+
+ private:
+  ProcessId signer_;
+  Round stamp_;
+  Round view_;
+  Value value_;
+  Round lock_view_;
+  Value lock_value_;
+  ProcessSet lock_cert_;
+};
+
+/// Signed DECIDE: broadcast once by a decider before halting; doubles as a
+/// standing PREPARE/COMMIT vote for the decided value in every later view.
+class AuthDecideMessage final : public Message {
+ public:
+  AuthDecideMessage(ProcessId signer, Round stamp, Value value)
+      : signer_(signer), stamp_(stamp), value_(value) {}
+
+  ProcessId signer() const { return signer_; }
+  Round stamp() const { return stamp_; }
+  Value value() const { return value_; }
+
+  std::string describe() const override {
+    return "AUTH-DECIDE(p" + std::to_string(signer_) + "@" +
+           std::to_string(stamp_) + " value=" + std::to_string(value_) + ")";
+  }
+
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<AuthDecideMessage>(signer_, stamp_, v);
+  }
+
+ private:
+  ProcessId signer_;
+  Round stamp_;
+  Value value_;
+};
+
+/// Mechanism ablations for the X9 necessity matrix.  Each flag removes one
+/// defence; the Byzantine fuzz and the matrix tests show which lie class
+/// then breaks agreement.
+struct At2AuthOptions {
+  /// Skip the (signer, stamp) tag check — forged envelope sender ids and
+  /// replayed stamps are believed, and unsigned HALT notices are adopted.
+  bool ablate_tags = false;
+
+  /// Trust without echoes: lock/commit/adopt on ONE matching voice instead
+  /// of an n-t certificate (equivocating leaders split the decision).
+  bool ablate_echo = false;
+
+  /// Count copies instead of distinct signers, and adopt a decision from a
+  /// single claim instead of t+1 matching ones.
+  bool ablate_dedup = false;
+};
+
+class At2Auth final : public ConsensusBase {
+ public:
+  At2Auth(ProcessId self, const SystemConfig& config,
+          At2AuthOptions options = {});
+
+  MessagePtr message_for_round(Round k) override;
+  void on_round(Round k, const Delivery& delivered) override;
+
+  std::string name() const override;
+
+  // --- introspection for tests ------------------------------------------
+  Round lock_view() const { return lock_view_; }
+  Value lock_value() const { return lock_value_; }
+  const ProcessSet& convicted() const { return convicted_; }
+
+ protected:
+  void on_propose(Value v) override { est_ = v; }
+
+ private:
+  int quorum() const { return n() - t(); }
+  int cert_quorum() const { return options_.ablate_echo ? 1 : quorum(); }
+  static Round view_of(Round k) { return (k - 1) / 3; }
+  static int phase_of(Round k) { return static_cast<int>((k - 1) % 3); }
+  ProcessId leader_of(Round view) const {
+    return static_cast<ProcessId>(view % n());
+  }
+
+  void begin_view(Round view);
+  /// Tag + dedup/conviction filter; true iff the copy should be processed.
+  bool admit(const Envelope& env, ProcessId signer, Round stamp);
+  void note_decide_claim(ProcessId signer, Value value);
+  /// Distinct-signer support for `value` in `table`, standing votes
+  /// included; plain copy count under ablate_dedup.
+  int support(const std::map<Value, ProcessSet>& table,
+              const std::map<Value, int>& copies, Value value) const;
+
+  At2AuthOptions options_;
+  Value est_ = 0;
+
+  Round lock_view_ = -1;
+  Value lock_value_ = kBottom;
+  ProcessSet lock_cert_;
+
+  Round cur_view_ = -1;
+  std::optional<Value> candidate_;   ///< accepted proposal this view
+  bool locked_this_view_ = false;
+  std::map<Value, ProcessSet> prepare_support_;
+  std::map<Value, ProcessSet> commit_support_;
+  std::map<Value, int> prepare_copies_;  ///< ablate_dedup counters
+  std::map<Value, int> commit_copies_;
+
+  std::map<Value, ProcessSet> standing_;      ///< signed DECIDE votes
+  std::map<Value, ProcessSet> decide_claims_;
+  std::map<std::pair<ProcessId, Round>, std::string> seen_;  ///< dedup keys
+  ProcessSet convicted_;
+
+  bool announce_pending_ = false;  ///< decided: broadcast DECIDE next round
+};
+
+/// Factory for the eighth consensus target (requires n > 3t; throws
+/// otherwise, which the fuzz driver reports as a skipped config).
+AlgorithmFactory at2_auth_factory(At2AuthOptions options = {});
+
+}  // namespace indulgence

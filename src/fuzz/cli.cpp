@@ -22,6 +22,10 @@ void driver_usage(std::ostream& os) {
         "  --budget N     random runs per target (default 2000)\n"
         "  --algo NAME    fuzz one target only (default: all; see --list)\n"
         "  --n N --t T    system size (default n=3 t=1)\n"
+        "  --byz B        schedule mode: give B < n/3 processes a Byzantine\n"
+        "                 lie budget (equivocate/lie/forge/replay/silence);\n"
+        "                 crash draws shrink to t-B, A_{t+2}^auth must\n"
+        "                 survive, crash-only algorithms are fair game\n"
         "  --no-shrink    keep the first find as generated\n"
         "  --live         fuzz randomized LiveOptions over real threads\n"
         "                 (default budget 25 runs per target)\n"
@@ -99,6 +103,10 @@ std::optional<DriverOptions> parse_driver_args(int argc,
       if (!(v = value(i)) || !numeric("--groups", v, opts.groups)) {
         return std::nullopt;
       }
+    } else if (arg == "--byz") {
+      if (!(v = value(i)) || !numeric("--byz", v, opts.byz)) {
+        return std::nullopt;
+      }
     } else if (arg == "--sync") {
       if (!(v = value(i))) return std::nullopt;
       opts.sync = v;
@@ -165,6 +173,26 @@ std::optional<DriverOptions> parse_driver_args(int argc,
   if (opts.sync != "lockstep" && !opts.live) {
     err << "fuzz_consensus: --sync needs --live or --socket (the "
            "synchronizers only exist in the live runtime)\n";
+    return std::nullopt;
+  }
+  if (opts.byz < 0) {
+    err << "fuzz_consensus: --byz must be >= 0 (got " << opts.byz << ")\n";
+    return std::nullopt;
+  }
+  if (3 * opts.byz >= opts.n) {
+    err << "fuzz_consensus: --byz needs 3b < n (got b=" << opts.byz
+        << " n=" << opts.n << ")\n";
+    return std::nullopt;
+  }
+  if (opts.byz > opts.t) {
+    err << "fuzz_consensus: --byz needs b <= t — liars count against the "
+           "resilience bound (got b=" << opts.byz << " t=" << opts.t
+        << ")\n";
+    return std::nullopt;
+  }
+  if (opts.byz > 0 && opts.live) {
+    err << "fuzz_consensus: --byz is a schedule-mode flag (live Byzantine "
+           "injection is driven through LiveOptions)\n";
     return std::nullopt;
   }
   return opts;

@@ -30,6 +30,7 @@ struct DriverOptions {
   bool live = false;             ///< fuzz LiveOptions over real threads
   bool socket = false;           ///< live sweep over Unix-domain sockets
   int groups = 1;                ///< --socket: groups per run (sharded demux)
+  int byz = 0;                   ///< Byzantine liar budget (schedule mode)
   std::string sync = "lockstep"; ///< round synchronizer (live/socket modes)
   double wall_secs = 0;          ///< wall-clock cap, any mode (0 = none)
   bool budget_set = false;       ///< --budget given (live mode defaults lower)

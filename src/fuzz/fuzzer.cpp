@@ -109,6 +109,12 @@ FuzzReport fuzz_target(const FuzzTarget& target, SystemConfig config,
   report.target = target.name;
   report.config = config;
   report.expect_safe = target.expect_safe;
+  report.byz = options.gen.byz;
+  report.expectation =
+      options.gen.byz > 0
+          ? target.byz
+          : (target.expect_safe ? ByzExpectation::Survives
+                                : ByzExpectation::Breaks);
   report.runs = cell.runs;
   report.invalid_runs = cell.invalid_runs;
   report.violations = cell.violations;

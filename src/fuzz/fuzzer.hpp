@@ -51,6 +51,10 @@ struct FuzzReport {
   std::string target;
   SystemConfig config;
   bool expect_safe = true;
+  /// The sweep's effective expectation: for crash-only sweeps, Survives or
+  /// Breaks from expect_safe; for --byz sweeps, the target's byz verdict.
+  ByzExpectation expectation = ByzExpectation::Survives;
+  int byz = 0;             ///< liar budget the sweep ran under
   long runs = 0;
   long invalid_runs = 0;   ///< generator emitted a model-invalid run (a bug)
   long violations = 0;
@@ -61,11 +65,16 @@ struct FuzzReport {
   /// run, known-broken targets were caught, and the generator never left
   /// the model.  A sweep the wall clock cut short cannot prove a broken
   /// target broken, so a cutoff excuses a missing catch — never an invalid
-  /// run or a violation by a safe target.
+  /// run or a violation by a safe target.  Vulnerable targets (known-unsafe
+  /// under lies, corpus-backed) match either way.
   bool as_expected() const {
-    return invalid_runs == 0 &&
-           (expect_safe ? violations == 0
-                        : violations > 0 || wall_cutoff);
+    if (invalid_runs != 0) return false;
+    switch (expectation) {
+      case ByzExpectation::Survives: return violations == 0;
+      case ByzExpectation::Breaks: return violations > 0 || wall_cutoff;
+      case ByzExpectation::Vulnerable: return true;
+    }
+    return false;
   }
 };
 

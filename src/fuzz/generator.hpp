@@ -26,6 +26,13 @@ struct FuzzGenOptions {
   /// The adversary stays active for gst + [0, extra_rounds] rounds; later
   /// rounds are failure-free and synchronous.
   Round extra_rounds = 3;
+
+  /// Byzantine liar budget b (0 = crash-only, the historical draw stream).
+  /// With b > 0 the crash budget shrinks to t - b (crashes + liars <= t,
+  /// the A_{t+2}^auth guarantee), b non-crashed liars are drawn, and lie
+  /// events are APPENDED to the schedule — all byz draws happen after the
+  /// crash-schedule draws, so b = 0 reproduces every historical seed.
+  int byz = 0;
 };
 
 /// Drives `adversary` for rounds 1..rounds and records the non-empty plans

@@ -19,8 +19,13 @@ struct Draft {
     Round round;
     RoundPlan::Override o;
   };
+  struct Byz {
+    Round round;
+    ByzantineEvent event;
+  };
   std::vector<Crash> crashes;
   std::vector<Override> overrides;
+  std::vector<Byz> byzantine;
 
   static Draft from(const RunSchedule& schedule) {
     Draft d;
@@ -31,6 +36,9 @@ struct Draft {
       for (const RoundPlan::Override& o : plan.overrides()) {
         if (o.fate.kind == FateKind::Deliver) continue;  // no-op override
         d.overrides.push_back({k, o});
+      }
+      for (const ByzantineEvent& e : plan.byzantine()) {
+        d.byzantine.push_back({k, e});
       }
     }
     return d;
@@ -43,6 +51,11 @@ struct Draft {
     for (const Override& o : overrides) {
       schedule.plan(o.round).set_fate(o.o.sender, o.o.receiver, o.o.fate);
     }
+    for (const Byz& b : byzantine) {
+      schedule.plan(b.round).add_byzantine(b.event);
+    }
+    // The budget is derived from the surviving liars, so dropping a liar's
+    // last event tightens the declared budget automatically.
     return schedule;
   }
 
@@ -52,6 +65,9 @@ struct Draft {
     for (const Crash& c : crashes) pid = std::max(pid, c.event.pid);
     for (const Override& o : overrides) {
       pid = std::max(pid, std::max(o.o.sender, o.o.receiver));
+    }
+    for (const Byz& b : byzantine) {
+      pid = std::max({pid, b.event.liar, b.event.target, b.event.forged});
     }
     return pid;
   }
@@ -74,6 +90,7 @@ class Shrinker {
       changed |= drop_rounds();
       changed |= drop_crashes();
       changed |= drop_overrides();
+      changed |= drop_byzantine();
       changed |= shorten_delays();
       changed |= lower_gst();
       changed |= shrink_system();
@@ -106,13 +123,31 @@ class Shrinker {
     std::set<Round> rounds;
     for (const Draft::Crash& c : draft_.crashes) rounds.insert(c.round);
     for (const Draft::Override& o : draft_.overrides) rounds.insert(o.round);
+    for (const Draft::Byz& b : draft_.byzantine) rounds.insert(b.round);
     for (Round k : rounds) {
       Draft candidate = draft_;
       std::erase_if(candidate.crashes,
                     [k](const Draft::Crash& c) { return c.round == k; });
       std::erase_if(candidate.overrides,
                     [k](const Draft::Override& o) { return o.round == k; });
+      std::erase_if(candidate.byzantine,
+                    [k](const Draft::Byz& b) { return b.round == k; });
       changed |= accept(candidate);
+    }
+    return changed;
+  }
+
+  bool drop_byzantine() {
+    bool changed = false;
+    for (std::size_t i = 0; i < draft_.byzantine.size();) {
+      Draft candidate = draft_;
+      candidate.byzantine.erase(candidate.byzantine.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      if (accept(candidate)) {
+        changed = true;
+      } else {
+        ++i;
+      }
     }
     return changed;
   }

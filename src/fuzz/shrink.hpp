@@ -5,8 +5,10 @@
 // applies semantics-preserving reductions and keeps each one iff the
 // predicate still fails:
 //
-//   * drop a whole round's plan, a single crash, or a single fate override
-//     (the fate reverts to Deliver);
+//   * drop a whole round's plan, a single crash, a single fate override
+//     (the fate reverts to Deliver), or a single Byzantine event (the liar
+//     budget re-derives from the survivors, so dropping a liar's last lie
+//     shrinks the budget too);
 //   * shorten a delay (deliver_round toward send_round + 1);
 //   * lower GST toward 1;
 //   * shrink the system: drop the highest process id when no event uses it,

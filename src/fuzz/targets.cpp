@@ -8,6 +8,7 @@
 #include "consensus/hurfin_raynal.hpp"
 #include "core/af2.hpp"
 #include "core/at2.hpp"
+#include "core/at2_auth.hpp"
 #include "core/at2_ds.hpp"
 #include "fd/failure_detector.hpp"
 
@@ -50,6 +51,26 @@ std::vector<FuzzTarget> make_targets() {
                                     receipt_detector_factory())});
   targets.push_back({"af2", "A_{f+2} (early-deciding indulgent)", Model::ES,
                      true, "consensus", af2_factory()});
+
+  // --- the authenticated Byzantine-resilient variant (needs n > 3t) -----
+  targets.push_back({"at2-auth", "A_{t+2}^auth (survives b < n/3 liars)",
+                     Model::ES, true, "consensus", at2_auth_factory(),
+                     ByzExpectation::Survives});
+  // Its ablations exist only for --byz sweeps: each must be re-broken by
+  // the lie class its missing mechanism defends against.
+  targets.push_back({"at2-auth-notags", "A_{t+2}^auth without auth tags",
+                     Model::ES, false, "consensus",
+                     at2_auth_factory({.ablate_tags = true}),
+                     ByzExpectation::Breaks, true});
+  targets.push_back({"at2-auth-noecho",
+                     "A_{t+2}^auth without echo certificates", Model::ES,
+                     false, "consensus",
+                     at2_auth_factory({.ablate_echo = true}),
+                     ByzExpectation::Breaks, true});
+  targets.push_back({"at2-auth-nodedup",
+                     "A_{t+2}^auth without quorum dedup", Model::ES, false,
+                     "consensus", at2_auth_factory({.ablate_dedup = true}),
+                     ByzExpectation::Breaks, true});
 
   // --- known-broken variants: the fuzzer must rediscover each bug -------
   targets.push_back({"at2-fscheck",

@@ -21,6 +21,17 @@
 
 namespace indulgence {
 
+/// Expected verdict under budgeted-liar (--byz) sweeps.  `Vulnerable` is for
+/// targets that ARE unsafe under lies but whose break needs a coordinated
+/// attack the random generator is not guaranteed to stumble on within a
+/// smoke budget — the checked-in corpus repros prove those breaks
+/// deterministically, so the sweep reports findings without requiring them.
+enum class ByzExpectation {
+  Survives,    ///< must uphold consensus under every budgeted-liar run
+  Breaks,      ///< the byz fuzzer must rediscover the break
+  Vulnerable,  ///< known-unsafe; discovery is best-effort, corpus-backed
+};
+
 struct FuzzTarget {
   std::string name;     ///< stable key, referenced by `.sched` repro files
   std::string summary;  ///< one line for --list output
@@ -28,6 +39,12 @@ struct FuzzTarget {
   bool expect_safe = true;      ///< paper's verdict under model-valid runs
   std::string check = "consensus";  ///< default predicate (find_check key)
   AlgorithmFactory factory;
+  /// Verdict under --byz sweeps (crash-only algorithms default to
+  /// Vulnerable: one liar defeats them, but only on the right schedule).
+  ByzExpectation byz = ByzExpectation::Vulnerable;
+  /// Swept only under --byz: the A_{t+2}^auth ablations are not crash-only
+  /// algorithms and carry no verdict for liar-free runs.
+  bool byz_only = false;
 };
 
 /// All registered targets: the seven real algorithms (three SCS FloodSet

@@ -1,0 +1,66 @@
+#include "net/byzantine_planner.hpp"
+
+namespace indulgence {
+
+ByzantinePlanner::ByzantinePlanner(
+    const std::vector<ByzantineInjection>& plan) {
+  for (const ByzantineInjection& b : plan) {
+    if (b.round < 1 || b.event.liar < 0) continue;
+    plan_[{b.event.liar, b.round}].push_back(b.event);
+    liars_.insert(b.event.liar);
+  }
+}
+
+void ByzantinePlanner::note_send(ProcessId sender, Round round,
+                                 const MessagePtr& payload) {
+  // Only liars' history is ever replayed; don't retain everyone else's.
+  if (liars_.contains(sender)) history_[{sender, round}] = payload;
+}
+
+std::vector<ByzantinePlanner::Copy> ByzantinePlanner::copies_for(
+    ProcessId sender, Round round, ProcessId receiver,
+    const MessagePtr& payload) const {
+  std::vector<Copy> out;
+  const auto it = plan_.find({sender, round});
+  if (it == plan_.end()) {
+    out.push_back(Copy{sender, -1, payload});
+    return out;
+  }
+  // Mirrors the kernel's send phase (sim/kernel.cpp): events apply in plan
+  // order, value mutations compose, silence wins over mutations, and each
+  // Forge emits an independent extra copy.
+  MessagePtr primary = payload;
+  bool silenced = false;
+  for (const ByzantineEvent& e : it->second) {
+    if (!e.applies_to(receiver)) continue;
+    switch (e.kind) {
+      case LieKind::Silence:
+        silenced = true;
+        break;
+      case LieKind::Lie:
+      case LieKind::Equivocate:
+        if (MessagePtr m = primary->mutated(e.value)) primary = std::move(m);
+        break;
+      case LieKind::Replay: {
+        const auto stale = history_.find({sender, e.replay_round});
+        if (stale != history_.end() && stale->second) {
+          primary = stale->second;
+        }
+        break;
+      }
+      case LieKind::Forge: {
+        if (e.forged < 0 || e.forged == sender) break;
+        MessagePtr forged = payload;
+        if (e.has_value) {
+          if (MessagePtr m = forged->mutated(e.value)) forged = std::move(m);
+        }
+        out.push_back(Copy{e.forged, sender, std::move(forged)});
+        break;
+      }
+    }
+  }
+  if (!silenced) out.push_back(Copy{sender, -1, std::move(primary)});
+  return out;
+}
+
+}  // namespace indulgence

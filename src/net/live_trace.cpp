@@ -21,6 +21,12 @@ RunTrace merge_process_logs(const LiveMergeInput& input) {
                  input.gst_hint > 0 ? input.gst_hint : 1);
   trace.set_rounds_executed(rounds);
   trace.set_terminated(input.terminated);
+  for (ProcessId liar : input.byzantine) trace.record_byzantine(liar);
+  if (input.byzantine_budget > 0) {
+    trace.set_byzantine_budget(input.byzantine_budget);
+  } else if (!input.byzantine.empty()) {
+    trace.set_byzantine_budget(input.byzantine.size());
+  }
 
   std::set<ProcessId> crashed;
   for (ProcessId pid = 0; pid < n; ++pid) {
@@ -130,6 +136,10 @@ Round minimal_conforming_gst(const RunTrace& trace) {
   for (const SendRecord& s : trace.sends()) {
     auto it = crash_round.find(s.sender);
     if (it != crash_round.end() && it->second == s.round) continue;
+    // A budgeted liar's selective silence is excused by the validator's
+    // synchrony check (sim/validator.cpp), so it must not inflate the
+    // derived GST either.
+    if (trace.byzantine().contains(s.sender)) continue;
     for (ProcessId r = 0; r < trace.config().n; ++r) {
       if (!completes(r, s.round)) continue;
       if (!in_round.count({s.sender, s.round, r})) {

@@ -39,6 +39,10 @@ struct LiveMergeInput {
   /// Copies still in flight at teardown (router queues + mailbox drains);
   /// driver reorder-buffer leftovers are taken from the logs directly.
   std::vector<UndeliveredCopy> undelivered;
+  /// Declared budgeted liars and their budget (sim/byzantine.hpp), stamped
+  /// into the merged trace so the validator excuses exactly them.
+  ProcessSet byzantine;
+  int byzantine_budget = 0;
 };
 
 RunTrace merge_process_logs(const LiveMergeInput& input);

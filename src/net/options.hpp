@@ -23,6 +23,7 @@
 
 #include "common/process_set.hpp"
 #include "common/types.hpp"
+#include "sim/byzantine.hpp"
 #include "sim/process.hpp"
 
 namespace indulgence {
@@ -85,6 +86,18 @@ struct LiveOptions {
 
   std::vector<PartitionSpec> partitions;
   std::vector<CrashInjection> crashes;
+
+  /// Round-indexed Byzantine actions (sim/byzantine.hpp) the transport
+  /// applies to the liars' outgoing copies — same output-mutation model as
+  /// the lockstep kernel: the liar runs the honest algorithm, the fan-out
+  /// rewrites what leaves it, and self-delivery is never affected.  Works
+  /// under both the in-process router and the socket hub.
+  std::vector<ByzantineInjection> byzantine;
+
+  /// Declared liar budget b (3b < n), stamped into the merged trace so the
+  /// validator excuses exactly the declared liars.  0 with a non-empty
+  /// `byzantine` plan derives b from the distinct liars in it.
+  int byzantine_budget = 0;
 
   /// Round-closing policy (see net/synchronizer.hpp).  Lockstep is the
   /// historical default; pacemaker and faststep trade the grace window

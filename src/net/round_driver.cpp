@@ -146,32 +146,43 @@ void RoundDriver::route(NetEnvelope env, Round k) {
   // copy twice, and counting it twice would close the quorum gate early —
   // with one real sender short.  Exactly-once is also what the validator's
   // reliable-channel check demands of the merged trace.
-  if (!seen_copies_.emplace(env.send_round, env.sender).second) {
+  const ProcessId emitter = env.origin < 0 ? env.sender : env.origin;
+  if (!seen_copies_.emplace(env.send_round, env.sender, emitter).second) {
     ++log_.duplicate_copies;
     return;
   }
+  // Forged copies never count toward the quorum gate: inflating the count
+  // could close a round before an honest sender's copy lands, turning a
+  // content attack into a synchrony violation the liar did not pay for.
+  const bool forged = env.origin >= 0 && env.origin != env.sender;
   const Round slot = env.target_round > 0 ? env.target_round : env.send_round;
   if (slot > k) {
     future_[slot].push_back(
-        Envelope{env.sender, env.send_round, std::move(env.payload)});
+        Envelope{env.sender, env.send_round, std::move(env.payload),
+                 env.origin});
     return;
   }
-  if (env.send_round == k) {
-    ++in_round_count_;
-  } else {
-    ++delayed_count_;
+  if (!forged) {
+    if (env.send_round == k) {
+      ++in_round_count_;
+    } else {
+      ++delayed_count_;
+    }
   }
-  batch_.push_back(Envelope{env.sender, env.send_round, std::move(env.payload)});
+  batch_.push_back(Envelope{env.sender, env.send_round, std::move(env.payload),
+                            env.origin});
 }
 
 void RoundDriver::adopt_future(Round k) {
   auto it = future_.find(k);
   if (it == future_.end()) return;
   for (Envelope& e : it->second) {
-    if (e.send_round == k) {
-      ++in_round_count_;
-    } else {
-      ++delayed_count_;
+    if (e.origin < 0 || e.origin == e.sender) {
+      if (e.send_round == k) {
+        ++in_round_count_;
+      } else {
+        ++delayed_count_;
+      }
     }
     batch_.push_back(std::move(e));
   }
@@ -269,12 +280,18 @@ void RoundDriver::finish_round(Round k) {
   // matching that order makes replay batches bit-identical inputs.
   std::sort(batch_.begin(), batch_.end(),
             [](const Envelope& a, const Envelope& b) {
-              return a.send_round != b.send_round ? a.send_round < b.send_round
-                                                  : a.sender < b.sender;
+              if (a.send_round != b.send_round) {
+                return a.send_round < b.send_round;
+              }
+              if (a.sender != b.sender) return a.sender < b.sender;
+              // Forged copies share (send_round, sender) with the honest
+              // original; ordering by emitter keeps batches deterministic.
+              return a.emitter() < b.emitter();
             });
   for (const Envelope& e : batch_) {
-    log_.deliveries.push_back(
-        DeliveryRecord{k, ctx_.self, e.sender, e.send_round, e.payload});
+    log_.deliveries.push_back(DeliveryRecord{k, ctx_.self, e.sender,
+                                             e.send_round, e.payload,
+                                             e.origin});
   }
   if (!halted_) {
     algorithm_->on_round(k, batch_);

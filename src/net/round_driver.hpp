@@ -203,11 +203,14 @@ class RoundDriver {
   int in_round_count_ = 0;      ///< batch_ members with send_round == k
   int delayed_count_ = 0;       ///< batch_ members with send_round < k
   std::map<Round, Delivery> future_;  ///< early arrivals, keyed by round
-  /// Every (send_round, sender) pair ever accepted: the reliable channels
-  /// resend across socket resets, and a duplicate copy must not count a
-  /// second time toward the n − t quorum gate (or reach the algorithm —
-  /// the validator calls a double delivery a violation).
-  std::set<std::pair<Round, ProcessId>> seen_copies_;
+  /// Every (send_round, sender, emitter) triple ever accepted: the reliable
+  /// channels resend across socket resets, and a duplicate copy must not
+  /// count a second time toward the n − t quorum gate (or reach the
+  /// algorithm — the validator calls a double delivery a violation).  The
+  /// emitter is part of the key so a FORGED copy claiming an honest sender
+  /// (sim/byzantine.hpp) still reaches the algorithm alongside the honest
+  /// original — that collision is the attack under test.
+  std::set<std::tuple<Round, ProcessId, ProcessId>> seen_copies_;
   bool decided_ = false;
   bool halted_ = false;
   bool reported_done_ = false;

@@ -18,6 +18,7 @@ LiveRouter::LiveRouter(SystemConfig config, const LiveOptions& options,
       options_(options),
       mailboxes_(&mailboxes),
       inbound_(options.mailbox_capacity),
+      byz_(options.byzantine),
       rng_(Rng::for_stream(options.seed, 0x9e7u)) {}
 
 LiveRouter::~LiveRouter() { stop_and_flush(); }
@@ -73,11 +74,16 @@ void LiveRouter::fan_out(const Inbound& item, Clock::time_point now) {
   const bool lossy = pre_gst && options_.loss_prob > 0.0;
   const LatencyModel& model = pre_gst ? options_.pre_gst : options_.post_gst;
 
-  for (ProcessId receiver = 0; receiver < config_.n; ++receiver) {
-    if (receiver == item.sender || dead(receiver)) continue;
+  if (byz_.active()) byz_.note_send(item.sender, item.round, item.payload);
+
+  // Queues ONE copy through the fault pipeline (loss, latency, partition
+  // holds), exactly the pre-Byzantine per-receiver path: with an inactive
+  // planner the RNG draw stream is byte-identical to the historical one.
+  auto queue_copy = [&](ProcessId receiver, ProcessId claimed,
+                        ProcessId origin, MessagePtr payload) {
     if (lossy && rng_.next_double() < options_.loss_prob) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
-      continue;
+      return;
     }
     Clock::time_point release = now;
     if (!expedited) {
@@ -99,7 +105,20 @@ void LiveRouter::fan_out(const Inbound& item, Clock::time_point now) {
       }
     }
     queue_.push(Queued{release, seq_++, receiver,
-                       NetEnvelope{item.sender, item.round, 0, 0, item.payload}});
+                       NetEnvelope{claimed, item.round, 0, 0,
+                                   std::move(payload), origin}});
+  };
+
+  for (ProcessId receiver = 0; receiver < config_.n; ++receiver) {
+    if (receiver == item.sender || dead(receiver)) continue;
+    if (!byz_.active()) {
+      queue_copy(receiver, item.sender, -1, item.payload);
+      continue;
+    }
+    for (ByzantinePlanner::Copy& copy :
+         byz_.copies_for(item.sender, item.round, receiver, item.payload)) {
+      queue_copy(receiver, copy.sender, copy.origin, std::move(copy.payload));
+    }
   }
 }
 

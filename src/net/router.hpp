@@ -26,6 +26,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/byzantine_planner.hpp"
 #include "net/options.hpp"
 #include "net/transport.hpp"
 
@@ -94,6 +95,7 @@ class LiveRouter final : public SupervisedTransport {
 
   // Router-thread-only state.
   std::priority_queue<Queued, std::vector<Queued>, LaterFirst> queue_;
+  ByzantinePlanner byz_;
   Rng rng_;
   std::uint64_t seq_ = 0;
   std::vector<UndeliveredCopy> undelivered_;

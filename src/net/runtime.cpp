@@ -70,6 +70,27 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
   if (static_cast<int>(proposals.size()) != config_.n) {
     throw std::invalid_argument("live runtime: need one proposal per process");
   }
+  if (schedule && schedule->byzantine_budget() > 0) {
+    throw std::invalid_argument(
+        "live runtime: scripted replay does not apply Byzantine events — "
+        "replay lying schedules through the kernel, or drive live lies via "
+        "LiveOptions::byzantine");
+  }
+  ProcessSet declared_liars;
+  for (const ByzantineInjection& b : options_.byzantine) {
+    if (b.event.liar < 0 || b.event.liar >= config_.n) {
+      throw std::invalid_argument("live runtime: Byzantine liar p" +
+                                  std::to_string(b.event.liar) +
+                                  " is out of range");
+    }
+    declared_liars.insert(b.event.liar);
+  }
+  const int budget = options_.byzantine_budget > 0 ? options_.byzantine_budget
+                                                   : declared_liars.size();
+  if (budget > 0 && 3 * budget >= config_.n) {
+    throw std::invalid_argument(
+        "live runtime: Byzantine budget needs 3b < n");
+  }
 
   // Size mailboxes so that a whole run fits: a process can be sent at most
   // n - 1 copies per round, so producers never block on a consumer that
@@ -94,8 +115,13 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
         std::make_unique<ScriptTransport>(config_, *schedule, mailboxes);
     transport = script_transport.get();
   } else if (socket_kind_) {
+    SocketTransportOptions socket_options = socket_options_;
+    if (socket_options.byzantine.empty()) {
+      socket_options.byzantine = options_.byzantine;
+    }
     supervised = std::make_unique<SocketHub>(config_, *socket_kind_,
-                                             socket_options_, mailboxes);
+                                             std::move(socket_options),
+                                             mailboxes);
     transport = supervised.get();
   } else {
     supervised = std::make_unique<LiveRouter>(config_, options_, mailboxes);
@@ -176,6 +202,8 @@ RunResult LiveRuntime::execute(const RunSchedule* schedule, Model model,
   merge.terminated = control.completed_normally();
   merge.logs = &logs;
   merge.undelivered = std::move(undelivered);
+  merge.byzantine = declared_liars;
+  merge.byzantine_budget = budget;
 
   RunResult result;
   result.trace = merge_process_logs(merge);

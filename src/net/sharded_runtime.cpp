@@ -40,7 +40,8 @@ std::exception_ptr pick_error(
 
 RunResult merge_group(const SystemConfig& config, bool terminated,
                       std::vector<ProcessLog>& logs,
-                      std::vector<UndeliveredCopy> undelivered) {
+                      std::vector<UndeliveredCopy> undelivered,
+                      const std::vector<ByzantineInjection>& byzantine) {
   LiveMergeInput merge;
   merge.config = config;
   merge.model = Model::ES;
@@ -48,6 +49,12 @@ RunResult merge_group(const SystemConfig& config, bool terminated,
   merge.terminated = terminated;
   merge.logs = &logs;
   merge.undelivered = std::move(undelivered);
+  // The socket fabric applies the same plan inside every group, so every
+  // group's merged trace gets the same liar stamp.
+  for (const ByzantineInjection& b : byzantine) {
+    merge.byzantine.insert(b.event.liar);
+  }
+  merge.byzantine_budget = merge.byzantine.size();
 
   RunResult result;
   result.trace = merge_process_logs(merge);
@@ -297,8 +304,10 @@ ShardedResult run_sharded(const ShardedOptions& options,
         options.fixed_rounds > 0
             ? true
             : controls[static_cast<std::size_t>(g)]->completed_normally();
-    outcome.result = merge_group(config, terminated, logs,
-                                 std::move(undelivered[static_cast<std::size_t>(g)]));
+    outcome.result =
+        merge_group(config, terminated, logs,
+                    std::move(undelivered[static_cast<std::size_t>(g)]),
+                    options.socket.byzantine);
     const std::vector<int> members = group_placement(g, config.n, nodes);
     for (ProcessId pid = 0; pid < config.n; ++pid) {
       outcome.traffic += endpoints[static_cast<std::size_t>(

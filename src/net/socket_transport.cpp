@@ -420,6 +420,7 @@ void SocketEndpoint::init_listener_and_links() {
   if (node_ < 0 || node_ >= num_nodes_ || num_nodes_ < 2) {
     throw std::invalid_argument("socket endpoint: bad node id / node count");
   }
+  byz_ = ByzantinePlanner(options_.byzantine);
   listen_fd_ = open_listener(listen_address_);
   link_index_.assign(static_cast<std::size_t>(num_nodes_), -1);
   links_.reserve(static_cast<std::size_t>(num_nodes_) - 1);
@@ -537,6 +538,59 @@ void SocketEndpoint::dispatch_group(GroupId group, ProcessId sender,
     throw std::logic_error("socket endpoint: dispatch for foreign sender p" +
                            std::to_string(sender));
   }
+  // Queues one already-encoded copy onto the receiver's link, stamping its
+  // per-link sequence in place.
+  auto push_frame = [&](ProcessId claimed, ProcessId receiver,
+                        std::vector<std::uint8_t> frame) {
+    Link* link =
+        link_for_node(state->spec.members[static_cast<std::size_t>(receiver)]);
+    std::unique_lock<std::mutex> lock(link->mutex);
+    link->cv.wait(lock, [&] {
+      return link->hold.size() < options_.hold_queue_capacity ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (link->hold.size() >= options_.hold_queue_capacity) {
+      // Stop raced a full queue; the copy never even entered the fabric.
+      lock.unlock();
+      pool_.release(std::move(frame));
+      std::lock_guard<std::mutex> overflow_lock(overflow_mutex_);
+      overflow_.push_back(UndeliveredCopy{claimed, receiver, round, 0, group});
+      return;
+    }
+    const std::uint64_t seq = link->next_seq++;
+    patch_envelope_seq(frame, seq);
+    link->hold.push_back(HoldItem{seq, group, claimed, receiver, round,
+                                  std::move(frame), false});
+    lock.unlock();
+    link->cv.notify_all();
+  };
+
+  if (byz_.active()) {
+    // Byzantine dispatch: copies may differ per receiver (mutations,
+    // forgeries, silence), so each one is encoded individually.  The lock
+    // serializes the planner's replay history across hosted groups.
+    std::lock_guard<std::mutex> byz_lock(byz_mutex_);
+    byz_.note_send(sender, round, payload);
+    for (ProcessId receiver = 0; receiver < state->spec.config.n;
+         ++receiver) {
+      if (receiver == sender) continue;
+      for (ByzantinePlanner::Copy& copy :
+           byz_.copies_for(sender, round, receiver, payload)) {
+        NetEnvelope env;
+        env.group = group;
+        env.sender = copy.sender;
+        env.send_round = round;
+        env.target_round = 0;
+        env.origin = copy.origin;
+        env.payload = std::move(copy.payload);
+        WireWriter encoded(pool_.acquire());
+        encode_envelope_frame2_into(0, env, encoded);
+        push_frame(copy.sender, receiver, encoded.take());
+      }
+    }
+    return;
+  }
+
   // Encode the envelope ONCE per dispatch (the wire bytes do not mention
   // the receiver): every per-link copy is a memcpy of these bytes into a
   // pooled buffer with its own seq stamped in place — no re-encode per
@@ -551,29 +605,9 @@ void SocketEndpoint::dispatch_group(GroupId group, ProcessId sender,
   encode_envelope_frame2_into(0, env, encoded);
   for (ProcessId receiver = 0; receiver < state->spec.config.n; ++receiver) {
     if (receiver == sender) continue;
-    Link* link =
-        link_for_node(state->spec.members[static_cast<std::size_t>(receiver)]);
     std::vector<std::uint8_t> frame = pool_.acquire();
     frame.assign(encoded.bytes().begin(), encoded.bytes().end());
-    std::unique_lock<std::mutex> lock(link->mutex);
-    link->cv.wait(lock, [&] {
-      return link->hold.size() < options_.hold_queue_capacity ||
-             stopping_.load(std::memory_order_acquire);
-    });
-    if (link->hold.size() >= options_.hold_queue_capacity) {
-      // Stop raced a full queue; the copy never even entered the fabric.
-      lock.unlock();
-      pool_.release(std::move(frame));
-      std::lock_guard<std::mutex> overflow_lock(overflow_mutex_);
-      overflow_.push_back(UndeliveredCopy{sender, receiver, round, 0, group});
-      continue;
-    }
-    const std::uint64_t seq = link->next_seq++;
-    patch_envelope_seq(frame, seq);
-    link->hold.push_back(HoldItem{seq, group, sender, receiver, round,
-                                  std::move(frame), false});
-    lock.unlock();
-    link->cv.notify_all();
+    push_frame(sender, receiver, std::move(frame));
   }
   pool_.release(encoded.take());
 }
@@ -1080,14 +1114,21 @@ void SocketEndpoint::reader_loop(Inbound* conn) {
             cumulative = last;
           }
           // Demux: the copy belongs to a hosted group, names a plausible
-          // group-local sender, and arrived on the link that sender's node
-          // owns (spoof guard).
+          // group-local sender, and arrived on the link its EMITTER's node
+          // owns (spoof guard).  The emitter is `origin` when set, else the
+          // sender: `sender` is the claim carried in the payload — a
+          // budgeted liar may forge it — while the link itself vouches for
+          // who physically sent the bytes.  A forged claim is deliverable
+          // precisely because it stays attributable to the liar's link.
           GroupState* group = find_group(env.group);
+          const ProcessId wire_emitter =
+              env.origin >= 0 ? env.origin : env.sender;
           const bool routable =
               group != nullptr && env.sender >= 0 &&
               env.sender < group->spec.config.n &&
-              env.sender != group->spec.self &&
-              group->spec.members[static_cast<std::size_t>(env.sender)] ==
+              env.sender != group->spec.self && wire_emitter >= 0 &&
+              wire_emitter < group->spec.config.n &&
+              group->spec.members[static_cast<std::size_t>(wire_emitter)] ==
                   peer;
           if (fresh) {
             if (routable) {

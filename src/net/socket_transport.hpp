@@ -70,6 +70,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/byzantine_planner.hpp"
 #include "net/options.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -226,6 +227,12 @@ struct SocketTransportOptions {
   /// sender (blocks) rather than dropping — ES channels are reliable.
   std::size_t hold_queue_capacity = 1 << 15;
   std::uint64_t seed = 1;
+  /// Round-indexed Byzantine actions (sim/byzantine.hpp) applied to the
+  /// liars' outgoing copies at dispatch time, before encoding — the socket
+  /// analogue of LiveOptions::byzantine (LiveRuntime copies its plan here
+  /// when this one is empty).  Mutated and forged copies are encoded
+  /// per-receiver; honest traffic keeps the encode-once fast path.
+  std::vector<ByzantineInjection> byzantine;
 };
 
 inline KeepaliveAction keepalive_action(
@@ -442,6 +449,11 @@ class SocketEndpoint final : public SupervisedTransport {
   int node_ = -1;
   int num_nodes_ = 0;
   SocketTransportOptions options_;
+  /// Byzantine output mutation (net/byzantine_planner.hpp); the mutex
+  /// serializes its replay history across concurrently dispatching hosted
+  /// groups and is only ever taken when the plan is non-empty.
+  ByzantinePlanner byz_;
+  std::mutex byz_mutex_;
   AddressResolver resolver_;
   SocketAddress listen_address_;
   int listen_fd_ = -1;

@@ -16,7 +16,9 @@ constexpr std::uint32_t kMagic = 0x314c5349;  // "ISL1" little-endian
 /// v1: single-group records.  v2 adds the owning GroupId, group-tagged
 /// undelivered copies, and the demux_drops counter; v1 files still read
 /// (group 0, demux_drops 0).  New files are always written as v2.
-constexpr std::uint32_t kVersion = 2;
+// v3 ships each delivery's emitter (DeliveryRecord::origin) so forged
+// copies stay attributable to their budgeted liar across the wire.
+constexpr std::uint32_t kVersion = 3;
 /// Per-vector sanity cap: a corrupt count must not drive an allocation.
 constexpr std::uint32_t kMaxRecords = 1u << 24;
 
@@ -124,6 +126,7 @@ void write_shipped_log(const std::string& path, const ShippedLog& shipped) {
     w.i32(d.receiver);
     w.i32(d.sender);
     w.i32(d.send_round);
+    w.i32(d.origin);  // v3
     encode_message(*d.payload, w);
   }
   w.u32(static_cast<std::uint32_t>(log.decisions.size()));
@@ -220,10 +223,17 @@ std::optional<ShippedLog> read_shipped_log(const std::string& path) {
     if (!recv_round || !receiver || !sender || !send_round) {
       return std::nullopt;
     }
+    ProcessId origin = -1;
+    if (*version >= 3) {
+      auto o = r.i32();
+      if (!o) return std::nullopt;
+      origin = *o;
+    }
     MessagePtr payload = decode_message(r);
     if (!payload) return std::nullopt;
     log.deliveries.push_back(DeliveryRecord{*recv_round, *receiver, *sender,
-                                            *send_round, std::move(payload)});
+                                            *send_round, std::move(payload),
+                                            origin});
   }
 
   auto decision_count = get_count(r);

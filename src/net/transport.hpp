@@ -26,6 +26,9 @@ struct NetEnvelope {
   Round target_round = 0;
   GroupId group = 0;      ///< owning consensus group (0 = legacy single group)
   MessagePtr payload;
+  /// Actual emitter when the copy is forged (sim/byzantine.hpp): `sender`
+  /// is the claimed id, `origin` the budgeted liar.  -1 = honest copy.
+  ProcessId origin = -1;
 };
 
 using Mailbox = Channel<NetEnvelope>;

@@ -11,6 +11,7 @@
 #include "consensus/hurfin_raynal.hpp"
 #include "core/af2.hpp"
 #include "core/at2.hpp"
+#include "core/at2_auth.hpp"
 #include "rsm/rsm.hpp"
 
 namespace indulgence {
@@ -36,6 +37,10 @@ enum class MessageTag : std::uint8_t {
   At2NewEstimate = 15,
   At2Underlying = 16,
   RsmBundle = 17,
+  AuthPropose = 18,
+  AuthPrepare = 19,
+  AuthCommit = 20,
+  AuthDecide = 21,
 };
 
 // Nested payloads (At2Underlying wraps one message; RsmBundle maps slots to
@@ -105,6 +110,35 @@ void encode_message_at_depth(const Message& message, WireWriter& out,
   } else if (auto* m = dynamic_cast<const At2UnderlyingMessage*>(&message)) {
     out.u8(static_cast<std::uint8_t>(MessageTag::At2Underlying));
     encode_message_at_depth(*m->inner(), out, depth + 1);
+  } else if (auto* m = dynamic_cast<const AuthProposeMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::AuthPropose));
+    out.i32(m->signer());
+    out.i32(m->stamp());
+    out.i32(m->view());
+    out.i64(m->value());
+    out.i32(m->lock_view());
+    out.i64(m->lock_value());
+    out.u64(m->cert().mask());
+  } else if (auto* m = dynamic_cast<const AuthPrepareMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::AuthPrepare));
+    out.i32(m->signer());
+    out.i32(m->stamp());
+    out.i32(m->view());
+    out.i64(m->value());
+  } else if (auto* m = dynamic_cast<const AuthCommitMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::AuthCommit));
+    out.i32(m->signer());
+    out.i32(m->stamp());
+    out.i32(m->view());
+    out.i64(m->value());
+    out.i32(m->lock_view());
+    out.i64(m->lock_value());
+    out.u64(m->lock_cert().mask());
+  } else if (auto* m = dynamic_cast<const AuthDecideMessage*>(&message)) {
+    out.u8(static_cast<std::uint8_t>(MessageTag::AuthDecide));
+    out.i32(m->signer());
+    out.i32(m->stamp());
+    out.i64(m->value());
   } else if (auto* m = dynamic_cast<const RsmBundleMessage*>(&message)) {
     out.u8(static_cast<std::uint8_t>(MessageTag::RsmBundle));
     out.u32(static_cast<std::uint32_t>(m->parts().size()));
@@ -208,6 +242,54 @@ MessagePtr decode_message_at_depth(WireReader& in, int depth) {
         parts.emplace(*slot, std::move(part));
       }
       return std::make_shared<RsmBundleMessage>(std::move(parts));
+    }
+    case MessageTag::AuthPropose: {
+      auto signer = in.i32();
+      auto stamp = in.i32();
+      auto view = in.i32();
+      auto value = in.i64();
+      auto lock_view = in.i32();
+      auto lock_value = in.i64();
+      auto cert = in.u64();
+      if (!signer || !stamp || !view || !value || !lock_view || !lock_value ||
+          !cert) {
+        return nullptr;
+      }
+      return std::make_shared<AuthProposeMessage>(
+          *signer, *stamp, *view, *value, *lock_view, *lock_value,
+          ProcessSet::from_mask(*cert));
+    }
+    case MessageTag::AuthPrepare: {
+      auto signer = in.i32();
+      auto stamp = in.i32();
+      auto view = in.i32();
+      auto value = in.i64();
+      if (!signer || !stamp || !view || !value) return nullptr;
+      return std::make_shared<AuthPrepareMessage>(*signer, *stamp, *view,
+                                                  *value);
+    }
+    case MessageTag::AuthCommit: {
+      auto signer = in.i32();
+      auto stamp = in.i32();
+      auto view = in.i32();
+      auto value = in.i64();
+      auto lock_view = in.i32();
+      auto lock_value = in.i64();
+      auto cert = in.u64();
+      if (!signer || !stamp || !view || !value || !lock_view || !lock_value ||
+          !cert) {
+        return nullptr;
+      }
+      return std::make_shared<AuthCommitMessage>(
+          *signer, *stamp, *view, *value, *lock_view, *lock_value,
+          ProcessSet::from_mask(*cert));
+    }
+    case MessageTag::AuthDecide: {
+      auto signer = in.i32();
+      auto stamp = in.i32();
+      auto value = in.i64();
+      if (!signer || !stamp || !value) return nullptr;
+      return std::make_shared<AuthDecideMessage>(*signer, *stamp, *value);
     }
   }
   return nullptr;
@@ -319,6 +401,7 @@ std::size_t encode_envelope_frame2_into(std::uint64_t seq,
     body.i32(envelope.sender);
     body.i32(envelope.send_round);
     body.i32(envelope.target_round);
+    body.i32(envelope.origin);
     encode_message(*envelope.payload, body);
   });
 }
@@ -497,7 +580,8 @@ std::optional<Frame> FrameParser::next() {
         auto sender = body.i32();
         auto send_round = body.i32();
         auto target_round = body.i32();
-        if (seq && group && sender && send_round && target_round) {
+        auto origin = body.i32();
+        if (seq && group && sender && send_round && target_round && origin) {
           MessagePtr payload = decode_message(body);
           if (payload != nullptr && body.done()) {
             Frame f;
@@ -507,6 +591,7 @@ std::optional<Frame> FrameParser::next() {
             f.envelope.sender = *sender;
             f.envelope.send_round = *send_round;
             f.envelope.target_round = *target_round;
+            f.envelope.origin = *origin;
             f.envelope.payload = std::move(payload);
             frame = std::move(f);
           }

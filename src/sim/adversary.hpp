@@ -38,6 +38,12 @@ class Adversary {
   /// The adversary's choices for round k.  Called exactly once per round,
   /// in increasing round order.
   virtual RoundPlan plan_round(Round k) = 0;
+
+  /// Declared liar budget b for the run (sim/byzantine.hpp); 0 means the
+  /// run is crash-only.  The kernel stamps it into the trace, tracks sent
+  /// payloads for Replay lies when it is positive, and the validator holds
+  /// the declared liar set to |liars| <= b with 3b < n.
+  virtual int byzantine_budget() const { return 0; }
 };
 
 /// Replays an explicit schedule.
@@ -48,6 +54,9 @@ class ScheduleAdversary final : public Adversary {
 
   Round gst() const override { return schedule_.gst(); }
   RoundPlan plan_round(Round k) override { return schedule_.plan(k); }
+  int byzantine_budget() const override {
+    return schedule_.byzantine_budget();
+  }
 
   const RunSchedule& schedule() const { return schedule_; }
 
@@ -65,6 +74,9 @@ class ScheduleRefAdversary final : public Adversary {
 
   Round gst() const override { return schedule_->gst(); }
   RoundPlan plan_round(Round k) override { return schedule_->plan(k); }
+  int byzantine_budget() const override {
+    return schedule_->byzantine_budget();
+  }
 
  private:
   const RunSchedule* schedule_;

@@ -1,0 +1,43 @@
+#include "sim/byzantine.hpp"
+
+namespace indulgence {
+
+const char* to_string(LieKind kind) {
+  switch (kind) {
+    case LieKind::Equivocate: return "equivocate";
+    case LieKind::Lie: return "lie";
+    case LieKind::Forge: return "forge";
+    case LieKind::Replay: return "replay";
+    case LieKind::Silence: return "silence";
+  }
+  return "?";
+}
+
+std::optional<LieKind> lie_kind_from(std::string_view word) {
+  if (word == "equivocate") return LieKind::Equivocate;
+  if (word == "lie") return LieKind::Lie;
+  if (word == "forge") return LieKind::Forge;
+  if (word == "replay") return LieKind::Replay;
+  if (word == "silence") return LieKind::Silence;
+  return std::nullopt;
+}
+
+std::string ByzantineEvent::describe() const {
+  std::string out = to_string(kind);
+  out += " p" + std::to_string(liar);
+  if (kind == LieKind::Forge) out += " as p" + std::to_string(forged);
+  if (kind == LieKind::Replay) out += " @" + std::to_string(replay_round);
+  out += " -> ";
+  if (target < 0) {
+    out += '*';
+  } else {
+    out += 'p';
+    out += std::to_string(target);
+  }
+  if (kind == LieKind::Lie || kind == LieKind::Equivocate || has_value) {
+    out += " value=" + std::to_string(value);
+  }
+  return out;
+}
+
+}  // namespace indulgence

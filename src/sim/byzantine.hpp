@@ -1,0 +1,88 @@
+// Byzantine behaviour plans: what a lying process does to its outgoing
+// round messages.
+//
+// The crash-shaped adversary (crashes, loss, delay, partitions, chaos)
+// never tampers with CONTENT; every fault the stack could inject before
+// this layer was an absence.  A ByzantineEvent is a presence: a process
+// that equivocates (different payloads to different receivers), lies
+// (mutates the value field of its own message), forges (claims another
+// sender's id), replays a stale round as fresh, or goes selectively
+// silent.
+//
+// Injection model — "output mutation": a budgeted liar still RUNS the
+// honest algorithm; the injection layer rewrites what leaves it.  The
+// mutation surface is deliberately narrow: Message::mutated() replaces
+// only a payload's primary value field, never certificates, signer ids,
+// round stamps, or set-valued evidence.  That models unforgeable
+// signatures — a Byzantine process may sign any CLAIM with its own key,
+// but cannot fabricate another process' signature or a quorum
+// certificate it never collected.  Crash-only payloads carry no signed
+// fields at all, so against them every lie lands in full.
+//
+// Budget semantics: a schedule (or adversary) declares byzantine_budget
+// b with 3b < n.  The validator excuses exactly the declared liars from
+// the honest-process constraints (no-dup, no-unsent, reliable channels,
+// synchronous delivery) and FLAGS any equivocation or forged origin by a
+// process outside the budget — misbehaviour must be paid for.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace indulgence {
+
+/// The five lie classes of the Byzantine layer (ISSUE 10 taxonomy).
+enum class LieKind {
+  Equivocate,  ///< targeted value mutation: receivers see different payloads
+  Lie,         ///< value mutation, typically to every receiver
+  Forge,       ///< an extra copy claiming another sender's id
+  Replay,      ///< resend a stale round's payload stamped as fresh
+  Silence,     ///< suppress the copy (selective omission)
+};
+
+const char* to_string(LieKind kind);
+
+/// Inverse of to_string, for schedule parsing; nullopt on unknown words.
+std::optional<LieKind> lie_kind_from(std::string_view word);
+
+/// One Byzantine action by `liar` in the round whose RoundPlan holds it.
+/// `target` scopes the action to a single receiver (-1 = every receiver);
+/// self-delivery is never affected — a process knows its own state.
+struct ByzantineEvent {
+  LieKind kind = LieKind::Lie;
+  ProcessId liar = -1;
+  ProcessId target = -1;     ///< receiver scope; -1 = all receivers
+  ProcessId forged = -1;     ///< Forge: the claimed (victim) sender id
+  Round replay_round = 0;    ///< Replay: the stale round to resend
+  Value value = 0;           ///< Lie/Equivocate (always), Forge (if has_value)
+  bool has_value = false;    ///< Forge: also mutate the forged payload
+
+  /// True when this event affects the copy addressed to `receiver`.
+  bool applies_to(ProcessId receiver) const {
+    return target < 0 || target == receiver;
+  }
+
+  /// Human-readable rendering for diagnostics and test failures.
+  std::string describe() const;
+
+  friend bool operator==(const ByzantineEvent&,
+                         const ByzantineEvent&) = default;
+};
+
+/// A ByzantineEvent bound to the round it fires in — the round-indexed plan
+/// form the live transports consume (schedules instead key events by their
+/// RoundPlan).  Round-indexed, like CrashInjection, so a lying scenario is
+/// reproducible across machines.
+struct ByzantineInjection {
+  Round round = 0;
+  ByzantineEvent event;
+
+  friend bool operator==(const ByzantineInjection&,
+                         const ByzantineInjection&) = default;
+};
+
+}  // namespace indulgence

@@ -39,6 +39,13 @@ void execute_run(const SystemConfig& config, const KernelOptions& options,
   scratch.inboxes.resize(n);
   for (Delivery& inbox : scratch.inboxes) inbox.clear();
 
+  // Byzantine mode: stamp the budget and keep per-round payload history so
+  // Replay lies can resend stale rounds (sim/byzantine.hpp).
+  const int byz_budget = adversary.byzantine_budget();
+  if (byz_budget > 0) trace.set_byzantine_budget(byz_budget);
+  scratch.history.resize(n);
+  for (auto& h : scratch.history) h.clear();
+
   auto& procs = scratch.algorithms;
   auto& alive = scratch.alive;
   auto& halted = scratch.halted;
@@ -89,31 +96,96 @@ void execute_run(const SystemConfig& config, const KernelOptions& options,
 
     // --- fate resolution ----------------------------------------------------
     // In-round deliveries of round-k messages, plus queueing of delays.
+    // Byzantine senders get their copies rewritten first (sim/byzantine.hpp):
+    // the fate of every copy — forged ones included — is still keyed by the
+    // EMITTING process, so loss/delay plans compose with lies.
+    const std::vector<ByzantineEvent>& lies = plan.byzantine();
     auto& inbox = scratch.inboxes;
+    auto route = [&](ProcessId receiver, Envelope env) {
+      const Fate fate = plan.fate(env.emitter(), receiver);
+      switch (fate.kind) {
+        case FateKind::Deliver:
+          inbox[receiver].push_back(std::move(env));
+          break;
+        case FateKind::Lose:
+          break;
+        case FateKind::Delay:
+          if (options.model == Model::SCS) {
+            throw std::logic_error("Kernel: Delay fate in SCS model");
+          }
+          if (fate.deliver_round <= k) {
+            throw std::logic_error("Kernel: delay into the past");
+          }
+          pending.push_back({fate.deliver_round, receiver, std::move(env)});
+          break;
+      }
+    };
     for (const KernelScratch::Outgoing& out : outgoing) {
+      if (byz_budget > 0) {
+        auto& sent = scratch.history[out.sender];
+        sent.resize(static_cast<std::size_t>(k));
+        sent[static_cast<std::size_t>(k) - 1] = out.payload;
+      }
+      bool is_liar = false;
+      for (const ByzantineEvent& e : lies) {
+        if (e.liar == out.sender) is_liar = true;
+      }
+      if (is_liar) trace.record_byzantine(out.sender);
       for (ProcessId receiver = 0; receiver < config.n; ++receiver) {
-        Envelope env{out.sender, k, out.payload};
         if (receiver == out.sender) {
-          inbox[receiver].push_back(std::move(env));  // self-delivery
+          // Self-delivery: unconditional, and never affected by the
+          // sender's own lies — a process knows its own state.
+          inbox[receiver].push_back(Envelope{out.sender, k, out.payload});
           continue;
         }
-        const Fate fate = plan.fate(out.sender, receiver);
-        switch (fate.kind) {
-          case FateKind::Deliver:
-            inbox[receiver].push_back(std::move(env));
-            break;
-          case FateKind::Lose:
-            break;
-          case FateKind::Delay:
-            if (options.model == Model::SCS) {
-              throw std::logic_error("Kernel: Delay fate in SCS model");
+        MessagePtr payload = out.payload;
+        bool silenced = false;
+        if (is_liar) {
+          for (const ByzantineEvent& e : lies) {
+            if (e.liar != out.sender || !e.applies_to(receiver)) continue;
+            switch (e.kind) {
+              case LieKind::Silence:
+                silenced = true;
+                break;
+              case LieKind::Lie:
+              case LieKind::Equivocate:
+                if (MessagePtr m = payload->mutated(e.value)) {
+                  payload = std::move(m);
+                }
+                break;
+              case LieKind::Replay: {
+                // Resend the stale round's payload stamped as fresh; the
+                // honest copy stands in when no such payload exists.
+                const auto& sent = scratch.history[out.sender];
+                const auto idx = static_cast<std::size_t>(e.replay_round) - 1;
+                if (e.replay_round >= 1 && idx < sent.size() && sent[idx]) {
+                  payload = sent[idx];
+                }
+                break;
+              }
+              case LieKind::Forge: {
+                // An EXTRA copy claiming the victim's id; origin stays the
+                // liar so the trace remains attributable.
+                if (e.forged < 0 || e.forged >= config.n ||
+                    e.forged == out.sender) {
+                  break;
+                }
+                MessagePtr forged_payload = out.payload;
+                if (e.has_value) {
+                  if (MessagePtr m = forged_payload->mutated(e.value)) {
+                    forged_payload = std::move(m);
+                  }
+                }
+                route(receiver, Envelope{e.forged, k,
+                                         std::move(forged_payload),
+                                         out.sender});
+                break;
+              }
             }
-            if (fate.deliver_round <= k) {
-              throw std::logic_error("Kernel: delay into the past");
-            }
-            pending.push_back({fate.deliver_round, receiver, std::move(env)});
-            break;
+          }
         }
+        if (silenced) continue;
+        route(receiver, Envelope{out.sender, k, std::move(payload)});
       }
     }
 
@@ -141,15 +213,18 @@ void execute_run(const SystemConfig& config, const KernelOptions& options,
         delivery.clear();
         continue;
       }
-      // Deterministic presentation order: by send round, then sender.
-      std::sort(delivery.begin(), delivery.end(),
-                [](const Envelope& a, const Envelope& b) {
-                  return a.send_round != b.send_round
-                             ? a.send_round < b.send_round
-                             : a.sender < b.sender;
-                });
+      // Deterministic presentation order: by send round, then sender (a
+      // stable sort — a forged copy shares its victim's key with the real
+      // one, and insertion order must not be scrambled between runs).
+      std::stable_sort(delivery.begin(), delivery.end(),
+                       [](const Envelope& a, const Envelope& b) {
+                         return a.send_round != b.send_round
+                                    ? a.send_round < b.send_round
+                                    : a.sender < b.sender;
+                       });
       for (const Envelope& env : delivery) {
-        trace.record_delivery({k, pid, env.sender, env.send_round, env.payload});
+        trace.record_delivery(
+            {k, pid, env.sender, env.send_round, env.payload, env.origin});
       }
       if (halted[pid]) {
         delivery.clear();

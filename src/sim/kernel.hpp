@@ -68,6 +68,9 @@ struct KernelScratch {
   std::vector<PendingMessage> pending;
   std::vector<Outgoing> outgoing;
   std::vector<Delivery> inboxes;
+  /// Byzantine runs only (adversary.byzantine_budget() > 0): every sent
+  /// payload, history[pid][round-1], so Replay lies can resend stale rounds.
+  std::vector<std::vector<MessagePtr>> history;
 };
 
 /// Executes one run into `trace` (reset first), using `scratch` for every

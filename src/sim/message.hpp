@@ -28,6 +28,16 @@ class Message {
 
   /// Human-readable rendering for traces and test failure output.
   virtual std::string describe() const = 0;
+
+  /// Byzantine mutation surface (sim/byzantine.hpp): a copy of this payload
+  /// with its primary value field replaced by `v`, or nullptr when the type
+  /// has no lie-mutable field.  Only the plain value may change — signer
+  /// ids, round stamps, certificates, and set-valued evidence are out of
+  /// the injection layer's reach (they model signed content).
+  virtual std::shared_ptr<const Message> mutated(Value v) const {
+    (void)v;
+    return nullptr;
+  }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;
@@ -44,15 +54,26 @@ class HaltedMessage final : public Message {
     return "HALTED(decided=" + std::to_string(decision_) + ")";
   }
 
+  MessagePtr mutated(Value v) const override {
+    return std::make_shared<HaltedMessage>(v);
+  }
+
  private:
   Value decision_;
 };
 
 /// A payload in flight or delivered: who sent it and in which round.
+/// `origin` is the process that ACTUALLY emitted the copy: -1 (the default)
+/// means origin == sender; a Byzantine forger sets sender to its victim and
+/// origin to itself, so traces stay attributable to the real liar.
 struct Envelope {
   ProcessId sender = -1;
   Round send_round = 0;
   MessagePtr payload;
+  ProcessId origin = -1;
+
+  /// The emitting process (the liar for forged copies).
+  ProcessId emitter() const { return origin < 0 ? sender : origin; }
 
   /// Downcast helper: nullptr when the payload is not a T.
   template <typename T>

@@ -35,6 +35,11 @@ Fate RoundPlan::fate(ProcessId sender, ProcessId receiver) const {
   return Fate::deliver();
 }
 
+bool RoundPlan::lies(ProcessId pid) const {
+  return std::any_of(byzantine_.begin(), byzantine_.end(),
+                     [pid](const ByzantineEvent& e) { return e.liar == pid; });
+}
+
 const RoundPlan& RunSchedule::plan(Round k) const {
   auto it = plans_.find(k);
   return it == plans_.end() ? kEmptyPlan : it->second;
@@ -47,7 +52,10 @@ Round RunSchedule::last_planned_round() const {
 int RunSchedule::planned_rounds() const {
   int planned = 0;
   for (const auto& [round, plan] : plans_) {
-    if (!plan.crashes().empty() || !plan.overrides().empty()) ++planned;
+    if (!plan.crashes().empty() || !plan.overrides().empty() ||
+        !plan.byzantine().empty()) {
+      ++planned;
+    }
   }
   return planned;
 }
@@ -58,6 +66,19 @@ ProcessSet RunSchedule::crashed_processes() const {
     for (const CrashEvent& e : plan.crashes()) crashed.insert(e.pid);
   }
   return crashed;
+}
+
+ProcessSet RunSchedule::byzantine_processes() const {
+  ProcessSet liars;
+  for (const auto& [round, plan] : plans_) {
+    for (const ByzantineEvent& e : plan.byzantine()) liars.insert(e.liar);
+  }
+  return liars;
+}
+
+int RunSchedule::byzantine_budget() const {
+  if (byzantine_budget_ > 0) return byzantine_budget_;
+  return byzantine_processes().size();
 }
 
 ScheduleBuilder& ScheduleBuilder::crash(ProcessId pid, Round round,
@@ -101,6 +122,57 @@ ScheduleBuilder& ScheduleBuilder::delaying_to(ProcessId sender,
 ScheduleBuilder& ScheduleBuilder::gst(Round k) {
   if (k < 1) throw std::invalid_argument("gst: K must be >= 1");
   schedule_.set_gst(k);
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::lie(ProcessId liar, Round round, Value value,
+                                      ProcessId target) {
+  if (round < 1) throw std::invalid_argument("lie: round must be >= 1");
+  schedule_.plan(round).add_byzantine(
+      {LieKind::Lie, liar, target, -1, 0, value, true});
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::equivocate(ProcessId liar, Round round,
+                                             Value value, ProcessId target) {
+  if (round < 1) throw std::invalid_argument("equivocate: round must be >= 1");
+  schedule_.plan(round).add_byzantine(
+      {LieKind::Equivocate, liar, target, -1, 0, value, true});
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::forge(ProcessId liar, ProcessId victim,
+                                        Round round, ProcessId target,
+                                        std::optional<Value> value) {
+  if (round < 1) throw std::invalid_argument("forge: round must be >= 1");
+  if (victim == liar) throw std::invalid_argument("forge: victim == liar");
+  schedule_.plan(round).add_byzantine({LieKind::Forge, liar, target, victim,
+                                       0, value.value_or(0),
+                                       value.has_value()});
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::replay(ProcessId liar, Round round,
+                                         Round stale_round, ProcessId target) {
+  if (stale_round < 1 || stale_round >= round) {
+    throw std::invalid_argument("replay: need 1 <= stale_round < round");
+  }
+  schedule_.plan(round).add_byzantine(
+      {LieKind::Replay, liar, target, -1, stale_round, 0, false});
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::silence(ProcessId liar, Round round,
+                                          ProcessId target) {
+  if (round < 1) throw std::invalid_argument("silence: round must be >= 1");
+  schedule_.plan(round).add_byzantine(
+      {LieKind::Silence, liar, target, -1, 0, 0, false});
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::byzantine_budget(int b) {
+  if (b < 0) throw std::invalid_argument("byzantine_budget: b must be >= 0");
+  schedule_.set_byzantine_budget(b);
   return *this;
 }
 

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/process_set.hpp"
 #include "common/types.hpp"
+#include "sim/byzantine.hpp"
 #include "sim/fate.hpp"
 
 namespace indulgence {
@@ -59,11 +61,20 @@ class RoundPlan {
   };
   const std::vector<Override>& overrides() const { return overrides_; }
 
+  /// Byzantine actions this round (sim/byzantine.hpp), applied in order
+  /// during the kernel's fate resolution of the liar's outgoing copies.
+  void add_byzantine(ByzantineEvent e) { byzantine_.push_back(e); }
+  const std::vector<ByzantineEvent>& byzantine() const { return byzantine_; }
+
+  /// True iff pid performs any Byzantine action this round.
+  bool lies(ProcessId pid) const;
+
   friend bool operator==(const RoundPlan&, const RoundPlan&) = default;
 
  private:
   std::vector<CrashEvent> crashes_;
   std::vector<Override> overrides_;
+  std::vector<ByzantineEvent> byzantine_;
 };
 
 /// A complete schedule: per-round plans plus the claimed GST round.
@@ -95,16 +106,28 @@ class RunSchedule {
   /// Set of processes that crash anywhere in the schedule.
   ProcessSet crashed_processes() const;
 
+  /// Set of processes with a Byzantine action anywhere in the schedule.
+  ProcessSet byzantine_processes() const;
+
+  /// Declared liar budget b (validator contract: 3b < n).  Defaults to the
+  /// number of distinct liars in the plans, so hand-built schedules need no
+  /// explicit declaration; serialized repros carry it explicitly.
+  int byzantine_budget() const;
+  void set_byzantine_budget(int b) { byzantine_budget_ = b; }
+
   /// Structural equality (config, GST, per-round plans); lets determinism
   /// tests assert that campaigns at different job counts find the SAME
   /// worst schedule, not merely the same worst round.
   friend bool operator==(const RunSchedule& a, const RunSchedule& b) {
-    return a.config_ == b.config_ && a.gst_ == b.gst_ && a.plans_ == b.plans_;
+    return a.config_ == b.config_ && a.gst_ == b.gst_ &&
+           a.byzantine_budget() == b.byzantine_budget() &&
+           a.plans_ == b.plans_;
   }
 
  private:
   SystemConfig config_;
   Round gst_ = 1;
+  int byzantine_budget_ = 0;  ///< 0 = derive from the plans
   std::map<Round, RoundPlan> plans_;
   static const RoundPlan kEmptyPlan;
 };
@@ -145,6 +168,23 @@ class ScheduleBuilder {
 
   /// Declare the eventual-synchrony round K.
   ScheduleBuilder& gst(Round k);
+
+  /// Byzantine actions (sim/byzantine.hpp).  `target == -1` hits every
+  /// receiver; self-delivery is never affected.
+  ScheduleBuilder& lie(ProcessId liar, Round round, Value value,
+                       ProcessId target = -1);
+  ScheduleBuilder& equivocate(ProcessId liar, Round round, Value value,
+                              ProcessId target);
+  ScheduleBuilder& forge(ProcessId liar, ProcessId victim, Round round,
+                         ProcessId target = -1,
+                         std::optional<Value> value = std::nullopt);
+  ScheduleBuilder& replay(ProcessId liar, Round round, Round stale_round,
+                          ProcessId target = -1);
+  ScheduleBuilder& silence(ProcessId liar, Round round,
+                           ProcessId target = -1);
+
+  /// Declare the liar budget (otherwise derived from the events).
+  ScheduleBuilder& byzantine_budget(int b);
 
   RunSchedule build() { return schedule_; }
 

@@ -33,6 +33,13 @@ class Line {
     return token;
   }
 
+  /// Optional trailing token; nullopt at end of line.
+  std::optional<std::string> maybe_word() {
+    std::string token;
+    if (!(stream_ >> token)) return std::nullopt;
+    return token;
+  }
+
   int integer(const std::string& expected_what) {
     const std::string token = word(expected_what);
     return parse_int(token, expected_what);
@@ -91,13 +98,17 @@ std::string print_schedule(const RunSchedule& schedule) {
   os << "system n=" << schedule.config().n << " t=" << schedule.config().t
      << "\n";
   if (schedule.gst() != 1) os << "gst " << schedule.gst() << "\n";
+  if (schedule.byzantine_budget() > 0) {
+    os << "byz-budget " << schedule.byzantine_budget() << "\n";
+  }
   for (Round k = 1; k <= schedule.last_planned_round(); ++k) {
     const RoundPlan& plan = schedule.plan(k);
-    // A block is worth printing only if it has a crash or a non-Deliver
-    // fate; Deliver overrides are no-ops and are dropped below, so a plan
-    // holding nothing else must not leave an empty `round` header behind.
+    // A block is worth printing only if it has a crash, a Byzantine event,
+    // or a non-Deliver fate; Deliver overrides are no-ops and are dropped
+    // below, so a plan holding nothing else must not leave an empty
+    // `round` header behind.
     const bool has_content =
-        !plan.crashes().empty() ||
+        !plan.crashes().empty() || !plan.byzantine().empty() ||
         std::any_of(plan.overrides().begin(), plan.overrides().end(),
                     [](const RoundPlan::Override& o) {
                       return o.fate.kind != FateKind::Deliver;
@@ -122,6 +133,9 @@ std::string print_schedule(const RunSchedule& schedule) {
           // semantically a no-op, so the canonical form drops it.
           break;
       }
+    }
+    for (const ByzantineEvent& e : plan.byzantine()) {
+      os << "  byz " << e.describe() << "\n";
     }
   }
   return os.str();
@@ -217,6 +231,62 @@ RunSchedule parse_schedule(std::string_view text) {
       check_pid(line, sender, "sender");
       check_pid(line, receiver, "receiver");
       need_round(line).set_fate(sender, receiver, Fate::lose());
+    } else if (directive == "byz-budget") {
+      const int b = line.integer("byzantine budget");
+      line.done();
+      if (b < 0) line.fail("byz-budget must be >= 0");
+      need_system(line).set_byzantine_budget(b);
+    } else if (directive == "byz") {
+      const std::string kind_word =
+          line.word("a lie kind (equivocate|lie|forge|replay|silence)");
+      const std::optional<LieKind> kind = lie_kind_from(kind_word);
+      if (!kind) line.fail("unknown lie kind '" + kind_word + "'");
+      ByzantineEvent e;
+      e.kind = *kind;
+      e.liar = line.process("liar");
+      check_pid(line, e.liar, "liar");
+      if (e.kind == LieKind::Forge) {
+        const std::string as = line.word("'as'");
+        if (as != "as") line.fail("expected 'as', got '" + as + "'");
+        e.forged = line.process("forged sender");
+        check_pid(line, e.forged, "forged sender");
+        if (e.forged == e.liar) line.fail("forge: victim must differ from liar");
+      } else if (e.kind == LieKind::Replay) {
+        e.replay_round = line.at_round();
+        if (e.replay_round < 1 || e.replay_round >= current_round) {
+          line.fail("replay round must satisfy 1 <= r < current round");
+        }
+      }
+      line.arrow();
+      const std::string target = line.word("receiver ('*' or p<id>)");
+      if (target == "*") {
+        e.target = -1;
+      } else if (!target.empty() && target[0] == 'p') {
+        e.target = line.parse_int(target.substr(1), "receiver id");
+        check_pid(line, e.target, "receiver");
+      } else {
+        line.fail("receiver must be '*' or p<id>, got '" + target + "'");
+      }
+      const bool needs_value =
+          e.kind == LieKind::Lie || e.kind == LieKind::Equivocate;
+      if (needs_value) {
+        const std::string token = line.word("value=<int>");
+        if (token.rfind("value=", 0) != 0) {
+          line.fail("expected 'value=<int>', got '" + token + "'");
+        }
+        e.value = line.parse_int(token.substr(6), "lied value");
+        e.has_value = true;
+      } else if (e.kind == LieKind::Forge) {
+        if (std::optional<std::string> token = line.maybe_word()) {
+          if (token->rfind("value=", 0) != 0) {
+            line.fail("expected 'value=<int>', got '" + *token + "'");
+          }
+          e.value = line.parse_int(token->substr(6), "forged value");
+          e.has_value = true;
+        }
+      }
+      line.done();
+      need_round(line).add_byzantine(e);
     } else if (directive == "delay") {
       const ProcessId sender = line.process("sender");
       line.arrow();

@@ -12,7 +12,7 @@ ProcessSet RunTrace::crashed() const {
 }
 
 ProcessSet RunTrace::correct() const {
-  return ProcessSet::all(config_.n) - crashed();
+  return ProcessSet::all(config_.n) - crashed() - byzantine_;
 }
 
 std::optional<Round> RunTrace::crash_round(ProcessId pid) const {
@@ -46,13 +46,22 @@ std::optional<Round> RunTrace::global_decision_round() const {
 }
 
 bool RunTrace::agreement_ok() const {
-  for (std::size_t i = 1; i < decisions_.size(); ++i) {
-    if (decisions_[i].value != decisions_[0].value) return false;
+  const DecisionRecord* first = nullptr;
+  for (const DecisionRecord& d : decisions_) {
+    if (byzantine_.contains(d.pid)) continue;  // liars may "decide" anything
+    if (first == nullptr) {
+      first = &d;
+    } else if (d.value != first->value) {
+      return false;
+    }
   }
   return true;
 }
 
 bool RunTrace::validity_ok() const {
+  // Weak validity under declared liars: a consistent lie is
+  // indistinguishable from a real proposal, so the property is vacuous.
+  if (!byzantine_.empty()) return true;
   return std::all_of(
       decisions_.begin(), decisions_.end(), [this](const DecisionRecord& d) {
         return std::any_of(proposals_.begin(), proposals_.end(),
@@ -89,6 +98,11 @@ std::string RunTrace::to_string() const {
   os << "proposals:";
   for (const auto& [pid, v] : proposals_) os << " p" << pid << "=" << v;
   os << '\n';
+  if (!byzantine_.empty()) {
+    os << "byzantine (budget " << byzantine_budget_ << "):";
+    for (ProcessId pid : byzantine_) os << " p" << pid;
+    os << '\n';
+  }
   for (Round k = 1; k <= rounds_executed_; ++k) {
     os << "round " << k << ":\n";
     for (const CrashRecord& c : crashes_) {

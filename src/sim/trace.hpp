@@ -32,6 +32,11 @@ struct DeliveryRecord {
   ProcessId sender = -1;
   Round send_round = 0;
   MessagePtr payload;  ///< may be null in synthetic traces built by tests
+  /// Actual emitter of the copy; -1 means origin == sender.  A forged copy
+  /// carries the victim in `sender` and the liar here (sim/byzantine.hpp).
+  ProcessId origin = -1;
+
+  ProcessId emitter() const { return origin < 0 ? sender : origin; }
 };
 
 struct SendRecord {
@@ -70,6 +75,8 @@ class RunTrace {
     gst_ = gst;
     rounds_executed_ = 0;
     terminated_ = false;
+    byzantine_ = ProcessSet{};
+    byzantine_budget_ = 0;
     proposals_.clear();
     crashes_.clear();
     sends_.clear();
@@ -90,6 +97,12 @@ class RunTrace {
   void record_pending(PendingRecord r) { pending_.push_back(r); }
   void set_rounds_executed(Round k) { rounds_executed_ = k; }
   void set_terminated(bool ok) { terminated_ = ok; }
+
+  /// Declares pid a budgeted liar (sim/byzantine.hpp).  The validator
+  /// excuses declared liars from honest-process constraints and checks the
+  /// declared set against the budget.
+  void record_byzantine(ProcessId pid) { byzantine_.insert(pid); }
+  void set_byzantine_budget(int b) { byzantine_budget_ = b; }
 
   /// Rebinds the eventual-synchrony round after recording.  The live runtime
   /// (src/net) derives a run's GST from the finished trace — the smallest
@@ -120,7 +133,13 @@ class RunTrace {
   /// Processes that crash anywhere in the trace.
   ProcessSet crashed() const;
 
-  /// Processes that never crash in the trace (the run's correct processes).
+  /// Declared liars and their budget (empty / 0 on crash-only runs).
+  const ProcessSet& byzantine() const { return byzantine_; }
+  int byzantine_budget() const { return byzantine_budget_; }
+
+  /// Processes that neither crash nor lie — the run's correct processes.
+  /// Byzantine processes are excluded: the model makes no promises about
+  /// them (they need not decide, and their channels need not be reliable).
   ProcessSet correct() const;
 
   /// Round in which pid crashed, if it did.
@@ -136,10 +155,15 @@ class RunTrace {
   /// every correct process decided; nullopt otherwise.
   std::optional<Round> global_decision_round() const;
 
-  /// Uniform agreement: no two processes (correct or not) decide differently.
+  /// Uniform agreement: no two processes (correct or not) decide
+  /// differently.  Declared liars are exempt — a Byzantine process may
+  /// "decide" anything; only honest decisions must agree.
   bool agreement_ok() const;
 
-  /// Validity: every decided value was proposed by some process.
+  /// Validity: every decided value was proposed by some process.  With
+  /// declared liars this weakens to WEAK validity (vacuously true): a
+  /// consistent lie is indistinguishable from a real proposal, so only the
+  /// all-honest case pins decided values to proposals.
   bool validity_ok() const;
 
   /// Senders of round-`round` messages received by `receiver` during round
@@ -159,6 +183,8 @@ class RunTrace {
   Round gst_ = 1;
   Round rounds_executed_ = 0;
   bool terminated_ = false;
+  ProcessSet byzantine_;
+  int byzantine_budget_ = 0;
 
   std::map<ProcessId, Value> proposals_;
   std::vector<CrashRecord> crashes_;

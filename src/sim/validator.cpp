@@ -15,6 +15,7 @@ class Checker {
 
   ValidationReport run() {
     index();
+    check_byzantine_budget();
     check_crashes();
     check_deliveries();
     check_halts();
@@ -31,6 +32,31 @@ class Checker {
 
  private:
   void fail(const std::string& what) { report_.violations.push_back(what); }
+
+  bool is_liar(ProcessId pid) const { return byz_.contains(pid); }
+
+  /// The declared liar set must fit its budget, and the budget must satisfy
+  /// the Byzantine resilience bound 3b < n.  Everything a DECLARED liar
+  /// emits is excused below; misbehaviour attributable to anyone else is
+  /// flagged — lies must be paid for out of the budget.
+  void check_byzantine_budget() {
+    const int b = trace_.byzantine_budget();
+    const int n = trace_.config().n;
+    if (b < 0) fail("byzantine budget is negative");
+    if (b > 0 && 3 * b >= n) {
+      fail("byzantine budget b=" + std::to_string(b) +
+           " violates 3b < n (n=" + std::to_string(n) + ")");
+    }
+    if (static_cast<int>(byz_.size()) > b) {
+      fail(std::to_string(byz_.size()) +
+           " declared liars exceed byzantine budget b=" + std::to_string(b));
+    }
+    for (ProcessId pid : byz_) {
+      if (pid < 0 || pid >= n) {
+        fail("declared liar p" + std::to_string(pid) + " is out of range");
+      }
+    }
+  }
 
   void index() {
     for (const CrashRecord& c : trace_.crashes()) {
@@ -80,24 +106,50 @@ class Checker {
 
   void check_deliveries() {
     std::set<std::tuple<ProcessId, Round, ProcessId>> seen;
+    std::map<std::pair<ProcessId, Round>, const DeliveryRecord*> first_copy;
     for (const DeliveryRecord& d : trace_.deliveries()) {
       std::ostringstream who;
       who << "message p" << d.sender << "->p" << d.receiver << " (sent@"
           << d.send_round << ", recv@" << d.recv_round << ")";
-      if (!sent_.count({d.sender, d.send_round})) {
-        fail(who.str() + " received without having been sent");
+      // A copy whose recorded emitter differs from its claimed sender is a
+      // forgery; only a budgeted liar may be its emitter.
+      if (d.origin >= 0 && d.origin != d.sender && !is_liar(d.origin)) {
+        fail(who.str() + " forged by unbudgeted p" + std::to_string(d.origin));
       }
       if (d.recv_round < d.send_round) {
         fail(who.str() + " received before being sent");
       }
-      if (!seen.insert({d.sender, d.send_round, d.receiver}).second) {
-        fail(who.str() + " received more than once");
-      }
       if (!completes_round(d.receiver, d.recv_round)) {
         fail(who.str() + " received by a crashed process");
       }
+      if (is_liar(d.emitter())) continue;  // budgeted: excused below here
+      // (A budgeted liar may forge a copy in the receiver's own name and
+      // route it through any fate, so the self-delivery timing rule only
+      // binds honest emitters.)
       if (d.sender == d.receiver && d.recv_round != d.send_round) {
         fail(who.str() + " self-delivery must be in-round");
+      }
+      if (!sent_.count({d.sender, d.send_round})) {
+        fail(who.str() + " received without having been sent");
+      }
+      if (!seen.insert({d.sender, d.send_round, d.receiver}).second) {
+        fail(who.str() + " received more than once");
+      }
+      // Equivocation: one (sender, send round) broadcast must carry ONE
+      // payload to every receiver.  Pointer equality first — the kernel
+      // shares a broadcast's payload, so honest runs never pay for the
+      // describe() comparison.
+      if (d.payload != nullptr) {
+        auto [it, inserted] =
+            first_copy.try_emplace({d.sender, d.send_round}, &d);
+        if (!inserted && it->second->payload != d.payload &&
+            it->second->payload->describe() != d.payload->describe()) {
+          fail("equivocation by unbudgeted p" + std::to_string(d.sender) +
+               ": round-" + std::to_string(d.send_round) +
+               " broadcast differs across receivers (" +
+               it->second->payload->describe() + " vs " +
+               d.payload->describe() + ")");
+        }
       }
     }
     // Self-delivery presence: every sender completing its send round must
@@ -105,8 +157,12 @@ class Checker {
     for (const SendRecord& s : trace_.sends()) {
       if (!completes_round(s.sender, s.round)) continue;
       if (!delivered_.count({{s.sender, s.round}, s.sender})) {
-        fail("p" + std::to_string(s.sender) + " missed its own round-" +
-             std::to_string(s.round) + " message");
+        std::string msg = "p";
+        msg += std::to_string(s.sender);
+        msg += " missed its own round-";
+        msg += std::to_string(s.round);
+        msg += " message";
+        fail(msg);
       }
     }
   }
@@ -116,7 +172,10 @@ class Checker {
     std::set<ProcessId> decided;
     for (const DecisionRecord& d : trace_.decisions()) {
       if (!decided.insert(d.pid).second) {
-        fail("p" + std::to_string(d.pid) + " decided twice");
+        std::string msg = "p";
+        msg += std::to_string(d.pid);
+        msg += " decided twice";
+        fail(msg);
       }
     }
   }
@@ -141,6 +200,7 @@ class Checker {
     for (const SendRecord& s : trace_.sends()) {
       if (s.round < from_round) continue;
       if (crashes_in_round(s.sender, s.round)) continue;
+      if (is_liar(s.sender)) continue;  // selective silence is budgeted
       for (ProcessId r = 0; r < trace_.config().n; ++r) {
         if (!completes_round(r, s.round)) continue;
         if (!delivered_in_round(s.sender, s.round, r)) {
@@ -168,8 +228,13 @@ class Checker {
     for (Round k = 1; k <= trace_.rounds_executed(); ++k) {
       for (ProcessId r = 0; r < cfg.n; ++r) {
         if (!completes_round(r, k)) continue;
-        const int got = trace_.in_round_senders(r, k).size();
-        if (got < cfg.n - cfg.t) {
+        if (is_liar(r)) continue;  // the model owes liars nothing
+        const ProcessSet heard = trace_.in_round_senders(r, k);
+        const int got = heard.size();
+        // A silent liar may withhold its copy without spending a crash:
+        // the resilience floor only binds what HONEST senders deliver.
+        const int missing_liars = (byz_ - heard).size();
+        if (got + missing_liars < cfg.n - cfg.t) {
           fail("t-resilience: p" + std::to_string(r) + " received only " +
                std::to_string(got) + " round-" + std::to_string(k) +
                " messages in round " + std::to_string(k));
@@ -196,6 +261,7 @@ class Checker {
 
   const RunTrace& trace_;
   ValidationReport report_;
+  const ProcessSet byz_ = trace_.byzantine();
 
   std::map<ProcessId, Round> crash_round_;
   std::set<ProcessId> before_send_;

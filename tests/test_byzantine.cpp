@@ -1,0 +1,297 @@
+// The Byzantine adversary layer (sim/byzantine.hpp): kernel injection of
+// each lie class, the validator's budget semantics (budgeted liars excused,
+// unbudgeted misbehaviour flagged), schedule round-trips, and the headline
+// breakage evidence — one liar splits every crash-only algorithm while
+// A_{t+2}^auth survives the same lie at b < n/3.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "consensus/floodset.hpp"
+#include "consensus/hurfin_raynal.hpp"
+#include "core/at2.hpp"
+#include "core/at2_auth.hpp"
+#include "sim/harness.hpp"
+#include "sim/schedule_io.hpp"
+#include "sim/validator.hpp"
+
+namespace indulgence {
+namespace {
+
+const SystemConfig kCfg4{.n = 4, .t = 1};
+
+KernelOptions es_options(Round max_rounds = 64) {
+  KernelOptions o;
+  o.model = Model::ES;
+  o.max_rounds = max_rounds;
+  return o;
+}
+
+RunTrace run(const SystemConfig& cfg, const AlgorithmFactory& factory,
+             const RunSchedule& schedule, Round max_rounds = 64) {
+  return run_schedule(cfg, es_options(max_rounds), factory,
+                      distinct_proposals(cfg.n), schedule);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel injection semantics
+// ---------------------------------------------------------------------------
+
+TEST(ByzantineKernel, EquivocationSplitsOneBroadcast) {
+  ScheduleBuilder b(kCfg4);
+  b.equivocate(/*liar=*/0, /*round=*/1, /*value=*/-9, /*target=*/1);
+  const RunTrace trace = run(kCfg4, floodset_factory(), b.build());
+
+  // p1 saw the mutated estimate; p2 and p3 saw the honest one.
+  std::map<ProcessId, Value> got;
+  for (const DeliveryRecord& d : trace.deliveries()) {
+    if (d.sender != 0 || d.send_round != 1) continue;
+    const auto* m = dynamic_cast<const FloodEstimateMessage*>(d.payload.get());
+    ASSERT_NE(m, nullptr);
+    got[d.receiver] = m->est();
+  }
+  EXPECT_EQ(got[1], -9);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(got[3], 0);
+  // Self-delivery is never affected by the sender's own lies.
+  EXPECT_EQ(got[0], 0);
+  // The liar is recorded and the budget stamped.
+  EXPECT_TRUE(trace.byzantine().contains(0));
+  EXPECT_EQ(trace.byzantine_budget(), 1);
+}
+
+TEST(ByzantineKernel, SilenceWithholdsWithoutACrash) {
+  ScheduleBuilder b(kCfg4);
+  b.silence(/*liar=*/0, /*round=*/1, /*target=*/2);
+  const RunTrace trace = run(kCfg4, floodset_factory(), b.build());
+
+  for (const DeliveryRecord& d : trace.deliveries()) {
+    EXPECT_FALSE(d.sender == 0 && d.send_round == 1 && d.receiver == 2);
+  }
+  EXPECT_TRUE(trace.crashes().empty());
+  EXPECT_TRUE(validate_trace(trace).ok());
+}
+
+TEST(ByzantineKernel, ForgeInjectsExtraCopyWithVictimIdAndLiarOrigin) {
+  ScheduleBuilder b(kCfg4);
+  b.forge(/*liar=*/0, /*victim=*/1, /*round=*/1, /*target=*/2);
+  const RunTrace trace = run(kCfg4, floodset_factory(), b.build());
+
+  int forged = 0;
+  for (const DeliveryRecord& d : trace.deliveries()) {
+    if (d.origin < 0) continue;
+    ++forged;
+    EXPECT_EQ(d.sender, 1);    // claims the victim's id
+    EXPECT_EQ(d.origin, 0);    // attributable to the liar
+    EXPECT_EQ(d.receiver, 2);
+    EXPECT_EQ(d.emitter(), 0);
+  }
+  EXPECT_EQ(forged, 1);
+}
+
+TEST(ByzantineKernel, ReplayResendsStalePayloadStampedFresh) {
+  // FloodSet's round-2 estimate normally reflects the round-1 minimum; a
+  // replayed round-1 payload carries the liar's ORIGINAL estimate instead.
+  ScheduleBuilder b(kCfg4);
+  b.replay(/*liar=*/3, /*round=*/2, /*stale_round=*/1, /*target=*/1);
+  const RunTrace trace = run(kCfg4, floodset_factory(), b.build());
+
+  std::map<ProcessId, Value> round2;
+  for (const DeliveryRecord& d : trace.deliveries()) {
+    if (d.sender != 3 || d.send_round != 2) continue;
+    const auto* m = dynamic_cast<const FloodEstimateMessage*>(d.payload.get());
+    ASSERT_NE(m, nullptr);
+    round2[d.receiver] = m->est();
+  }
+  EXPECT_EQ(round2[1], 3);  // p3's stale round-1 estimate (its proposal)
+  EXPECT_EQ(round2[2], 0);  // honest copy: the flooded minimum
+}
+
+TEST(ByzantineKernel, HonestRunRecordsNoByzantineState) {
+  ScheduleBuilder b(kCfg4);
+  const RunTrace trace = run(kCfg4, floodset_factory(), b.build());
+  EXPECT_TRUE(trace.byzantine().empty());
+  EXPECT_EQ(trace.byzantine_budget(), 0);
+  for (const DeliveryRecord& d : trace.deliveries()) EXPECT_EQ(d.origin, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Validator budget semantics
+// ---------------------------------------------------------------------------
+
+TEST(ByzantineValidator, BudgetedLiarIsExcused) {
+  for (LieKind kind : {LieKind::Equivocate, LieKind::Lie, LieKind::Forge,
+                       LieKind::Replay, LieKind::Silence}) {
+    ScheduleBuilder b(kCfg4);
+    switch (kind) {
+      case LieKind::Equivocate: b.equivocate(0, 2, -9, 1); break;
+      case LieKind::Lie: b.lie(0, 2, -9); break;
+      case LieKind::Forge: b.forge(0, 1, 2); break;
+      case LieKind::Replay: b.replay(0, 2, 1); break;
+      case LieKind::Silence: b.silence(0, 2, 1); break;
+    }
+    const RunTrace trace = run(kCfg4, floodset_factory(), b.build());
+    const ValidationReport report = validate_trace(trace);
+    EXPECT_TRUE(report.ok())
+        << to_string(kind) << ": " << report.to_string();
+  }
+}
+
+TEST(ByzantineValidator, UnbudgetedEquivocationIsFlagged) {
+  // Same kernel run, but the budget declaration is stripped from the trace:
+  // now the differing round-2 copies are nobody's to excuse.
+  ScheduleBuilder b(kCfg4);
+  b.equivocate(0, 2, -9, 1);
+  RunTrace trace = run(kCfg4, floodset_factory(), b.build());
+  RunTrace honest_view(trace.config(), trace.model(), trace.gst());
+  honest_view.set_rounds_executed(trace.rounds_executed());
+  honest_view.set_terminated(trace.terminated());
+  for (ProcessId p = 0; p < kCfg4.n; ++p) {
+    honest_view.record_proposal(p, distinct_proposals(kCfg4.n)[p]);
+  }
+  for (const SendRecord& s : trace.sends()) honest_view.record_send(s);
+  for (const DeliveryRecord& d : trace.deliveries()) {
+    honest_view.record_delivery(d);
+  }
+  const ValidationReport report = validate_trace(honest_view);
+  ASSERT_FALSE(report.ok());
+  bool saw = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("equivocation by unbudgeted p0") != std::string::npos) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw) << report.to_string();
+}
+
+TEST(ByzantineValidator, UnbudgetedForgeryIsFlagged) {
+  RunTrace trace(kCfg4, Model::ES, /*gst=*/1);
+  trace.set_rounds_executed(1);
+  trace.set_terminated(true);
+  for (ProcessId s = 0; s < kCfg4.n; ++s) {
+    trace.record_proposal(s, s);
+    trace.record_send({1, s, false});
+  }
+  for (ProcessId r = 0; r < kCfg4.n; ++r) {
+    for (ProcessId s = 0; s < kCfg4.n; ++s) {
+      trace.record_delivery({1, r, s, 1, nullptr});
+    }
+  }
+  // A copy claiming p1's id but emitted by p0 — with no declared budget.
+  trace.record_delivery({1, 2, 1, 1, nullptr, /*origin=*/0});
+  const ValidationReport report = validate_trace(trace);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("forged by unbudgeted p0"),
+            std::string::npos)
+      << report.to_string();
+
+  // The same delivery is excused once p0 is a declared, budgeted liar.
+  trace.set_byzantine_budget(1);
+  trace.record_byzantine(0);
+  EXPECT_TRUE(validate_trace(trace).ok())
+      << validate_trace(trace).to_string();
+}
+
+TEST(ByzantineValidator, BudgetBoundsAreEnforced) {
+  RunTrace trace(kCfg4, Model::ES, 1);
+  trace.set_rounds_executed(0);
+  trace.set_byzantine_budget(2);  // 3b = 6 >= n = 4
+  EXPECT_FALSE(validate_trace(trace).ok());
+
+  RunTrace over(kCfg4, Model::ES, 1);
+  over.set_rounds_executed(0);
+  over.set_byzantine_budget(1);
+  over.record_byzantine(0);
+  over.record_byzantine(1);  // two liars on a budget of one
+  EXPECT_FALSE(validate_trace(over).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Schedule grammar round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ByzantineSchedule, PrintParseRoundTrip) {
+  ScheduleBuilder b(kCfg4);
+  b.byzantine_budget(1);
+  b.equivocate(0, 1, -9, 2);
+  b.lie(0, 2, 7);
+  b.forge(0, 1, 2, 3);
+  b.replay(0, 3, 1);
+  b.silence(0, 3, 2);
+  const RunSchedule original = b.build();
+  const std::string text = print_schedule(original);
+  const RunSchedule reparsed = parse_schedule(text);
+  EXPECT_EQ(original, reparsed) << text;
+  EXPECT_EQ(print_schedule(reparsed), text);
+  EXPECT_EQ(reparsed.byzantine_budget(), 1);
+}
+
+TEST(ByzantineSchedule, ParserRejectsMalformedLies) {
+  const char* bad[] = {
+      "sched v1\nsystem n=4 t=1\nround 1\n  byz smear p0 -> *\n",
+      "sched v1\nsystem n=4 t=1\nround 1\n  byz lie p9 -> * value=1\n",
+      "sched v1\nsystem n=4 t=1\nround 1\n  byz lie p0 -> *\n",
+      "sched v1\nsystem n=4 t=1\nround 1\n  byz forge p0 as p0 -> *\n",
+      "sched v1\nsystem n=4 t=1\nround 2\n  byz replay p0 @2 -> *\n",
+      "sched v1\nsystem n=4 t=1\nbyz-budget -1\n",
+      "sched v1\nsystem n=4 t=1\n  byz silence p0 -> *\n",  // outside a round
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_schedule(text), ScheduleParseError) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The headline: crash-only algorithms break, A_{t+2}^auth survives
+// ---------------------------------------------------------------------------
+
+bool agreement_violated(const RunTrace& trace) {
+  return !trace.agreement_ok();
+}
+
+/// One liar, one lie class: a small negative equivocation in the decision
+/// round splits every min-based crash-only flood.
+RunSchedule equivocation_attack(const SystemConfig& cfg) {
+  ScheduleBuilder b(cfg);
+  b.equivocate(/*liar=*/0, /*round=*/cfg.t + 1, /*value=*/-9, /*target=*/1);
+  return b.build();
+}
+
+TEST(ByzantineBreakage, FloodSetSplitsUnderOneEquivocation) {
+  const RunTrace trace = run(kCfg4, floodset_factory(),
+                             equivocation_attack(kCfg4));
+  EXPECT_TRUE(validate_trace(trace).ok());  // the lie is budgeted
+  EXPECT_TRUE(agreement_violated(trace)) << trace.to_string();
+}
+
+TEST(ByzantineBreakage, At2SplitsUnderOneEquivocation) {
+  // Equivocate in the NEWESTIMATE round.  A_{t+2} decides "any" non-BOTTOM
+  // nE — concretely the last one received, p3's — so p3 lying to p1 alone
+  // makes p1 decide -9 while everyone else decides the honest minimum.
+  ScheduleBuilder b(kCfg4);
+  b.equivocate(/*liar=*/3, /*round=*/kCfg4.t + 2, /*value=*/-9,
+               /*target=*/1);
+  const RunTrace trace =
+      run(kCfg4, at2_factory(hurfin_raynal_factory()), b.build());
+  EXPECT_TRUE(validate_trace(trace).ok());
+  EXPECT_TRUE(agreement_violated(trace)) << trace.to_string();
+}
+
+TEST(ByzantineBreakage, At2AuthSurvivesTheSameLieClass) {
+  // Same adversary power (b = 1 < n/3 equivocator), every attack round.
+  for (Round r = 1; r <= 9; ++r) {
+    ScheduleBuilder b(kCfg4);
+    b.equivocate(/*liar=*/0, r, /*value=*/-9, /*target=*/1);
+    const RunTrace trace = run(kCfg4, at2_auth_factory(), b.build());
+    EXPECT_TRUE(validate_trace(trace).ok()) << "round " << r;
+    EXPECT_FALSE(agreement_violated(trace))
+        << "round " << r << "\n" << trace.to_string();
+    EXPECT_TRUE(trace.terminated()) << "round " << r;
+  }
+}
+
+}  // namespace
+}  // namespace indulgence

@@ -122,6 +122,38 @@ TEST(FuzzCli, RejectsZeroAndNegativeGroupCounts) {
   EXPECT_TRUE(parse({"--socket", "--groups", "4"}).has_value());
 }
 
+TEST(FuzzCli, ValidatesByzantineBudget) {
+  // --byz follows the --groups discipline: strict numeric parse, explicit
+  // range diagnostics, never a silent clamp.
+  const auto opts = parse({"--byz", "1", "--n", "4", "--t", "1"});
+  ASSERT_TRUE(opts.has_value());
+  EXPECT_EQ(opts->byz, 1);
+  EXPECT_EQ(parse({})->byz, 0);
+
+  std::string diag;
+  EXPECT_FALSE(parse({"--byz", "-1", "--n", "4"}, &diag).has_value());
+  EXPECT_NE(diag.find("--byz must be >= 0"), std::string::npos) << diag;
+  // 3b >= n breaks the Byzantine resilience bound.
+  EXPECT_FALSE(parse({"--byz", "1"}, &diag).has_value());  // default n=3
+  EXPECT_NE(diag.find("3b < n"), std::string::npos) << diag;
+  EXPECT_FALSE(parse({"--byz", "2", "--n", "6", "--t", "2"}).has_value());
+  // Liars spend the crash budget: b <= t.
+  EXPECT_FALSE(
+      parse({"--byz", "2", "--n", "7", "--t", "1"}, &diag).has_value());
+  EXPECT_NE(diag.find("b <= t"), std::string::npos) << diag;
+  EXPECT_TRUE(parse({"--byz", "2", "--n", "7", "--t", "2"}).has_value());
+  // Schedule-mode only.
+  EXPECT_FALSE(
+      parse({"--byz", "1", "--n", "4", "--live"}, &diag).has_value());
+  EXPECT_NE(diag.find("schedule-mode"), std::string::npos) << diag;
+  EXPECT_FALSE(parse({"--byz", "1", "--n", "4", "--socket"}).has_value());
+  // Malformed values are usage errors, not exceptions.
+  EXPECT_FALSE(parse({"--byz", "abc"}).has_value());
+  EXPECT_FALSE(parse({"--byz", "1x"}).has_value());
+  EXPECT_FALSE(parse({"--byz", ""}).has_value());
+  EXPECT_FALSE(parse({"--byz"}).has_value());
+}
+
 TEST(FuzzCli, ValidatesSynchronizerNames) {
   // Only the three registered policies parse; anything else (including a
   // would-be numeric index) names the valid choices in the diagnostic.

@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <random>
 #include <vector>
 
 #include "consensus/amr_leader.hpp"
@@ -20,6 +22,7 @@
 #include "consensus/hurfin_raynal.hpp"
 #include "core/af2.hpp"
 #include "core/at2.hpp"
+#include "core/at2_auth.hpp"
 #include "rsm/rsm.hpp"
 #include "sim/message.hpp"
 
@@ -68,6 +71,13 @@ TEST(WireCodec, EveryRegisteredMessageTypeRoundTrips) {
   parts.emplace(3, std::make_shared<At2UnderlyingMessage>(
                        std::make_shared<FloodEstimateMessage>(2)));
   expect_roundtrip(RsmBundleMessage(std::move(parts)));
+  expect_roundtrip(AuthProposeMessage(2, 7, 2, 33, 1, 33,
+                                      ProcessSet::from_mask(0b1101)));
+  expect_roundtrip(AuthProposeMessage(0, 1, 0, 5, -1, kBottom, ProcessSet()));
+  expect_roundtrip(AuthPrepareMessage(1, 8, 2, kBottom));
+  expect_roundtrip(AuthCommitMessage(3, 9, 2, 33, 2, 33,
+                                     ProcessSet::from_mask(0b0111)));
+  expect_roundtrip(AuthDecideMessage(2, 10, -9));
 }
 
 TEST(WireCodec, ExtremeValuesSurvive) {
@@ -88,6 +98,28 @@ TEST(WireCodec, TruncatedPayloadDecodesToNull) {
   for (std::size_t cut = 0; cut < w.bytes().size(); ++cut) {
     WireReader r(w.bytes().data(), cut);
     EXPECT_EQ(decode_message(r), nullptr) << "prefix length " << cut;
+  }
+}
+
+TEST(WireCodec, TruncatedAuthPayloadsDecodeToNull) {
+  // The Auth messages are the widest in the registry (seven fields); every
+  // strict prefix must fail cleanly at the missing field, never over-read.
+  const AuthProposeMessage propose(2, 7, 2, 33, 1, 33,
+                                   ProcessSet::from_mask(0b1101));
+  const AuthCommitMessage commit(3, 9, 2, 33, 2, 33,
+                                 ProcessSet::from_mask(0b0111));
+  const AuthDecideMessage decide(2, 10, -9);
+  for (const Message* m :
+       {static_cast<const Message*>(&propose),
+        static_cast<const Message*>(&commit),
+        static_cast<const Message*>(&decide)}) {
+    WireWriter w;
+    encode_message(*m, w);
+    for (std::size_t cut = 0; cut < w.bytes().size(); ++cut) {
+      WireReader r(w.bytes().data(), cut);
+      EXPECT_EQ(decode_message(r), nullptr)
+          << m->describe() << " prefix length " << cut;
+    }
   }
 }
 
@@ -263,13 +295,14 @@ TEST(WireV2, Envelope2GoldenBytes) {
   env.payload = std::make_shared<HaltedMessage>(42);
   const std::vector<std::uint8_t> frame = encode_envelope_frame2(7, env);
   const std::vector<std::uint8_t> golden = {
-      33, 0, 0, 0,              // body length
+      37,   0,    0,    0,      // body length
       6,                        // frame type Envelope2
       7,  0, 0, 0, 0, 0, 0, 0,  // seq
       5,  0, 0, 0,              // group
       2,  0, 0, 0,              // group-local sender
       3,  0, 0, 0,              // send round
       4,  0, 0, 0,              // target round
+      0xFF, 0xFF, 0xFF, 0xFF,   // origin (-1 = honest copy)
       1,                        // message tag Halted
       42, 0, 0, 0, 0, 0, 0, 0,  // value
   };
@@ -395,6 +428,67 @@ TEST(WireV2, Envelope2TruncatedGroupTagIsSkippedNotThrown) {
 }
 
 // ---------------------------------------------------------------------------
+// Adversarial-byte fuzz: a Byzantine peer controls every byte it writes, so
+// the parser must survive arbitrary garbage and single-bit corruptions of
+// real traffic without crashing, over-reading, or spinning.
+// ---------------------------------------------------------------------------
+
+TEST(FrameParserFuzz, SeededRandomBytesNeverCrashOrSpin) {
+  std::mt19937 rng(0xb1a5u);  // fixed seed: the corpus is reproducible
+  for (int trial = 0; trial < 64; ++trial) {
+    // Small cap so randomly plausible length prefixes poison quickly
+    // instead of buffering forever.
+    FrameParser parser(/*max_frame_bytes=*/4096);
+    std::vector<std::uint8_t> junk(1 + rng() % 512);
+    for (std::uint8_t& b : junk) b = static_cast<std::uint8_t>(rng());
+    std::size_t fed = 0;
+    while (fed < junk.size()) {
+      const std::size_t chunk = std::min<std::size_t>(
+          1 + rng() % 64, junk.size() - fed);
+      parser.feed(junk.data() + fed, chunk);
+      fed += chunk;
+      // next() consumes at least 5 bytes per iteration or returns nullopt,
+      // so this loop is bounded by the bytes fed.
+      int produced = 0;
+      while (parser.next().has_value()) ++produced;
+      EXPECT_LE(produced, static_cast<int>(junk.size() / 5) + 1);
+    }
+  }
+}
+
+TEST(FrameParserFuzz, EveryBitFlipOfARealFrameIsSurvivable) {
+  // A real Envelope2 frame carrying the widest Auth payload; flip each bit
+  // in turn.  Outcomes allowed: a (different) decoded frame, a skipped
+  // frame, or a poisoned stream — never a crash, and unless poisoned the
+  // parser must still parse a trailing heartbeat.
+  NetEnvelope env;
+  env.group = 1;
+  env.sender = 2;
+  env.send_round = 7;
+  env.target_round = 7;
+  env.payload = std::make_shared<AuthProposeMessage>(
+      2, 7, 2, 33, 1, 33, ProcessSet::from_mask(0b1101));
+  const std::vector<std::uint8_t> frame = encode_envelope_frame2(5, env);
+  const std::vector<std::uint8_t> hb = encode_heartbeat();
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::vector<std::uint8_t> mutated = frame;
+    mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    FrameParser parser(/*max_frame_bytes=*/1 << 16);
+    parser.feed(mutated.data(), mutated.size());
+    parser.feed(hb.data(), hb.size());
+    bool saw_heartbeat = false;
+    for (int i = 0; i < 4; ++i) {
+      auto f = parser.next();
+      if (!f) break;
+      if (f->type == FrameType::Heartbeat) saw_heartbeat = true;
+    }
+    if (!parser.poisoned() && parser.buffered() == 0) {
+      EXPECT_TRUE(saw_heartbeat) << "bit " << bit;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Zero-copy (`_into`) encoders: golden equivalence with the legacy
 // vector-returning forms, coalesced multi-frame buffers, and the buffer pool
 // ---------------------------------------------------------------------------
@@ -426,6 +520,12 @@ std::vector<MessagePtr> registry_samples() {
   parts.emplace(3, std::make_shared<At2UnderlyingMessage>(
                        std::make_shared<FloodEstimateMessage>(2)));
   all.push_back(std::make_shared<RsmBundleMessage>(std::move(parts)));
+  all.push_back(std::make_shared<AuthProposeMessage>(
+      2, 7, 2, 33, 1, 33, ProcessSet::from_mask(0b1101)));
+  all.push_back(std::make_shared<AuthPrepareMessage>(1, 8, 2, kBottom));
+  all.push_back(std::make_shared<AuthCommitMessage>(
+      3, 9, 2, 33, 2, 33, ProcessSet::from_mask(0b0111)));
+  all.push_back(std::make_shared<AuthDecideMessage>(2, 10, -9));
   return all;
 }
 

@@ -133,6 +133,40 @@ TEST(Shrink, ResultIsOneMinimal) {
   }
 }
 
+TEST(Shrink, DropsNonLoadBearingByzantineEvents) {
+  // Byzantine events shrink like crashes: each one is droppable on its own,
+  // and the liar budget re-derives from whoever still lies afterward.
+  const SystemConfig cfg{.n = 7, .t = 2};
+  ScheduleBuilder b(cfg);
+  b.lie(3, 1, -9, 0);
+  b.equivocate(3, 2, -1, 1);
+  b.forge(5, 2, 1, 0, Value{-9});
+  b.silence(5, 3);
+  b.byzantine_budget(2);
+  b.gst(4);
+  // Only p3's round-1 lie is load-bearing.
+  const ShrinkTest still_fails = [](const SystemConfig&,
+                                    const std::vector<Value>&,
+                                    const RunSchedule& s) {
+    for (const ByzantineEvent& e : s.plan(1).byzantine()) {
+      if (e.kind == LieKind::Lie && e.liar == 3) return true;
+    }
+    return false;
+  };
+  const ShrinkResult r = shrink_schedule(cfg, distinct_proposals(cfg.n),
+                                         b.build(), still_fails);
+  long byz_events = 0;
+  for (Round k = 1; k <= r.schedule.last_planned_round(); ++k) {
+    byz_events += static_cast<long>(r.schedule.plan(k).byzantine().size());
+  }
+  EXPECT_EQ(byz_events, 1);
+  EXPECT_TRUE(r.schedule.byzantine_processes().contains(3));
+  EXPECT_FALSE(r.schedule.byzantine_processes().contains(5));
+  EXPECT_EQ(r.schedule.byzantine_budget(), 1)
+      << "budget must re-derive from the surviving liars";
+  EXPECT_EQ(r.schedule.gst(), 1);
+}
+
 TEST(Shrink, RespectsTheAttemptBudget) {
   const SystemConfig cfg{.n = 5, .t = 2};
   ScheduleBuilder b(cfg);
